@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmark harness.
+
+Each ``benchmarks/test_eN_*.py`` file regenerates one experiment from
+DESIGN.md's per-experiment index: it computes the model metrics (work,
+depth, rounds, prices — read off the cost ledger) inside a
+``benchmark.pedantic(..., rounds=1)`` call (so ``--benchmark-only`` runs
+it and times it), prints the experiment table via the ``report`` fixture,
+and asserts the paper's qualitative claim.
+"""
+
+from __future__ import annotations
+
+
+def run_updates(algo, stream) -> dict:
+    """Apply a stream; return work/depth aggregates from the ledger."""
+    per_batch_depth = []
+    total_updates = 0
+    w0 = algo.ledger.work
+    for batch in stream:
+        d0 = algo.ledger.depth
+        if batch.kind == "insert":
+            algo.insert_edges(list(batch.edges))
+        else:
+            algo.delete_edges(list(batch.eids))
+        per_batch_depth.append(algo.ledger.depth - d0)
+        total_updates += batch.size
+    return {
+        "work": algo.ledger.work - w0,
+        "updates": total_updates,
+        "work_per_update": (algo.ledger.work - w0) / max(total_updates, 1),
+        "max_depth": max(per_batch_depth, default=0.0),
+        "mean_depth": sum(per_batch_depth) / max(len(per_batch_depth), 1),
+    }

@@ -1,0 +1,46 @@
+"""Benchmark-harness fixtures.
+
+``report`` prints an experiment table to the terminal (bypassing pytest's
+fd-level capture) and appends it to ``benchmarks/results.txt`` so that the
+rows survive in ``bench_output.txt`` / the repo for EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.analysis.reporting import format_table  # noqa: E402
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def _render(title, headers, rows, notes=""):
+    parts = [f"\n=== {title} ===", format_table(headers, rows)]
+    if notes:
+        parts.append(notes)
+    return "\n".join(parts)
+
+
+@pytest.fixture
+def report(capfd):
+    """Callable: report(title, headers, rows, notes="") — show + persist."""
+
+    def _report(title, headers, rows, notes=""):
+        text = _render(title, headers, rows, notes)
+        with capfd.disabled():
+            print(text, flush=True)
+        with open(RESULTS_PATH, "a") as f:
+            f.write(text + "\n")
+
+    return _report
+
+
+def pytest_sessionstart(session):
+    # Fresh results file per run.
+    try:
+        os.remove(RESULTS_PATH)
+    except FileNotFoundError:
+        pass

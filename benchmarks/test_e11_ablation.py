@@ -1,0 +1,64 @@
+"""E11 — ablations of the two design constants the paper singles out.
+
+§5.2 argues two choices matter:
+
+* **level gap alpha = 2** (not Θ(r) as in Assadi–Solomon): with thin
+  levels the charging loses only a factor 2; a wide gap would force the
+  heavy threshold (and the amortized cost) up by a factor of r.
+* **heavy threshold 4·r²·2^l**: heavy_factor = 0 removes laziness
+  entirely (the GT-style regime, strictly more work); very large factors
+  make everything "light" and push work into the direct-rematch path.
+
+We sweep both knobs on a fixed matched-churn workload.  Correctness is
+invariant (the test suite covers that); here we record the work profile.
+"""
+
+import numpy as np
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.workloads.adversary import VertexTargetingAdversary
+from repro.workloads.generators import erdos_renyi_edges, star_edges
+from repro.workloads.streams import insert_then_delete_stream
+
+from _common import run_updates
+
+
+def _workload():
+    edges = erdos_renyi_edges(40, 700, np.random.default_rng(0))
+    edges += star_edges(300, start_eid=10_000)
+    return insert_then_delete_stream(
+        edges, 60, VertexTargetingAdversary(np.random.default_rng(1))
+    )
+
+
+def _run(alpha: int, heavy_factor: float) -> float:
+    stream = _workload()
+    dm = DynamicMatching(rank=2, seed=9, alpha=alpha, heavy_factor=heavy_factor)
+    return run_updates(dm, stream)["work_per_update"]
+
+
+def test_e11_alpha_and_heavy_threshold(benchmark, report):
+    alphas = [2, 4, 8]
+    factors = [0.0, 1.0, 4.0, 16.0]
+
+    def experiment():
+        grid = {}
+        for a in alphas:
+            for f in factors:
+                grid[(a, f)] = _run(a, f)
+        return grid
+
+    grid = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [f"alpha={a}"] + [round(grid[(a, f)], 1) for f in factors] for a in alphas
+    ]
+    report(
+        "E11: ablation — work/update vs level gap alpha and heavy factor",
+        ["", *(f"hf={f:g}" for f in factors)],
+        rows,
+        notes="[paper: defaults alpha=2, hf=4; hf=0 disables laziness (GT regime) "
+        "and must cost more]",
+    )
+    default = grid[(2, 4.0)]
+    non_lazy = grid[(2, 0.0)]
+    assert non_lazy > default, (non_lazy, default)

@@ -1,0 +1,62 @@
+"""E12 — matching quality: maximal implies 2-approximate maximum.
+
+A maximal matching is at least half the maximum matching.  We snapshot
+the dynamic matching throughout churn streams and compare against the
+exact maximum matching (networkx, r = 2 graphs); the ratio must never
+drop below 0.5 and typically sits well above it.
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.workloads.generators import erdos_renyi_edges
+
+SNAPSHOTS = 8
+
+
+def _quality_run(n, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = erdos_renyi_edges(n, m, rng)
+    dm = DynamicMatching(rank=2, seed=seed + 1)
+    dm.insert_edges(edges)
+    live = {e.eid: e for e in edges}
+    ratios = []
+    order = [e.eid for e in edges]
+    rng.shuffle(order)
+    chunk = max(1, len(order) // SNAPSHOTS)
+    for i in range(0, len(order), chunk):
+        batch = order[i : i + chunk]
+        dm.delete_edges(batch)
+        for eid in batch:
+            del live[eid]
+        if not live:
+            break
+        g = nx.Graph()
+        g.add_edges_from(e.vertices for e in live.values())
+        maximum = len(nx.max_weight_matching(g, maxcardinality=True))
+        if maximum == 0:
+            continue
+        ratios.append(len(dm.matched_ids()) / maximum)
+    return ratios
+
+
+def test_e12_matching_quality(benchmark, report):
+    def experiment():
+        rows = []
+        worst = 1.0
+        for n, m, seed in ((30, 120, 1), (60, 400, 2), (100, 900, 3)):
+            ratios = _quality_run(n, m, seed)
+            lo, mean = min(ratios), sum(ratios) / len(ratios)
+            worst = min(worst, lo)
+            rows.append([f"G({n},{m})", len(ratios), round(mean, 3), round(lo, 3)])
+        return rows, worst
+
+    rows, worst = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report(
+        "E12: maximal vs maximum matching size across churn snapshots",
+        ["instance", "snapshots", "mean ratio", "min ratio"],
+        rows,
+        notes="[theory: maximal >= 1/2 maximum, always]",
+    )
+    assert worst >= 0.5, rows

@@ -1,0 +1,68 @@
+"""E14 — operational check of the cost model: greedy scheduling vs Brent.
+
+The experiments read work/depth off the ledger and convert to p-core time
+via Brent's bound.  Here we validate that conversion operationally: build
+explicit fork-join task DAGs shaped like the matcher's rounds (a sequence
+of parallel_for fork trees of varying widths), simulate a greedy scheduler
+event by event, and check the makespan lands inside the guaranteed
+envelope [max(W/p, D), W/p + D] at every processor count — i.e. Brent's
+formula is neither optimistic nor loose by more than the known factor.
+"""
+
+import numpy as np
+
+from repro.parallel.simulator import GreedyScheduler, TaskGraph, spawn_tree
+
+PROCESSORS = [1, 2, 4, 8, 16, 64, 256]
+
+
+def _round_shaped_dag(widths, rng) -> TaskGraph:
+    """Sequential rounds, each a fork tree over `width` unit tasks —
+    the dependence shape of the round-synchronous matcher."""
+    g = TaskGraph()
+    barrier = None
+    for width in widths:
+        root = g.task(work=0.01, deps=[barrier] if barrier is not None else [])
+        leaves = []
+        # balanced fork tree below root
+        def build(count, parent):
+            if count == 1:
+                leaves.append(
+                    g.task(work=float(rng.uniform(0.5, 2.0)), deps=[parent])
+                )
+                return
+            node = g.task(work=0.01, deps=[parent])
+            build(count // 2, node)
+            build(count - count // 2, node)
+
+        build(width, root)
+        barrier = g.task(work=0.01, deps=leaves)
+    return g
+
+
+def test_e14_scheduler_within_brent_envelope(benchmark, report):
+    def experiment():
+        rng = np.random.default_rng(3)
+        # geometric round widths, like a settle cascade: 512, 256, ..., 2
+        widths = [2**k for k in range(9, 0, -1)]
+        g = _round_shaped_dag(widths, rng)
+        W, D = g.total_work, g.critical_path
+        rows = []
+        for p in PROCESSORS:
+            res = GreedyScheduler(p).run(g)
+            lower = max(W / p, D)
+            upper = W / p + D
+            rows.append(
+                [p, round(res.makespan, 1), round(lower, 1), round(upper, 1),
+                 f"{res.utilization * 100:.0f}%"]
+            )
+            assert lower - 1e-9 <= res.makespan <= upper + 1e-9, rows[-1]
+        return rows, W, D
+
+    rows, W, D = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report(
+        "E14: greedy scheduler vs Brent bound on round-shaped DAGs",
+        ["p", "simulated T_p", "max(W/p, D)", "W/p + D", "utilization"],
+        rows,
+        notes=f"W={W:.0f}, D={D:.1f}  [theory: T_p within the envelope at every p]",
+    )

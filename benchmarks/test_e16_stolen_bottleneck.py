@@ -1,0 +1,84 @@
+"""E16 — probing the §6 open problem: the stolen-delete bottleneck.
+
+The conclusion explains why O(r^3) resists improvement to O(r^2): one
+matched edge's deletion can cause up to r^2 stolen deletes (each of up to
+r new matches can steal from r-1 other matches), which forces the heavy
+threshold to carry an r^2 factor.  This experiment measures how the
+*actual* stolen-delete pressure scales with rank on settle-heavy
+workloads:
+
+* stolen deletes per deleted heavy match — the paper's bound is r^2; the
+  measured exponent quantifies the gap between worst case and typical;
+* the fraction of induced deaths among all epoch deaths.
+
+A measured exponent well under 2 is evidence (not proof) that typical
+instances do not exercise the bottleneck — exactly the situation where
+the open question is interesting.
+"""
+
+import numpy as np
+
+from repro.analysis.fit import power_law_fit
+from repro.core.dynamic_matching import DynamicMatching
+from repro.workloads.adversary import VertexTargetingAdversary
+from repro.workloads.generators import random_hypergraph_edges
+from repro.workloads.streams import insert_then_delete_stream
+
+RANKS = [2, 3, 4, 6, 8]
+M = 2500
+
+
+def _pressure(rank: int, seed: int):
+    n = 5 * rank  # dense enough that settles happen constantly
+    edges = random_hypergraph_edges(n, M, rank, np.random.default_rng(seed))
+    dm = DynamicMatching(rank=rank, seed=seed + 1)
+    stream = insert_then_delete_stream(
+        edges, M // 10, VertexTargetingAdversary(np.random.default_rng(seed + 2))
+    )
+    for b in stream:
+        if b.kind == "insert":
+            dm.insert_edges(list(b.edges))
+        else:
+            dm.delete_edges(list(b.eids))
+    stolen = sum(r.stolen for st in dm.batch_stats for r in st.settle_rounds)
+    heavy = sum(st.heavy_matches for st in dm.batch_stats)
+    counts = dm.tracker.counts()
+    induced = counts["stolen"] + counts["bloated"]
+    total_dead = induced + counts["natural"]
+    return (
+        stolen / max(heavy, 1),
+        induced / max(total_dead, 1),
+        heavy,
+    )
+
+
+def test_e16_stolen_delete_pressure(benchmark, report):
+    def experiment():
+        rows, xs, ys = [], [], []
+        for r in RANKS:
+            per_heavy, induced_frac, heavy = _pressure(r, seed=31 * r)
+            rows.append([r, round(per_heavy, 3), round(induced_frac, 3), heavy])
+            if per_heavy > 0:
+                xs.append(r)
+                ys.append(per_heavy)
+        return rows, xs, ys
+
+    rows, xs, ys = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    notes = "[paper §6: worst case r^2 stolen deletes per heavy deletion]"
+    if len(xs) >= 3:
+        fit = power_law_fit(xs, ys)
+        notes = (
+            f"stolen/heavy power fit: {fit.describe()}  "
+            "[paper §6 worst case: exponent 2]"
+        )
+        assert fit.exponent <= 2.3, fit.describe()
+    report(
+        "E16: stolen-delete pressure vs rank (§6 open-problem probe)",
+        ["rank r", "stolen per heavy deletion", "induced death fraction", "heavy deletions"],
+        rows,
+        notes=notes,
+    )
+    # induced deaths never dominate: the charging argument needs natural
+    # mass to be a constant fraction (Lemma 5.7)
+    for row in rows:
+        assert row[2] < 0.9, row

@@ -1,0 +1,75 @@
+"""E1 — Corollary 1.2: O(1) amortized work per update on graphs (r = 2).
+
+Claim: total ledger work divided by the number of edge updates stays flat
+as the instance grows.  We sweep m over two orders of magnitude on G(n, m)
+insert-then-delete streams (empty-to-empty, the shape Theorem 5.9 is
+stated for) and fit work/update against m: the power-law slope should be
+near 0 (a slope of 1 would mean linear work per update).
+"""
+
+import numpy as np
+
+from repro.analysis.fit import constant_fit
+from repro.core.dynamic_matching import DynamicMatching
+from repro.workloads.adversary import RandomOrderAdversary
+from repro.workloads.generators import erdos_renyi_edges
+from repro.workloads.streams import insert_then_delete_stream
+
+from _common import run_updates
+
+SIZES = [512, 1024, 2048, 4096, 8192, 16384]
+BATCH_FRACTION = 16  # batch size = m / 16
+
+
+def _run_one(m: int, seed: int) -> dict:
+    n = max(8, int(m**0.7))
+    edges = erdos_renyi_edges(n, m, np.random.default_rng(seed))
+    stream = insert_then_delete_stream(
+        edges,
+        max(1, m // BATCH_FRACTION),
+        RandomOrderAdversary(np.random.default_rng(seed + 1)),
+    )
+    dm = DynamicMatching(rank=2, seed=seed + 2)
+    return run_updates(dm, stream)
+
+
+def test_e1_work_per_update_is_flat(benchmark, report):
+    def experiment():
+        rows, xs, ys = [], [], []
+        for m in SIZES:
+            s = _run_one(m, seed=m)
+            rows.append(
+                [m, s["updates"], round(s["work_per_update"], 2), round(s["max_depth"], 1)]
+            )
+            xs.append(m)
+            ys.append(s["work_per_update"])
+        return rows, xs, ys
+
+    rows, xs, ys = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    fit = constant_fit(xs, ys)
+    report(
+        "E1: amortized work per update vs m (r=2, Cor 1.2: O(1))",
+        ["m", "updates", "work/update", "max batch depth"],
+        rows,
+        notes=f"constant fit: {fit.describe()}  [paper: slope 0]",
+    )
+    # O(1) claim: far from linear growth; tolerate mild drift from
+    # logarithmic batch bookkeeping constants.
+    assert fit.growth_slope < 0.25, fit.describe()
+    assert fit.max_over_min < 3.0, fit.describe()
+
+
+def test_e1_wallclock_delete_batch(benchmark):
+    m = 4096
+    edges = erdos_renyi_edges(int(m**0.7), m, np.random.default_rng(0))
+    ids = [e.eid for e in edges]
+
+    def setup():
+        dm = DynamicMatching(rank=2, seed=1)
+        dm.insert_edges(edges)
+        return (dm, ids[: m // 16]), {}
+
+    def op(dm, batch):
+        dm.delete_edges(batch)
+
+    benchmark.pedantic(op, setup=setup, rounds=3)

@@ -1,0 +1,55 @@
+"""E2 — Theorem 1.1: O(r^3) expected amortized work per update in the rank.
+
+We fix the instance size and sweep the rank r of random r-uniform
+hypergraphs under a matched-deletion-heavy stream (vertex-targeting
+adversary on a small vertex universe, so matched edges die often and the
+r^2 stolen-delete machinery engages).  The measured work/update is fitted
+against r: the paper's bound says the exponent must not exceed 3.  (The
+measured exponent is typically below 3 — O(r^3) is the worst case over
+adversaries, not a lower bound.)
+"""
+
+import numpy as np
+
+from repro.analysis.fit import power_law_fit
+from repro.core.dynamic_matching import DynamicMatching
+from repro.workloads.adversary import VertexTargetingAdversary
+from repro.workloads.generators import random_hypergraph_edges
+from repro.workloads.streams import insert_then_delete_stream
+
+from _common import run_updates
+
+RANKS = [2, 3, 4, 5, 6, 8]
+M = 3000
+
+
+def _run_one(rank: int, seed: int) -> dict:
+    n = 6 * rank  # keep density (and match-deletion pressure) comparable
+    edges = random_hypergraph_edges(n, M, rank, np.random.default_rng(seed))
+    stream = insert_then_delete_stream(
+        edges, M // 12, VertexTargetingAdversary(np.random.default_rng(seed + 1))
+    )
+    dm = DynamicMatching(rank=rank, seed=seed + 2)
+    return run_updates(dm, stream)
+
+
+def test_e2_rank_exponent_at_most_cubic(benchmark, report):
+    def experiment():
+        rows, xs, ys = [], [], []
+        for r in RANKS:
+            s = _run_one(r, seed=10 * r)
+            rows.append([r, round(s["work_per_update"], 2), round(s["max_depth"], 1)])
+            xs.append(r)
+            ys.append(s["work_per_update"])
+        return rows, xs, ys
+
+    rows, xs, ys = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    fit = power_law_fit(xs, ys)
+    report(
+        "E2: work per update vs rank r (Thm 1.1: O(r^3))",
+        ["rank r", "work/update", "max batch depth"],
+        rows,
+        notes=f"power-law fit: {fit.describe()}  [paper: exponent <= 3]",
+    )
+    assert fit.exponent <= 3.3, fit.describe()
+    assert fit.exponent >= 0.5, "work should grow with rank at all"

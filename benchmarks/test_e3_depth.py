@@ -1,0 +1,56 @@
+"""E3 — Lemma 5.10: O(log^3 m) depth per batch update.
+
+We sweep m and record the maximum per-batch depth over insert-then-delete
+streams.  The free polylog fit of max depth against m should find an
+exponent at most ~3, and the ratio depth / log2(m)^3 should stay bounded.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.fit import best_polylog_exponent
+from repro.core.dynamic_matching import DynamicMatching
+from repro.workloads.adversary import RandomOrderAdversary
+from repro.workloads.generators import erdos_renyi_edges
+from repro.workloads.streams import insert_then_delete_stream
+
+from _common import run_updates
+
+SIZES = [256, 1024, 4096, 16384]
+TRIALS = 3  # max-depth is a whp quantity: average the per-stream maxima
+
+
+def _run_one(m: int, seed: int) -> dict:
+    edges = erdos_renyi_edges(max(8, int(m**0.7)), m, np.random.default_rng(seed))
+    stream = insert_then_delete_stream(
+        edges, max(1, m // 8), RandomOrderAdversary(np.random.default_rng(seed + 1))
+    )
+    dm = DynamicMatching(rank=2, seed=seed + 2)
+    return run_updates(dm, stream)
+
+
+def test_e3_depth_polylog(benchmark, report):
+    def experiment():
+        rows, xs, ys = [], [], []
+        for m in SIZES:
+            depth = sum(
+                _run_one(m, seed=m + 7 + 1000 * t)["max_depth"] for t in range(TRIALS)
+            ) / TRIALS
+            ratio = depth / math.log2(m) ** 3
+            rows.append([m, round(depth, 1), round(ratio, 3)])
+            xs.append(m)
+            ys.append(depth)
+        return rows, xs, ys
+
+    rows, xs, ys = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    fit = best_polylog_exponent(xs, ys)
+    report(
+        "E3: max depth per batch vs m (Lem 5.10: O(log^3 m))",
+        ["m", "max batch depth", "depth / log2(m)^3"],
+        rows,
+        notes=f"polylog fit: {fit.describe()}  [paper: exponent <= 3]",
+    )
+    assert fit.exponent <= 3.5, fit.describe()
+    # bounded constant in front of log^3
+    assert all(r[2] <= 2.0 for r in rows), rows

@@ -1,0 +1,65 @@
+"""E4 — Theorem 3.3 / Lemma 1.4: static hypergraph matching is
+work-efficient: O(m') expected work and O(log^2 m) depth whp.
+
+Sweep m for rank-2 and rank-4 random hypergraphs; verify (a) ledger work
+divided by total cardinality m' stays bounded, and (b) depth fits a
+polylog with exponent at most ~2.
+"""
+
+import numpy as np
+
+from repro.analysis.fit import best_polylog_exponent, constant_fit
+from repro.parallel.ledger import Ledger
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.workloads.generators import random_hypergraph_edges
+
+SIZES = [512, 2048, 8192, 32768]
+
+
+def _run_one(m: int, rank: int, seed: int):
+    n = max(8, int(m**0.7))
+    edges = random_hypergraph_edges(n, m, rank, np.random.default_rng(seed))
+    led = Ledger()
+    result = parallel_greedy_match(edges, led, rng=np.random.default_rng(seed + 1))
+    m_prime = sum(e.cardinality for e in edges)
+    return led.work / m_prime, led.depth, result.rounds
+
+
+def test_e4_static_matching_work_and_depth(benchmark, report):
+    def experiment():
+        rows = {}
+        for rank in (2, 4):
+            series = []
+            for m in SIZES:
+                wpm, depth, rounds = _run_one(m, rank, seed=m + rank)
+                series.append((m, wpm, depth, rounds))
+            rows[rank] = series
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = []
+    for rank, series in rows.items():
+        for m, wpm, depth, rounds in series:
+            table.append([rank, m, round(wpm, 2), round(depth, 1), rounds])
+    work_fit = constant_fit(SIZES, [w for _, w, _, _ in rows[2]])
+    depth_fit = best_polylog_exponent(SIZES, [d for _, _, d, _ in rows[2]])
+    report(
+        "E4: static greedy matching — work/m' and depth vs m (Thm 3.3)",
+        ["rank", "m", "work / m'", "depth", "rounds"],
+        table,
+        notes=(
+            f"work/m' constant fit (r=2): {work_fit.describe()}  [paper: O(1)]\n"
+            f"depth polylog fit (r=2): {depth_fit.describe()}  [paper: exponent <= 2]"
+        ),
+    )
+    assert work_fit.growth_slope < 0.15, work_fit.describe()
+    assert depth_fit.exponent <= 2.5, depth_fit.describe()
+
+
+def test_e4_wallclock_static_match(benchmark):
+    edges = random_hypergraph_edges(800, 8192, 2, np.random.default_rng(0))
+
+    def op():
+        parallel_greedy_match(edges, Ledger(), rng=np.random.default_rng(1))
+
+    benchmark.pedantic(op, rounds=3)

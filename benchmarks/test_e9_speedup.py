@@ -1,0 +1,62 @@
+"""E9 — batch parallelism: simulated speedup via Brent's bound.
+
+The point of the *batch*-dynamic setting is that one big batch exposes
+parallelism a sequence of single updates cannot.  We measure (work, depth)
+for one large insert + delete cycle, derive T_p = W/p + D for a range of
+processor counts, and report the speedup curve and average parallelism
+W/D.  Larger batches should expose more parallelism.
+"""
+
+import numpy as np
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.parallel.ledger import Cost
+from repro.parallel.machine import parallelism, speedup
+from repro.workloads.adversary import RandomOrderAdversary
+from repro.workloads.generators import erdos_renyi_edges
+from repro.workloads.streams import insert_then_delete_stream
+
+from _common import run_updates
+
+PROCESSORS = [1, 4, 16, 64, 256, 1024]
+M = 16384
+
+
+def _batch_cost(batch_size: int, seed: int) -> Cost:
+    edges = erdos_renyi_edges(int(M**0.7), M, np.random.default_rng(seed))
+    stream = insert_then_delete_stream(
+        edges, batch_size, RandomOrderAdversary(np.random.default_rng(seed + 1))
+    )
+    dm = DynamicMatching(rank=2, seed=seed + 2)
+    s = run_updates(dm, stream)
+    # aggregate cost: total work, sum of per-batch depths (batches are
+    # sequentially dependent)
+    return Cost(s["work"], s["mean_depth"] * (2 * M / batch_size))
+
+
+def test_e9_speedup_grows_with_batch_size(benchmark, report):
+    def experiment():
+        rows = []
+        paras = []
+        for batch in (64, 512, 4096):
+            cost = _batch_cost(batch, seed=batch)
+            para = parallelism(cost)
+            paras.append(para)
+            rows.append(
+                [batch, int(cost.work), int(cost.depth), round(para, 1)]
+                + [round(speedup(cost, p), 1) for p in PROCESSORS[1:]]
+            )
+        return rows, paras
+
+    rows, paras = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report(
+        "E9: simulated speedup (Brent T_p = W/p + D) vs batch size",
+        ["batch", "work W", "total depth D", "parallelism W/D"]
+        + [f"S(p={p})" for p in PROCESSORS[1:]],
+        rows,
+        notes="[paper: batching is what buys parallel speedup — "
+        "parallelism grows with batch size]",
+    )
+    assert paras[0] < paras[1] < paras[2], paras
+    # big batches must expose substantial parallelism
+    assert paras[-1] > 20, paras

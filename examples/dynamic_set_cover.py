@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Batch-dynamic set cover: monitoring coverage under churn (Cor 1.3).
+
+Scenario: a fleet of monitoring probes (sets) each watches some services;
+services (elements) come and go.  At all times we need a small set of
+*active* probes covering every live service.  Activating probes is
+expensive, so the active set should be within a provable factor of
+optimal — and updates must be cheap.
+
+The reduction: probes are hypergraph vertices, each service is a
+hyperedge over the <= r probes that can watch it.  A maximal matching's
+touched probes form an r-approximate cover, maintained batch-dynamically
+at O(r^3) amortized work per service update.
+
+Run:  python examples/dynamic_set_cover.py
+"""
+
+import numpy as np
+
+from repro.applications.set_cover import DynamicSetCover
+from repro.workloads.generators import set_cover_instance
+
+
+def main() -> None:
+    num_probes = 30
+    freq = 3  # every service watchable by exactly 3 probes
+    rng = np.random.default_rng(11)
+
+    cover_sys = DynamicSetCover(max_frequency=freq, seed=5)
+
+    # initial fleet of services
+    services = set_cover_instance(num_probes, 400, freq, rng)
+    cover_sys.add_elements({e.eid: list(e.vertices) for e in services})
+    live = [e.eid for e in services]
+    next_id = 400
+
+    print(f"{num_probes} probes, {cover_sys.num_elements} services "
+          f"(each watchable by {freq} probes)")
+    print(f"active probes: {cover_sys.cover_size()} "
+          f"(certified >= OPT via {cover_sys.approximation_bound()} disjoint "
+          f"services; ratio <= {freq})\n")
+
+    print(f"{'step':>4} {'live':>5} {'active':>7} {'LB':>4} {'work/upd':>9}")
+    for step in range(10):
+        # 40 services deploy, 40 retire
+        fresh = set_cover_instance(num_probes, 40, freq, rng, start_eid=next_id)
+        next_id += 40
+        cover_sys.add_elements({e.eid: list(e.vertices) for e in fresh})
+        live += [e.eid for e in fresh]
+
+        retire_idx = rng.choice(len(live), size=40, replace=False)
+        retire = [live[i] for i in retire_idx]
+        live = [x for x in live if x not in set(retire)]
+        cover_sys.remove_elements(retire)
+
+        # coverage is guaranteed by maximality; verify anyway
+        cover_sys.check_invariants()
+        wpu = cover_sys.ledger.work / cover_sys.matching.num_updates
+        print(f"{step:>4} {cover_sys.num_elements:>5} "
+              f"{cover_sys.cover_size():>7} "
+              f"{cover_sys.approximation_bound():>4} {wpu:>9.1f}")
+
+    print("\nevery live service stayed covered through every batch; the")
+    print(f"active-probe count tracked the certified lower bound within {freq}x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Hypergraph matching as conflict-free task scheduling (rank r > 2).
+
+Scenario: tasks each need an exclusive set of up to r resources (GPUs,
+licenses, data shards).  Two tasks conflict iff they share a resource.  A
+*maximal matching* on the task hypergraph is a conflict-free schedule
+that cannot be extended — no waiting task is schedulable.  Tasks arrive
+and finish in batches; the schedule must follow at O(r^3) amortized work
+per task update.
+
+We run a task churn stream at several ranks and report work per update
+and schedule occupancy, exercising the hypergraph (r > 2) side of
+Theorem 1.1 that ordinary matching libraries don't cover.
+
+Run:  python examples/hypergraph_scheduling.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core import DynamicMatching
+from repro.workloads.generators import random_hypergraph_edges
+
+
+def run_rank(rank: int, rng: np.random.Generator) -> list:
+    num_resources = 12 * rank
+    dm = DynamicMatching(rank=rank, seed=int(rng.integers(2**31)))
+
+    tasks = random_hypergraph_edges(num_resources, 600, rank, rng, uniform=False)
+    dm.insert_edges(tasks)
+    live = [t.eid for t in tasks]
+    next_id = 600
+
+    scheduled_sizes = []
+    for _ in range(8):
+        # 60 new tasks submitted, 60 finish (uniformly at random)
+        fresh = random_hypergraph_edges(
+            num_resources, 60, rank, rng, start_eid=next_id, uniform=False
+        )
+        next_id += 60
+        dm.insert_edges(fresh)
+        live += [t.eid for t in fresh]
+
+        done_idx = rng.choice(len(live), size=60, replace=False)
+        done = [live[i] for i in done_idx]
+        live = [x for x in live if x not in set(done)]
+        dm.delete_edges(done)
+
+        dm.check_invariants()  # schedule is a maximal matching, always
+        scheduled_sizes.append(len(dm.matched_ids()))
+
+    wpu = dm.ledger.work / dm.num_updates
+    return [
+        rank,
+        num_resources,
+        len(live),
+        round(sum(scheduled_sizes) / len(scheduled_sizes), 1),
+        round(wpu, 1),
+    ]
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    rows = [run_rank(r, rng) for r in (2, 3, 4, 6)]
+    print("conflict-free task scheduling via dynamic hypergraph matching\n")
+    print(format_table(
+        ["rank r", "resources", "live tasks", "avg scheduled", "work/update"],
+        rows,
+    ))
+    print("\nwork/update grows polynomially in r (Theorem 1.1 bound: r^3)")
+    print("and every batch left the schedule maximal: no waiting task was")
+    print("schedulable without preempting a running one.")
+
+
+if __name__ == "__main__":
+    main()

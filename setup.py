@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip/setuptools cannot do PEP 660
+editable installs (e.g. offline boxes without the `wheel` package).
+Normal installs should just use `pip install -e .`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — Parallel Batch-Dynamic Maximal Matching with Constant Work per Update.
+
+A full reproduction of Blelloch & Brady (SPAA 2025): the work-optimal
+parallel batch-dynamic maximal matching algorithm, its work-efficient
+static hypergraph matching subroutine, the leveled matching structure,
+baselines, the dynamic set-cover application, and a simulated fork-join
+machine that accounts work and depth exactly as the paper's model does.
+
+Quickstart
+----------
+>>> from repro import DynamicMatching, Edge
+>>> dm = DynamicMatching(rank=2, seed=0)
+>>> _ = dm.insert_edges([Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (3, 4))])
+>>> len(dm.matching()) >= 1
+True
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-claim-vs-measured record.
+"""
+
+from repro.hypergraph.edge import Edge, EdgeId, Vertex
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.ledger import Cost, Ledger
+from repro.parallel.machine import Machine
+from repro.core.dynamic_matching import DynamicMatching
+from repro.core.level_structure import EdgeType, LeveledStructure
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.static_matching.sequential_greedy import sequential_greedy_match
+from repro.applications.set_cover import DynamicSetCover
+from repro.applications.vertex_cover import DynamicVertexCover
+from repro.core.certify import MatchingCertificate, certify
+from repro.core.snapshot import load_state, save_state
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Edge",
+    "EdgeId",
+    "Vertex",
+    "Hypergraph",
+    "Cost",
+    "Ledger",
+    "Machine",
+    "DynamicMatching",
+    "EdgeType",
+    "LeveledStructure",
+    "parallel_greedy_match",
+    "sequential_greedy_match",
+    "DynamicSetCover",
+    "DynamicVertexCover",
+    "MatchingCertificate",
+    "certify",
+    "save_state",
+    "load_state",
+    "__version__",
+]

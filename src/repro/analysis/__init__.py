@@ -1,0 +1,19 @@
+"""Measurement analysis: scaling-law fits and experiment reporting.
+
+The paper's claims are asymptotic (O(1) work/update, O(r^3) in the rank,
+O(log^3 m) depth).  These helpers turn measured series into verdicts:
+
+* :mod:`repro.analysis.fit` — power-law and polylog regression;
+* :mod:`repro.analysis.reporting` — plain-text experiment tables shared by
+  the benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.analysis.fit import (
+    FitResult,
+    constant_fit,
+    polylog_fit,
+    power_law_fit,
+)
+from repro.analysis.reporting import format_table
+
+__all__ = ["FitResult", "power_law_fit", "polylog_fit", "constant_fit", "format_table"]

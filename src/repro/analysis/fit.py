@@ -1,0 +1,126 @@
+"""Scaling-law regression for experiment verdicts.
+
+Three fits cover every claim in the paper:
+
+* :func:`power_law_fit` — ``y = c * x^k`` (log-log least squares); used for
+  the O(r^3) rank scaling and the O(m') static-matching work bound;
+* :func:`polylog_fit` — ``y = c * log2(x)^k`` with the best integer ``k``;
+  used for depth (O(log^3 m)) and round (O(log m)) claims;
+* :func:`constant_fit` — mean plus spread diagnostics; used for the O(1)
+  work-per-update claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sstats
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted scaling law ``y ~ coeff * basis(x)^exponent``."""
+
+    exponent: float
+    coeff: float
+    r2: float
+    basis: str  # "x" or "log2(x)"
+
+    def describe(self) -> str:
+        return f"y ≈ {self.coeff:.3g} * {self.basis}^{self.exponent:.2f}  (R²={self.r2:.3f})"
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("xs and ys must be equal-length 1-D sequences")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("fits operate in log space: values must be positive")
+    return xs, ys
+
+
+def power_law_fit(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Least-squares fit of ``y = c * x^k`` in log-log space."""
+    xs, ys = _validate(xs, ys)
+    res = sstats.linregress(np.log(xs), np.log(ys))
+    return FitResult(
+        exponent=float(res.slope),
+        coeff=float(np.exp(res.intercept)),
+        r2=float(res.rvalue**2),
+        basis="x",
+    )
+
+
+def polylog_fit(
+    xs: Sequence[float], ys: Sequence[float], max_k: int = 5
+) -> Dict[int, FitResult]:
+    """Fit ``y = c * log2(x)^k`` for each integer ``k`` in ``0..max_k``.
+
+    Returns per-k fits (with exponent fixed to k, coeff by least squares
+    in log space); compare R² across k, or simply read off the free-slope
+    fit from :func:`power_law_fit` on ``(log2(x), y)``.
+    """
+    xs, ys = _validate(xs, ys)
+    lx = np.log2(xs)
+    if np.any(lx <= 0):
+        raise ValueError("xs must exceed 1 for polylog fits")
+    out: Dict[int, FitResult] = {}
+    for k in range(max_k + 1):
+        basis = lx**k
+        coeff = float(np.exp(np.mean(np.log(ys) - np.log(basis)))) if k > 0 else float(
+            np.exp(np.mean(np.log(ys)))
+        )
+        pred = coeff * basis
+        ss_res = float(np.sum((np.log(ys) - np.log(pred)) ** 2))
+        ss_tot = float(np.sum((np.log(ys) - np.mean(np.log(ys))) ** 2))
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else (1.0 if ss_res == 0 else 0.0)
+        out[k] = FitResult(exponent=float(k), coeff=coeff, r2=r2, basis="log2(x)")
+    return out
+
+
+def best_polylog_exponent(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Free-exponent fit ``y = c * log2(x)^k`` — the measured polylog power."""
+    xs, ys = _validate(xs, ys)
+    lx = np.log2(xs)
+    if np.any(lx <= 0):
+        raise ValueError("xs must exceed 1 for polylog fits")
+    res = sstats.linregress(np.log(lx), np.log(ys))
+    return FitResult(
+        exponent=float(res.slope),
+        coeff=float(np.exp(res.intercept)),
+        r2=float(res.rvalue**2),
+        basis="log2(x)",
+    )
+
+
+@dataclass(frozen=True)
+class ConstantFit:
+    """Diagnostics for a "this should be flat" series."""
+
+    mean: float
+    cv: float  # coefficient of variation
+    max_over_min: float
+    growth_slope: float  # power-law exponent vs x — should be ~0
+
+    def describe(self) -> str:
+        return (
+            f"mean={self.mean:.3g}, cv={self.cv:.3f}, "
+            f"max/min={self.max_over_min:.2f}, slope={self.growth_slope:+.3f}"
+        )
+
+
+def constant_fit(xs: Sequence[float], ys: Sequence[float]) -> ConstantFit:
+    """Summarize how flat ``ys`` is across ``xs`` (O(1) claims)."""
+    xs, ys = _validate(xs, ys)
+    slope = power_law_fit(xs, ys).exponent
+    return ConstantFit(
+        mean=float(np.mean(ys)),
+        cv=float(np.std(ys) / np.mean(ys)),
+        max_over_min=float(np.max(ys) / np.min(ys)),
+        growth_slope=slope,
+    )

@@ -1,0 +1,76 @@
+"""Work profiles: attribute ledger work to algorithm phases.
+
+Every charge in the library carries a tag (``greedy``, ``add_match``,
+``dict_batch``, ...).  :func:`work_profile` rolls the per-tag counters up
+into the coarse phases of Fig. 2, giving the breakdown the §5 analysis
+reasons about (light vs heavy vs final work, data-structure overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.parallel.ledger import Ledger
+
+# tag -> coarse phase
+_PHASES: Dict[str, str] = {
+    # static matcher
+    "par_sort": "greedy match",
+    "par_init": "greedy match",
+    "par_assign": "greedy match",
+    "par_delete": "greedy match",
+    "update_top": "greedy match",
+    "find_next": "greedy match",
+    "counting_sort": "greedy match",
+    "radix_sort": "greedy match",
+    "group_by": "greedy match",
+    "semisort": "greedy match",
+    "sum_by": "greedy match",
+    "remove_duplicates": "greedy match",
+    "random_permutation": "greedy match",
+    "seq_sort": "greedy match",
+    "seq_index": "greedy match",
+    "seq_match": "greedy match",
+    # structure edits
+    "add_match": "structure edits",
+    "remove_match": "structure edits",
+    "add_cross_edge": "structure edits",
+    "remove_cross_edge": "structure edits",
+    "register": "structure edits",
+    "level_scan": "adjust cross edges",
+    "adjust_dedupe": "adjust cross edges",
+    # batch bookkeeping
+    "free_check": "batch bookkeeping",
+    "insert_filter": "batch bookkeeping",
+    "is_heavy": "batch bookkeeping",
+    "settle_stolen": "batch bookkeeping",
+    # hash-table substrate
+    "dict_batch": "hash tables",
+    "dict_rehash": "hash tables",
+    "dict_elements": "hash tables",
+}
+
+
+def work_profile(ledger: Ledger) -> List[Tuple[str, float, float]]:
+    """Roll up ``ledger.by_tag`` into phases.
+
+    Returns ``[(phase, work, fraction)]`` sorted by work, descending.
+    Unrecognized tags are grouped under "other".
+    """
+    phases: Dict[str, float] = {}
+    for tag, work in ledger.by_tag.items():
+        phase = _PHASES.get(tag, "other")
+        phases[phase] = phases.get(phase, 0.0) + work
+    total = sum(phases.values())
+    rows = [
+        (phase, work, work / total if total else 0.0)
+        for phase, work in phases.items()
+    ]
+    rows.sort(key=lambda r: -r[1])
+    return rows
+
+
+def untagged_work(ledger: Ledger) -> float:
+    """Work charged without a tag (should stay near zero — a canary for
+    accounting gaps)."""
+    return ledger.work - sum(ledger.by_tag.values())

@@ -1,0 +1,134 @@
+"""Run traces: per-batch time series with terminal-friendly rendering.
+
+A :class:`RunTrace` records, for every batch an algorithm processes, the
+metrics an operator would watch — work, depth, matching size, live edges,
+settle rounds — and renders them as aligned tables or ASCII sparklines
+(`examples/social_network_stream.py`-style scripts use it; so can any
+service embedding the structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Values are min-max normalized; a constant series renders flat at the
+    lowest glyph.  ``width`` downsamples by bucket-averaging.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(int((i + 1) * bucket) - int(i * bucket), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+@dataclass
+class TracePoint:
+    """One batch's worth of metrics."""
+
+    batch_index: int
+    kind: str
+    size: int
+    work: float
+    depth: float
+    matching_size: int
+    live_edges: int
+    settle_rounds: int = 0
+
+
+@dataclass
+class RunTrace:
+    """Accumulates :class:`TracePoint` rows and renders summaries."""
+
+    points: List[TracePoint] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_batch(self, algo, stats=None) -> TracePoint:
+        """Append a point from an algorithm's state after a batch.
+
+        ``stats`` is the BatchStats the batch returned (optional for
+        baselines that don't produce one).
+        """
+        pt = TracePoint(
+            batch_index=len(self.points),
+            kind=getattr(stats, "kind", "?") if stats is not None else "?",
+            size=getattr(stats, "batch_size", 0) if stats is not None else 0,
+            work=getattr(stats, "work", 0.0) if stats is not None else 0.0,
+            depth=getattr(stats, "depth", 0.0) if stats is not None else 0.0,
+            matching_size=len(algo.matched_ids()),
+            live_edges=len(algo),
+            settle_rounds=getattr(stats, "num_rounds", 0) if stats is not None else 0,
+        )
+        self.points.append(pt)
+        return pt
+
+    def series(self, metric: str) -> List[float]:
+        """Extract one metric's time series."""
+        if not self.points:
+            return []
+        if not hasattr(self.points[0], metric):
+            raise KeyError(f"unknown metric {metric!r}")
+        return [float(getattr(p, metric)) for p in self.points]
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def dashboard(self, width: int = 60) -> str:
+        """Multi-line sparkline dashboard over the whole run."""
+        if not self.points:
+            return "(empty trace)"
+        lines = []
+        for metric, label in (
+            ("work", "work/batch"),
+            ("depth", "depth/batch"),
+            ("matching_size", "matching"),
+            ("live_edges", "live edges"),
+        ):
+            s = self.series(metric)
+            lines.append(
+                f"{label:>12}  {sparkline(s, width)}  "
+                f"min {min(s):g}  max {max(s):g}"
+            )
+        return "\n".join(lines)
+
+    def totals(self) -> Dict[str, float]:
+        return {
+            "batches": len(self.points),
+            "updates": sum(p.size for p in self.points),
+            "work": sum(p.work for p in self.points),
+            "max_depth": max((p.depth for p in self.points), default=0.0),
+            "settle_rounds": sum(p.settle_rounds for p in self.points),
+        }
+
+
+def trace_stream(algo, stream) -> RunTrace:
+    """Apply a stream (as in run_stream) while recording a RunTrace."""
+    trace = RunTrace()
+    for batch in stream:
+        if batch.kind == "insert":
+            stats = algo.insert_edges(list(batch.edges))
+        else:
+            stats = algo.delete_edges(list(batch.eids))
+        trace.record_batch(algo, stats)
+    return trace

@@ -1,0 +1,5 @@
+"""Applications built on the batch-dynamic matching core."""
+
+from repro.applications.set_cover import DynamicSetCover
+
+__all__ = ["DynamicSetCover"]

@@ -1,0 +1,37 @@
+"""Baseline matching algorithms bracketing the design space (experiment E8).
+
+* :class:`StaticRecompute` — rerun the static parallel greedy matcher from
+  scratch on every batch: optimal depth, O(m') work per *batch*.
+* :class:`NaiveDynamic` — the deterministic folklore algorithm: rematch by
+  scanning neighbourhoods; O(Δ) per matched deletion and no randomness, so
+  an adversary clearing high-degree vertices forces the worst case.
+* :class:`SolomonStyle` — a sequential random-mate baseline capturing the
+  randomized-amortization idea (BGS/Solomon lineage) without levels or
+  parallelism.
+* :class:`BGSStyle` — two-level Baswana–Gupta–Sen-style sequential
+  algorithm: random level-1 settles that may take over level-0 matches.
+* :class:`GTStyle` — the paper's algorithm with laziness disabled (every
+  deleted match resettles): structurally what makes Ghaffari–Trygub's
+  non-lazy approach pay more work per update.
+
+All expose the same duck-typed interface as
+:class:`repro.core.DynamicMatching` (``insert_edges`` / ``delete_edges`` /
+``matched_ids`` / ``ledger``) so :func:`repro.workloads.runner.run_stream`
+drives any of them interchangeably.
+"""
+
+from repro.baselines.base import BaselineMatching
+from repro.baselines.bgs import BGSStyle
+from repro.baselines.static_recompute import StaticRecompute
+from repro.baselines.naive_dynamic import NaiveDynamic
+from repro.baselines.solomon_style import SolomonStyle
+from repro.baselines.gt_style import GTStyle
+
+__all__ = [
+    "BaselineMatching",
+    "BGSStyle",
+    "StaticRecompute",
+    "NaiveDynamic",
+    "SolomonStyle",
+    "GTStyle",
+]

@@ -1,0 +1,47 @@
+"""Baseline: the paper's algorithm with laziness disabled (GT-style).
+
+Ghaffari–Trygub's parallel batch-dynamic algorithm builds on BGS rather
+than on Solomon's *lazy* scheme: every deleted match triggers resettling,
+with no light/heavy distinction amortizing small cleanups against sample
+sizes.  The paper argues (§1.1) this non-laziness is exactly why GT cannot
+reach O(1) work per update.
+
+Rather than replicate GT's triply-nested level-by-level sampler (whose
+polylog^9 overheads are an artifact of its concentration arguments, not of
+its data-structure structure), this baseline isolates the *structural*
+difference: it is :class:`~repro.core.dynamic_matching.DynamicMatching`
+with ``heavy_factor = 0``, so ``isHeavy`` is always true and **every**
+deleted match — however few cross edges it owns — goes through full random
+settling instead of the cheap light-path rematch.  Experiment E8/E11
+measures the work-per-update gap this opens against the lazy scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.parallel.ledger import Ledger
+
+
+class GTStyle(DynamicMatching):
+    """Non-lazy variant: every deleted match resettles."""
+
+    def __init__(
+        self,
+        rank: int = 2,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        alpha: int = 2,
+        ledger: Optional[Ledger] = None,
+    ) -> None:
+        super().__init__(
+            rank=rank,
+            seed=seed,
+            rng=rng,
+            alpha=alpha,
+            heavy_factor=0.0,  # isHeavy always true: no lazy light path
+            ledger=ledger,
+        )

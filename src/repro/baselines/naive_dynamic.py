@@ -1,0 +1,43 @@
+"""Baseline: the deterministic folklore dynamic matching algorithm.
+
+* insert: match the edge if all its endpoints are free;
+* delete unmatched: nothing to do;
+* delete matched: scan the neighbourhoods of the freed vertices and
+  greedily match any edge that became free.
+
+Every matched deletion costs the full degree of its endpoints and the
+algorithm is deterministic, so an oblivious adversary that repeatedly
+clears high-degree vertices (e.g. a star) pays Θ(Δ) per update — the
+behaviour the paper's randomized sampling exists to avoid.  Experiment E8
+shows exactly this separation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hypergraph.edge import Edge
+from repro.baselines.base import BaselineMatching
+
+
+class NaiveDynamic(BaselineMatching):
+    """Deterministic greedy rematch on deletion."""
+
+    def _handle_insert(self, edges: List[Edge]) -> None:
+        for e in edges:
+            if self._is_free(e):
+                self._do_match(e)
+
+    def _handle_matched_deletions(self, dead: List[Edge]) -> None:
+        for edge in dead:
+            # The deleted match freed its vertices; any incident edge (of a
+            # freed vertex) may now be matchable.  Deterministic scan in
+            # incidence order.
+            for v in edge.vertices:
+                for eid in sorted(self.graph.incident_edge_ids(v)):
+                    cand = self.graph.edge(eid)
+                    self.ledger.charge(
+                        work=cand.cardinality, depth=cand.cardinality, tag="naive_scan"
+                    )
+                    if self._is_free(cand):
+                        self._do_match(cand)

@@ -1,0 +1,71 @@
+"""Baseline: sequential random-mate dynamic matching (BGS/Solomon lineage).
+
+A deliberately simplified sequential comparator that captures the *one*
+idea the folklore algorithm lacks: when a matched edge dies, choose the
+replacement uniformly at random among the candidate edges, so an oblivious
+adversary cannot aim its next deletions at the new mate.  Unlike the real
+BGS [6] / Solomon [24] algorithms there is no leveling structure, so the
+worst-case guarantee is weaker, but on the streams of experiment E8 the
+random mate already recovers most of the amortized-O(1) behaviour — and it
+isolates how much of the paper's machinery (levels, laziness, batching)
+matters beyond bare random sampling.
+
+Deletion of a matched edge scans the freed vertices' incidence lists once
+(cost Θ(degree)), collects the edges that became free, and repeatedly
+matches a uniformly random one until none remain free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hypergraph.edge import Edge
+from repro.parallel.ledger import Ledger
+from repro.baselines.base import BaselineMatching
+
+
+class SolomonStyle(BaselineMatching):
+    """Sequential random-mate rematch on deletion."""
+
+    def __init__(
+        self,
+        rank: int = 2,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        ledger: Optional[Ledger] = None,
+    ) -> None:
+        super().__init__(rank=rank, ledger=ledger)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def _handle_insert(self, edges: List[Edge]) -> None:
+        # Random processing order so the adversary cannot predict which of
+        # two simultaneously-inserted free edges becomes the match.
+        order = list(edges)
+        self.rng.shuffle(order)
+        for e in order:
+            if self._is_free(e):
+                self._do_match(e)
+
+    def _handle_matched_deletions(self, dead: List[Edge]) -> None:
+        for edge in dead:
+            candidates: List[Edge] = []
+            seen: set = set()
+            for v in edge.vertices:
+                for eid in self.graph.incident_edge_ids(v):
+                    if eid in seen:
+                        continue
+                    seen.add(eid)
+                    cand = self.graph.edge(eid)
+                    self.ledger.charge(
+                        work=cand.cardinality, depth=cand.cardinality, tag="solomon_scan"
+                    )
+                    if self._is_free(cand):
+                        candidates.append(cand)
+            # Match uniformly random free candidates until none remain.
+            while candidates:
+                idx = int(self.rng.integers(0, len(candidates)))
+                pick = candidates.pop(idx)
+                if self._is_free(pick):
+                    self._do_match(pick)

@@ -1,0 +1,161 @@
+"""Command-line interface: generate workloads, replay streams, profile.
+
+Subcommands
+-----------
+``gen``
+    Generate an update-stream file from a synthetic workload.
+``run``
+    Replay a stream file through an algorithm; print per-run summary,
+    work profile, and (optionally) verify maximality every batch.
+``static``
+    Run the static parallel greedy matcher on an edge-list file.
+
+Examples
+--------
+::
+
+    python -m repro gen --kind er --n 100 --m 1000 --batch 100 --seed 1 --out s.txt
+    python -m repro run --stream s.txt --algo paper --check
+    python -m repro static --edges graph.txt --seed 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.profiles import work_profile
+from repro.analysis.reporting import format_table
+from repro.baselines import BGSStyle, GTStyle, NaiveDynamic, SolomonStyle, StaticRecompute
+from repro.core.dynamic_matching import DynamicMatching
+from repro.parallel.ledger import Ledger
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.workloads.adversary import (
+    FifoAdversary,
+    LifoAdversary,
+    RandomOrderAdversary,
+    VertexTargetingAdversary,
+)
+from repro.workloads.generators import (
+    erdos_renyi_edges,
+    random_hypergraph_edges,
+    star_edges,
+)
+from repro.workloads.io import read_edge_list, read_stream, write_stream
+from repro.workloads.runner import run_stream, summarize
+from repro.workloads.streams import insert_then_delete_stream, sliding_window_stream
+
+ALGOS = {
+    "paper": lambda rank, seed: DynamicMatching(rank=rank, seed=seed),
+    "gt": lambda rank, seed: GTStyle(rank=rank, seed=seed),
+    "static": lambda rank, seed: StaticRecompute(rank=rank, seed=seed),
+    "naive": lambda rank, seed: NaiveDynamic(rank=rank),
+    "random-mate": lambda rank, seed: SolomonStyle(rank=rank, seed=seed),
+    "bgs": lambda rank, seed: BGSStyle(rank=rank, seed=seed),
+}
+
+ADVERSARIES = {
+    "random": lambda rng: RandomOrderAdversary(rng),
+    "fifo": lambda rng: FifoAdversary(),
+    "lifo": lambda rng: LifoAdversary(),
+    "vertex": lambda rng: VertexTargetingAdversary(rng),
+}
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.kind == "er":
+        edges = erdos_renyi_edges(args.n, args.m, rng)
+    elif args.kind == "star":
+        edges = star_edges(args.n)
+    elif args.kind == "hyper":
+        edges = random_hypergraph_edges(args.n, args.m, args.rank, rng)
+    else:  # pragma: no cover — argparse choices guard this
+        raise AssertionError(args.kind)
+
+    if args.window:
+        stream = sliding_window_stream(edges, window=args.window, batch_size=args.batch)
+    else:
+        adv = ADVERSARIES[args.adversary](np.random.default_rng(args.seed + 1))
+        stream = insert_then_delete_stream(edges, args.batch, adv)
+    write_stream(args.out, stream)
+    print(f"wrote {len(stream)} batches ({sum(b.size for b in stream)} updates) to {args.out}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    stream = read_stream(args.stream)
+    algo = ALGOS[args.algo](args.rank, args.seed)
+    records = run_stream(algo, stream, check=args.check)
+    s = summarize(records)
+    print(f"algorithm: {args.algo}   batches: {s['batches']}   updates: {s['updates']}")
+    print(f"work/update: {s['work_per_update']:.2f}   max batch depth: {s['max_depth']:.1f}")
+    if args.check:
+        print("maximality verified after every batch ✓")
+    rows = [
+        [phase, round(work), f"{frac * 100:.1f}%"]
+        for phase, work, frac in work_profile(algo.ledger)
+    ]
+    if rows:
+        print("\nwork profile:")
+        print(format_table(["phase", "work", "share"], rows))
+    return 0
+
+
+def _cmd_static(args: argparse.Namespace) -> int:
+    edges = read_edge_list(args.edges)
+    led = Ledger()
+    result = parallel_greedy_match(edges, led, rng=np.random.default_rng(args.seed))
+    m_prime = sum(e.cardinality for e in edges)
+    print(f"edges: {len(edges)}   total cardinality m': {m_prime}")
+    print(f"matching size: {len(result.matches)}   rounds: {result.rounds}")
+    print(f"work: {led.work:.0f} ({led.work / max(m_prime, 1):.2f} per unit of m')   "
+          f"depth: {led.depth:.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch-dynamic maximal matching (Blelloch & Brady, SPAA 2025)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("gen", help="generate an update-stream file")
+    g.add_argument("--kind", choices=["er", "star", "hyper"], default="er")
+    g.add_argument("--n", type=int, default=100, help="vertices")
+    g.add_argument("--m", type=int, default=500, help="edges")
+    g.add_argument("--rank", type=int, default=3, help="hyperedge rank (kind=hyper)")
+    g.add_argument("--batch", type=int, default=50)
+    g.add_argument("--window", type=int, default=0, help="sliding window size (0 = insert-then-delete)")
+    g.add_argument("--adversary", choices=sorted(ADVERSARIES), default="random")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True)
+    g.set_defaults(func=_cmd_gen)
+
+    r = sub.add_parser("run", help="replay a stream file through an algorithm")
+    r.add_argument("--stream", required=True)
+    r.add_argument("--algo", choices=sorted(ALGOS), default="paper")
+    r.add_argument("--rank", type=int, default=2)
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--check", action="store_true", help="verify maximality per batch")
+    r.set_defaults(func=_cmd_run)
+
+    s = sub.add_parser("static", help="static matching on an edge-list file")
+    s.add_argument("--edges", required=True)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_static)
+
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

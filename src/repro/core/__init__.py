@@ -1,0 +1,25 @@
+"""The paper's primary contribution: parallel batch-dynamic maximal matching.
+
+* :mod:`repro.core.level_structure` — the leveled matching structure of
+  Definition 4.1 / Table 1: edge types, ownership, sample and cross sets,
+  per-vertex level indexes, and an invariant checker.
+* :mod:`repro.core.dynamic_matching` — the batch-dynamic algorithm of
+  Fig. 2: ``insert_edges`` / ``delete_edges`` with randomSettle rounds;
+  O(r^3) expected amortized work per edge update, O(log^3 m) depth per
+  batch whp (Theorem 1.1).
+* :mod:`repro.core.epochs` — epoch lifecycle tracking (natural vs induced
+  deletions) and per-batch statistics, the raw material of §5's charging
+  argument and of experiments E1–E3, E7.
+"""
+
+from repro.core.level_structure import EdgeType, LeveledStructure
+from repro.core.dynamic_matching import DynamicMatching
+from repro.core.epochs import EpochTracker, BatchStats
+
+__all__ = [
+    "EdgeType",
+    "LeveledStructure",
+    "DynamicMatching",
+    "EpochTracker",
+    "BatchStats",
+]

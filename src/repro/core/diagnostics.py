@@ -1,0 +1,102 @@
+"""Structure diagnostics: level histograms, type counts, sample-size stats.
+
+Operational visibility into the leveled structure — what the §5 analysis
+reasons about, exposed as data: how many matches per level, how full
+their sample spaces still are (the lazy scheme lets live samples shrink
+below the settle-time size), how many cross edges each match carries
+relative to its heavy threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.core.level_structure import EdgeType
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Aggregates for all matches on one level."""
+
+    level: int
+    matches: int
+    total_settle_size: int
+    total_live_samples: int
+    total_cross: int
+    max_cross_fill: float  # max over matches of |C(m)| / heavy threshold
+
+    @property
+    def mean_sample_retention(self) -> float:
+        """Live samples / settle-time samples — 1.0 right after settling,
+        decaying as the user deletes sampled edges (laziness at work)."""
+        if self.total_settle_size == 0:
+            return 1.0
+        return self.total_live_samples / self.total_settle_size
+
+
+@dataclass(frozen=True)
+class StructureReport:
+    """Snapshot of the whole structure's composition."""
+
+    num_edges: int
+    type_counts: Dict[str, int]
+    levels: List[LevelStats]
+
+    @property
+    def num_matches(self) -> int:
+        return self.type_counts.get(EdgeType.MATCHED.value, 0)
+
+    @property
+    def max_level(self) -> int:
+        return max((l.level for l in self.levels), default=-1)
+
+
+def structure_report(dm: DynamicMatching) -> StructureReport:
+    """Build a :class:`StructureReport` in O(structure size)."""
+    s = dm.structure
+    type_counts: Dict[str, int] = {}
+    for rec in s.recs.values():
+        type_counts[rec.type.value] = type_counts.get(rec.type.value, 0) + 1
+
+    per_level: Dict[int, List] = {}
+    for mid in s.matched:
+        rec = s.rec(mid)
+        per_level.setdefault(rec.level, []).append(rec)
+
+    levels: List[LevelStats] = []
+    for level in sorted(per_level):
+        recs = per_level[level]
+        threshold = s.heavy_factor * (s.rank**2) * (s.alpha**level)
+        max_fill = 0.0
+        if threshold > 0:
+            max_fill = max(len(r.cross) / threshold for r in recs)
+        levels.append(
+            LevelStats(
+                level=level,
+                matches=len(recs),
+                total_settle_size=sum(r.settle_size for r in recs),
+                total_live_samples=sum(len(r.samples) for r in recs),
+                total_cross=sum(len(r.cross) for r in recs),
+                max_cross_fill=max_fill,
+            )
+        )
+    return StructureReport(
+        num_edges=len(s.recs), type_counts=type_counts, levels=levels
+    )
+
+
+def format_report(report: StructureReport) -> str:
+    """Human-readable multi-line rendering."""
+    lines = [
+        f"edges: {report.num_edges}  "
+        + "  ".join(f"{k}: {v}" for k, v in sorted(report.type_counts.items()))
+    ]
+    for ls in report.levels:
+        lines.append(
+            f"  level {ls.level}: {ls.matches} matches, "
+            f"samples {ls.total_live_samples}/{ls.total_settle_size} live, "
+            f"{ls.total_cross} cross (max fill {ls.max_cross_fill:.2f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,389 @@
+"""Parallel batch-dynamic maximal matching (Fig. 2; Theorem 1.1).
+
+:class:`DynamicMatching` maintains a maximal matching of a hypergraph under
+batches of edge insertions and deletions, in O(r^3) expected amortized work
+per edge update and O(log^3 m) depth per batch whp (O(1) work per update
+for ordinary graphs, r = 2).
+
+Structure of a batch deletion (the interesting case):
+
+1. unmatched deleted edges are detached directly (cross edges unlink from
+   their owner; sampled edges leave their owner's sample set — *lazy*, the
+   owner's level does not move);
+2. matched deleted edges are removed from their own sample space and handed
+   to ``deleteMatchedEdges``, which converts their surviving samples to
+   cross edges, rematches the *light* matches' owned edges directly, and
+   sends the *heavy* matches' owned edges to random settling;
+3. randomSettle rounds run the random greedy matcher over the pooled
+   edges, install the new matches with their fresh sample spaces, raise
+   lower-level cross edges onto the new matches (``adjustCrossEdges``),
+   and queue *stolen* (pre-existing matches incident on new ones) and
+   *bloated* (new matches that collected too many cross edges) matches for
+   deletion in the next round;
+4. rounds stop once the pending pool is small relative to the samples
+   already taken (``2|E'| <= sampledEdges``); the leftovers are reinserted
+   like a fresh insertion batch.
+
+Every step charges the simulated fork-join ledger, so experiments read
+work/depth per batch straight off the structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.hypergraph.edge import Edge, EdgeId, Vertex
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.ledger import Ledger, log2ceil, parallel_for
+from repro.core.epochs import (
+    BLOATED,
+    NATURAL,
+    STOLEN,
+    BatchStats,
+    EpochTracker,
+    SettleRound,
+)
+from repro.core.level_structure import EdgeRecord, EdgeType, LeveledStructure
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+
+
+class DynamicMatching:
+    """Batch-dynamic maximal matching on hypergraphs of bounded rank.
+
+    Parameters
+    ----------
+    rank:
+        Upper bound ``r`` on edge cardinality (2 for ordinary graphs).
+    seed / rng:
+        Randomness for the greedy matcher's permutations.  The oblivious
+        adversary must not observe it.
+    alpha:
+        Level gap (2 in the paper; settable for the E11 ablation).
+    heavy_factor:
+        Heavy threshold constant (4 in the paper; E11 ablation).
+    ledger:
+        Externally supplied cost ledger (a fresh one by default).
+
+    Notes
+    -----
+    Between batch operations the structure satisfies Definition 4.1
+    (:meth:`check_invariants`), in particular the matching is maximal on
+    the current edge set.
+    """
+
+    def __init__(
+        self,
+        rank: int = 2,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        alpha: int = 2,
+        heavy_factor: float = 4.0,
+        ledger: Optional[Ledger] = None,
+    ) -> None:
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.structure = LeveledStructure(
+            rank=rank, ledger=self.ledger, alpha=alpha, heavy_factor=heavy_factor
+        )
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.tracker = EpochTracker()
+        self.batch_stats: List[BatchStats] = []
+        self._updates_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Public queries
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        return self.structure.rank
+
+    def matching(self) -> List[Edge]:
+        """The current maximal matching (sorted by edge id)."""
+        return self.structure.matching_edges()
+
+    def matched_ids(self) -> List[EdgeId]:
+        return self.structure.matched_ids()
+
+    def match_of(self, vertex: Vertex) -> Optional[EdgeId]:
+        """The matched edge covering ``vertex``, or None (O(1) expected)."""
+        return self.structure.cover_of(vertex)
+
+    def is_matched(self, eid: EdgeId) -> bool:
+        return eid in self.structure.matched
+
+    def __contains__(self, eid: EdgeId) -> bool:
+        return eid in self.structure.recs
+
+    def __len__(self) -> int:
+        return self.structure.num_edges()
+
+    @property
+    def num_updates(self) -> int:
+        """Total edge insertions + deletions processed so far."""
+        return self._updates_processed
+
+    def edge_type(self, eid: EdgeId) -> EdgeType:
+        return self.structure.rec(eid).type
+
+    def current_graph(self) -> Hypergraph:
+        """A plain :class:`Hypergraph` mirror of the current edge set
+        (reference/testing convenience; O(m'))."""
+        return Hypergraph(self.structure.all_edges())
+
+    def check_invariants(self) -> None:
+        """Definition 4.1 plus epoch-tracking consistency."""
+        self.structure.check_invariants()
+        live = {e.eid for e in self.tracker.live_epochs()}
+        assert live == set(self.structure.matched), (
+            f"live epochs {live} != matched set {set(self.structure.matched)}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # User interface: insertEdges
+    # ------------------------------------------------------------------ #
+    def insert_edges(self, edges: Sequence[Edge]) -> BatchStats:
+        """Insert a batch of new edges; returns the batch's statistics."""
+        edges = list(edges)
+        ids = [e.eid for e in edges]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate edge ids within the batch")
+        for e in edges:
+            if e.eid in self.structure.recs:
+                raise KeyError(f"edge {e.eid} already present")
+            if e.cardinality > self.structure.rank:
+                # validate the whole batch BEFORE registering anything, so a
+                # rejected batch leaves no half-applied state behind
+                raise ValueError(
+                    f"edge {e.eid} has cardinality {e.cardinality} > rank "
+                    f"bound {self.structure.rank}"
+                )
+
+        stats = BatchStats(kind="insert", batch_index=self.tracker.batch_index,
+                           batch_size=len(edges))
+        with self.ledger.measure() as span:
+            parallel_for(self.ledger, edges, self.structure.register)
+            self._insert_existing(edges, stats)
+        stats.work, stats.depth = span.cost.work, span.cost.depth
+        self.batch_stats.append(stats)
+        self._updates_processed += len(edges)
+        self.tracker.next_batch()
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # User interface: deleteEdges
+    # ------------------------------------------------------------------ #
+    def delete_edges(self, eids: Sequence[EdgeId]) -> BatchStats:
+        """Delete a batch of existing edges; returns batch statistics."""
+        eids = list(eids)
+        if len(set(eids)) != len(eids):
+            raise ValueError("duplicate edge ids within the batch")
+        recs = [self.structure.rec(eid) for eid in eids]  # KeyError if absent
+
+        stats = BatchStats(kind="delete", batch_index=self.tracker.batch_index,
+                           batch_size=len(eids))
+        with self.ledger.measure() as span:
+            matched = [r for r in recs if r.type == EdgeType.MATCHED]
+            unmatched = [r for r in recs if r.type != EdgeType.MATCHED]
+
+            # Unmatched deletions: cheap, fully detach and forget.
+            def _drop_unmatched(rec: EdgeRecord) -> None:
+                if rec.type == EdgeType.CROSS:
+                    self.structure.remove_cross_edge(rec.edge)
+                elif rec.type == EdgeType.SAMPLED:
+                    # Lazy: leave the owner's level alone, just shrink S.
+                    self.structure.rec(rec.owner).samples.delete_one(rec.eid)
+                    rec.type = EdgeType.UNSETTLED
+                    rec.owner = None
+                else:  # pragma: no cover — structure guarantees settled types
+                    raise AssertionError(f"unsettled edge {rec.eid} in structure")
+
+            parallel_for(self.ledger, unmatched, _drop_unmatched)
+            parallel_for(self.ledger, unmatched, lambda r: self.structure.unregister(r.eid))
+
+            # Matched deletions: natural epoch deaths.  Remove each from its
+            # own sample space so it is never reinserted.
+            def _detach_matched(rec: EdgeRecord) -> None:
+                rec.samples.delete_one(rec.eid)
+
+            parallel_for(self.ledger, matched, _detach_matched)
+            for rec in matched:
+                self.tracker.death(rec.eid, NATURAL)
+            stats.natural_deaths += len(matched)
+
+            pool = self._delete_matched_edges(matched, stats)
+
+            # randomSettle rounds with the doubling termination rule.
+            sampled_edges = 0
+            while 2 * len(pool) > sampled_edges:
+                sampled_edges += len(pool)
+                pool = self._random_settle(pool, stats)
+            self._insert_existing(pool, stats)
+
+            parallel_for(self.ledger, matched, lambda r: self.structure.unregister(r.eid))
+        stats.work, stats.depth = span.cost.work, span.cost.depth
+        self.batch_stats.append(stats)
+        self._updates_processed += len(eids)
+        self.tracker.next_batch()
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Single-update convenience (batch of one)
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, edge: Edge) -> BatchStats:
+        """Insert one edge — the classic (non-batch) dynamic interface."""
+        return self.insert_edges([edge])
+
+    def delete_edge(self, eid: EdgeId) -> BatchStats:
+        """Delete one edge — the classic (non-batch) dynamic interface."""
+        return self.delete_edges([eid])
+
+    # ------------------------------------------------------------------ #
+    # insertEdges body (shared by public insert and settle leftovers)
+    # ------------------------------------------------------------------ #
+    def _insert_existing(self, edges: Sequence[Edge], stats: BatchStats) -> None:
+        """Match the free edges greedily (level-0 singleton samples) and
+        attach everything else as cross edges."""
+        if not edges:
+            return
+        free_flags = parallel_for(self.ledger, edges, self.structure.is_free_edge)
+        free = [e for e, f in zip(edges, free_flags) if f]
+        self.ledger.charge(
+            work=len(edges), depth=log2ceil(max(len(edges), 2)), tag="insert_filter"
+        )
+
+        result = parallel_greedy_match(free, self.ledger, rng=self.rng)
+        matched_ids: Set[EdgeId] = set(result.matched_ids)
+
+        def _add_level0(m_edge: Edge) -> None:
+            self.structure.add_match(m_edge, [m_edge])
+            self.tracker.birth(m_edge.eid, level=0, sample_size=1)
+
+        parallel_for(self.ledger, result.matched_edges, _add_level0)
+        stats.new_epochs += len(matched_ids)
+
+        rest = [e for e in edges if e.eid not in matched_ids]
+        parallel_for(self.ledger, rest, self.structure.add_cross_edge)
+
+    # ------------------------------------------------------------------ #
+    # deleteMatchedEdges (Fig. 2)
+    # ------------------------------------------------------------------ #
+    def _delete_matched_edges(
+        self, match_recs: Sequence[EdgeRecord], stats: BatchStats
+    ) -> List[Edge]:
+        """Convert samples to cross edges, rematch light matches' owned
+        edges, and return the heavy matches' owned edges for settling.
+
+        Epoch deaths are recorded by the caller (user deletions are
+        natural; stolen/bloated are recorded in ``_random_settle``).
+        """
+        if not match_recs:
+            return []
+
+        # Convert every surviving sample edge (including the match itself,
+        # for induced deletions) into a cross edge.  The dying matches are
+        # still present, so conversions may attach to them — those edges
+        # are recovered below by remove_match.
+        sample_lists = parallel_for(
+            self.ledger,
+            match_recs,
+            lambda r: [self.structure.rec(sid).edge for sid in r.samples.elements()],
+        )
+        sample_edges = [e for sub in sample_lists for e in sub]
+        parallel_for(self.ledger, sample_edges, self.structure.add_cross_edge)
+
+        heavy_flags = parallel_for(self.ledger, match_recs, self.structure.is_heavy)
+        heavy = [r for r, f in zip(match_recs, heavy_flags) if f]
+        light = [r for r, f in zip(match_recs, heavy_flags) if not f]
+        stats.heavy_matches += len(heavy)
+        stats.light_matches += len(light)
+
+        light_lists = parallel_for(
+            self.ledger, light, lambda r: self.structure.remove_match(r.eid)
+        )
+        light_edges = [e for sub in light_lists for e in sub]
+        self._insert_existing(light_edges, stats)
+
+        heavy_lists = parallel_for(
+            self.ledger, heavy, lambda r: self.structure.remove_match(r.eid)
+        )
+        return [e for sub in heavy_lists for e in sub]
+
+    # ------------------------------------------------------------------ #
+    # randomSettle (Fig. 2)
+    # ------------------------------------------------------------------ #
+    def _random_settle(self, pool: Sequence[Edge], stats: BatchStats) -> List[Edge]:
+        """One settle round: rematch the pool with fresh random samples."""
+        rnd = SettleRound(input_edges=len(pool))
+
+        result = parallel_greedy_match(pool, self.ledger, rng=self.rng)
+
+        # Existing matches incident on the new ones must be deleted (stolen).
+        stolen_ids: Set[EdgeId] = set()
+        for matched in result.matches:
+            for v in matched.edge.vertices:
+                p = self.structure.cover_of(v)
+                if p is not None:
+                    stolen_ids.add(p)
+        self.ledger.charge(
+            work=sum(m.edge.cardinality for m in result.matches),
+            depth=log2ceil(max(len(result.matches), 2)),
+            tag="settle_stolen",
+        )
+
+        def _install(matched) -> None:
+            rec = self.structure.add_match(matched.edge, matched.samples)
+            self.tracker.birth(matched.edge.eid, rec.level, len(matched.samples))
+
+        parallel_for(self.ledger, result.matches, _install)
+        rnd.new_matches = len(result.matches)
+        rnd.added_sample = sum(len(m.samples) for m in result.matches)
+        stats.new_epochs += rnd.new_matches
+
+        self._adjust_cross_edges([m.edge for m in result.matches])
+
+        new_recs = [self.structure.rec(m.edge.eid) for m in result.matches]
+        heavy_flags = parallel_for(self.ledger, new_recs, self.structure.is_heavy)
+        bloated = [r for r, f in zip(new_recs, heavy_flags) if f]
+        stolen = [self.structure.rec(eid) for eid in sorted(stolen_ids)]
+
+        for rec in stolen:
+            self.tracker.death(rec.eid, STOLEN)
+            rnd.stolen += 1
+            rnd.stolen_sample += rec.settle_size
+        for rec in bloated:
+            self.tracker.death(rec.eid, BLOATED)
+            rnd.bloated += 1
+            rnd.bloated_sample += rec.settle_size
+        stats.induced_deaths += len(stolen) + len(bloated)
+        stats.settle_rounds.append(rnd)
+
+        return self._delete_matched_edges(bloated + stolen, stats)
+
+    # ------------------------------------------------------------------ #
+    # adjustCrossEdges (Fig. 2)
+    # ------------------------------------------------------------------ #
+    def _adjust_cross_edges(self, new_matches: Sequence[Edge]) -> None:
+        """Re-own cross edges sitting below a new match's level
+        (restores Invariant 4.1.4)."""
+        def _scan(m_edge: Edge) -> List[EdgeId]:
+            level = self.structure.rec(m_edge.eid).level
+            out: List[EdgeId] = []
+            for v in m_edge.vertices:
+                out.extend(self.structure.cross_edges_below(v, level))
+            return out
+
+        scans = parallel_for(self.ledger, new_matches, _scan)
+        collect: Dict[EdgeId, Edge] = {}
+        for sub in scans:
+            for ceid in sub:
+                if ceid not in collect:
+                    collect[ceid] = self.structure.rec(ceid).edge
+        self.ledger.charge(
+            work=sum(len(s) for s in scans),
+            depth=log2ceil(max(sum(len(s) for s in scans), 2)),
+            tag="adjust_dedupe",
+        )
+        edges = list(collect.values())
+        parallel_for(self.ledger, edges, self.structure.remove_cross_edge)
+        parallel_for(self.ledger, edges, self.structure.add_cross_edge)

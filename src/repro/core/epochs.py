@@ -1,0 +1,155 @@
+"""Epoch lifecycle tracking and per-batch statistics (§5).
+
+An *epoch* is the lifetime of a match, from the ``add_match`` that creates
+it to the deletion that destroys it.  The paper's charging argument hinges
+on classifying epoch deaths:
+
+* **natural** — the user deleted the matched edge (``delete_edges``);
+* **stolen** — a randomSettle matched a new edge incident on it;
+* **bloated** — after adjustCrossEdges it owned too many cross edges for
+  its level and was resettled.
+
+Stolen and bloated deaths are the *induced* deletions; Lemma 5.6/5.7 bound
+their total sample space by that of natural deletions.  The tracker records
+every event so experiments E1, E2 and E7 can measure those aggregates
+directly, and so tests can assert the bookkeeping (e.g. a match never dies
+twice, sample sizes are positive, the Lemma 5.6 ratio holds per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hypergraph.edge import EdgeId
+
+NATURAL = "natural"
+STOLEN = "stolen"
+BLOATED = "bloated"
+INDUCED_KINDS = (STOLEN, BLOATED)
+
+
+@dataclass
+class Epoch:
+    """One match lifetime."""
+
+    eid: EdgeId
+    level: int
+    sample_size: int  # |S(m)| at settle time
+    birth_batch: int
+    death_batch: Optional[int] = None
+    death_kind: Optional[str] = None  # NATURAL / STOLEN / BLOATED / None (alive)
+
+    @property
+    def alive(self) -> bool:
+        return self.death_kind is None
+
+    @property
+    def induced(self) -> bool:
+        return self.death_kind in INDUCED_KINDS
+
+
+@dataclass
+class SettleRound:
+    """Per-round accounting inside one ``delete_edges`` call (Lemma 5.6).
+
+    ``added_sample`` is S_a (total sample size of new matches this round);
+    ``deleted_sample`` is S_d (total settle-time sample size of this
+    round's stolen deletes plus the previous round's bloated deletes).
+    """
+
+    input_edges: int = 0
+    new_matches: int = 0
+    added_sample: int = 0
+    stolen: int = 0
+    bloated: int = 0
+    stolen_sample: int = 0
+    bloated_sample: int = 0
+
+
+@dataclass
+class BatchStats:
+    """Aggregates for one batch operation (insert or delete)."""
+
+    kind: str  # "insert" / "delete"
+    batch_index: int
+    batch_size: int
+    work: float = 0.0
+    depth: float = 0.0
+    settle_rounds: List[SettleRound] = field(default_factory=list)
+    natural_deaths: int = 0
+    induced_deaths: int = 0
+    light_matches: int = 0
+    heavy_matches: int = 0
+    new_epochs: int = 0
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.settle_rounds)
+
+
+class EpochTracker:
+    """Records epoch births and deaths across the run."""
+
+    def __init__(self) -> None:
+        self.epochs: List[Epoch] = []
+        self._live: Dict[EdgeId, int] = {}  # eid -> index into epochs
+        self.batch_index = 0
+
+    # ------------------------------------------------------------------ #
+    # Events (called by DynamicMatching)
+    # ------------------------------------------------------------------ #
+    def birth(self, eid: EdgeId, level: int, sample_size: int) -> Epoch:
+        if eid in self._live:
+            raise ValueError(f"edge {eid} already has a live epoch")
+        ep = Epoch(
+            eid=eid,
+            level=level,
+            sample_size=sample_size,
+            birth_batch=self.batch_index,
+        )
+        self._live[eid] = len(self.epochs)
+        self.epochs.append(ep)
+        return ep
+
+    def death(self, eid: EdgeId, kind: str) -> Epoch:
+        if kind not in (NATURAL, STOLEN, BLOATED):
+            raise ValueError(f"unknown death kind {kind!r}")
+        idx = self._live.pop(eid, None)
+        if idx is None:
+            raise ValueError(f"edge {eid} has no live epoch")
+        ep = self.epochs[idx]
+        ep.death_batch = self.batch_index
+        ep.death_kind = kind
+        return ep
+
+    def next_batch(self) -> None:
+        self.batch_index += 1
+
+    # ------------------------------------------------------------------ #
+    # Aggregates (§5 quantities)
+    # ------------------------------------------------------------------ #
+    def live_epochs(self) -> List[Epoch]:
+        return [self.epochs[i] for i in self._live.values()]
+
+    def dead(self, kind: Optional[str] = None) -> List[Epoch]:
+        if kind is None:
+            return [e for e in self.epochs if not e.alive]
+        return [e for e in self.epochs if e.death_kind == kind]
+
+    def total_sample(self, kind: Optional[str] = None) -> int:
+        """Total settle-time sample size over dead epochs of a kind
+        (S_n for natural, S_i summing stolen+bloated), or all dead."""
+        if kind == "induced":
+            return sum(e.sample_size for e in self.epochs if e.induced)
+        return sum(e.sample_size for e in self.dead(kind))
+
+    def total_added_sample(self) -> int:
+        """S_a: total sample size over *all* epochs ever created."""
+        return sum(e.sample_size for e in self.epochs)
+
+    def counts(self) -> Dict[str, int]:
+        out = {NATURAL: 0, STOLEN: 0, BLOATED: 0, "alive": 0}
+        for e in self.epochs:
+            out[e.death_kind or "alive"] += 1
+        return out

@@ -1,0 +1,132 @@
+"""Snapshot / restore of the leveled matching structure.
+
+Long-running services need to checkpoint.  ``save_state`` captures the
+full Definition 4.1 state — edges, types, owners, sample/cross sets,
+levels, settle sizes, vertex covers — as a JSON-serializable dict;
+``load_state`` rebuilds a working :class:`DynamicMatching` from it.
+
+Two deliberate exclusions:
+
+* **RNG state** is not captured.  The restored instance takes a fresh
+  seed; against an oblivious adversary this is safe (the adversary never
+  saw the old seed either), and it avoids pickling generator internals
+  into checkpoints.
+* **History** (epoch tracker, batch stats, ledger totals) is reset: a
+  checkpoint captures state, not the telemetry of how it got there.
+
+The round-trip invariant — restore produces a structure that passes
+``check_invariants`` and represents the same graph/matching — is tested
+property-style in ``tests/core/test_snapshot.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.core.level_structure import EdgeType
+from repro.hypergraph.edge import Edge
+from repro.parallel.dictionary import BatchSet
+from repro.parallel.ledger import Ledger
+
+FORMAT_VERSION = 1
+
+
+def save_state(dm: DynamicMatching) -> Dict[str, Any]:
+    """Serialize the structure to a JSON-compatible dict."""
+    s = dm.structure
+    edges = []
+    for rec in s.recs.values():
+        entry: Dict[str, Any] = {
+            "eid": rec.eid,
+            "vertices": list(rec.edge.vertices),
+            "type": rec.type.value,
+            "owner": rec.owner,
+        }
+        if rec.type == EdgeType.MATCHED:
+            entry["samples"] = list(rec.samples)
+            entry["cross"] = list(rec.cross)
+            entry["level"] = rec.level
+            entry["settle_size"] = rec.settle_size
+        edges.append(entry)
+    return {
+        "version": FORMAT_VERSION,
+        "rank": s.rank,
+        "alpha": s.alpha,
+        "heavy_factor": s.heavy_factor,
+        "edges": edges,
+    }
+
+
+def load_state(
+    state: Dict[str, Any],
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    ledger: Optional[Ledger] = None,
+) -> DynamicMatching:
+    """Rebuild a :class:`DynamicMatching` from a ``save_state`` dict.
+
+    Raises ``ValueError`` on version mismatch or structural inconsistency
+    (the restored structure is invariant-checked before being returned).
+    """
+    if state.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot version {state.get('version')!r}")
+
+    dm = DynamicMatching(
+        rank=state["rank"],
+        seed=seed,
+        rng=rng,
+        alpha=state["alpha"],
+        heavy_factor=state["heavy_factor"],
+        ledger=ledger,
+    )
+    s = dm.structure
+
+    # Pass 1: register all edges.
+    for entry in state["edges"]:
+        s.register(Edge(entry["eid"], entry["vertices"]))
+
+    # Pass 2: install matches with their bookkeeping.
+    for entry in state["edges"]:
+        if entry["type"] != EdgeType.MATCHED.value:
+            continue
+        rec = s.rec(entry["eid"])
+        s.matched.add(rec.eid)
+        rec.type = EdgeType.MATCHED
+        rec.owner = rec.eid
+        rec.samples = BatchSet(s.ledger, entry["samples"])
+        rec.cross = BatchSet(s.ledger, entry["cross"])
+        rec.level = entry["level"]
+        rec.settle_size = entry["settle_size"]
+        for v in rec.edge.vertices:
+            s.verts[v].p = rec.eid
+        dm.tracker.birth(rec.eid, rec.level, rec.settle_size)
+
+    # Pass 3: wire sampled and cross edges (owners now exist).
+    for entry in state["edges"]:
+        etype = EdgeType(entry["type"])
+        if etype == EdgeType.MATCHED:
+            continue
+        rec = s.rec(entry["eid"])
+        owner = entry["owner"]
+        if owner is None or owner not in s.matched:
+            raise ValueError(f"edge {rec.eid}: owner {owner!r} is not a match")
+        rec.owner = owner
+        rec.type = etype
+        if etype == EdgeType.CROSS:
+            owner_rec = s.rec(owner)
+            owner_rec_level = owner_rec.level
+            if rec.eid not in owner_rec.cross:
+                raise ValueError(f"cross edge {rec.eid} missing from C({owner})")
+            for v in rec.edge.vertices:
+                s._level_index_add(v, owner_rec_level, rec.eid)
+        elif etype == EdgeType.SAMPLED:
+            if rec.eid not in s.rec(owner).samples:
+                raise ValueError(f"sampled edge {rec.eid} missing from S({owner})")
+        else:
+            raise ValueError(f"edge {rec.eid} has transient type {etype.value!r}")
+
+    dm.check_invariants()
+    return dm

@@ -1,0 +1,12 @@
+"""Hypergraph data structures.
+
+A hypergraph ``H = (V, E)`` has edges that are subsets of vertices; the
+*rank* ``r`` is the maximum edge cardinality (``r = 2`` recovers ordinary
+graphs).  Edges carry unique integer identifiers so they hash and compare
+in O(1) regardless of rank, as the paper's preliminaries assume.
+"""
+
+from repro.hypergraph.edge import Edge, EdgeId, Vertex
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["Edge", "EdgeId", "Vertex", "Hypergraph"]

@@ -1,0 +1,68 @@
+"""Hyperedges with unique identifiers.
+
+The paper assumes "edges have unique identifiers so they can be hashed or
+compared for equality in constant time (even though they might have r
+endpoints)".  :class:`Edge` realizes that: identity is the integer ``eid``;
+the vertex tuple is payload.  Two edges with the same vertex set but
+different ids are different edges (parallel hyperedges are legal and occur
+naturally in update streams that re-insert a previously deleted edge).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+Vertex = int
+EdgeId = int
+
+
+class Edge:
+    """An immutable hyperedge: unique id + sorted tuple of distinct vertices.
+
+    Hashing and equality use only ``eid`` (O(1), per the paper's model).
+    """
+
+    __slots__ = ("eid", "vertices")
+
+    def __init__(self, eid: EdgeId, vertices: Iterable[Vertex]) -> None:
+        vs: Tuple[Vertex, ...] = tuple(sorted(set(vertices)))
+        if not vs:
+            raise ValueError("an edge must have at least one vertex")
+        object.__setattr__(self, "eid", int(eid))
+        object.__setattr__(self, "vertices", vs)
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("Edge is immutable")
+
+    def __reduce__(self):  # picklability despite the frozen __setattr__
+        return (Edge, (self.eid, self.vertices))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct endpoints, |e| — the edge's contribution to m'."""
+        return len(self.vertices)
+
+    def intersects(self, other: "Edge") -> bool:
+        """True if the two edges share a vertex (are *incident*)."""
+        a, b = self.vertices, other.vertices
+        if len(a) > len(b):
+            a, b = b, a
+        bs = set(b)
+        return any(v in bs for v in a)
+
+    def covers(self, vertex: Vertex) -> bool:
+        """True if ``vertex`` is an endpoint of this edge."""
+        return vertex in self.vertices
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Edge) and other.eid == self.eid
+
+    def __hash__(self) -> int:
+        return hash(self.eid)
+
+    def __repr__(self) -> str:
+        return f"Edge(eid={self.eid}, vertices={self.vertices})"
+
+    def __lt__(self, other: "Edge") -> bool:
+        # A stable tiebreak order; used only for deterministic output listings.
+        return self.eid < other.eid

@@ -1,0 +1,176 @@
+"""A mutable hypergraph with incidence indexing.
+
+:class:`Hypergraph` is the plain "current graph" object: the static matchers
+take one as input, the reference checkers mirror the dynamic structure's
+edge set in one, and the workload generators emit edges destined for one.
+
+It maintains, per vertex, the set of incident edge ids, so neighbourhood
+queries cost O(output).  All mutation is edge-based; vertices exist exactly
+while some edge touches them (plus any explicitly added isolated vertices).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.hypergraph.edge import Edge, EdgeId, Vertex
+
+
+class Hypergraph:
+    """Mutable hypergraph: edge registry + vertex->edge incidence index."""
+
+    def __init__(self, edges: Iterable[Edge] = ()) -> None:
+        self._edges: Dict[EdgeId, Edge] = {}
+        self._incident: Dict[Vertex, Set[EdgeId]] = {}
+        for e in edges:
+            self.add_edge(e)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, edge: Edge) -> None:
+        """Insert an edge; the id must not already be present."""
+        if edge.eid in self._edges:
+            raise KeyError(f"edge id {edge.eid} already present")
+        self._edges[edge.eid] = edge
+        for v in edge.vertices:
+            self._incident.setdefault(v, set()).add(edge.eid)
+
+    def remove_edge(self, eid: EdgeId) -> Edge:
+        """Remove and return the edge with id ``eid``."""
+        edge = self._edges.pop(eid)
+        for v in edge.vertices:
+            bucket = self._incident[v]
+            bucket.discard(eid)
+            if not bucket:
+                del self._incident[v]
+        return edge
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        for e in edges:
+            self.add_edge(e)
+
+    def remove_edges(self, eids: Iterable[EdgeId]) -> List[Edge]:
+        return [self.remove_edge(eid) for eid in eids]
+
+    def clear(self) -> None:
+        self._edges.clear()
+        self._incident.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, eid: EdgeId) -> bool:
+        return eid in self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    def edge(self, eid: EdgeId) -> Edge:
+        return self._edges[eid]
+
+    def get(self, eid: EdgeId) -> Optional[Edge]:
+        return self._edges.get(eid)
+
+    def edges(self) -> List[Edge]:
+        """All edges, insertion order."""
+        return list(self._edges.values())
+
+    def edge_ids(self) -> List[EdgeId]:
+        return list(self._edges.keys())
+
+    def vertices(self) -> List[Vertex]:
+        """Vertices with at least one incident edge."""
+        return list(self._incident.keys())
+
+    def incident_edge_ids(self, vertex: Vertex) -> Set[EdgeId]:
+        """Ids of edges incident on ``vertex`` (empty set if isolated)."""
+        return self._incident.get(vertex, set())
+
+    def degree(self, vertex: Vertex) -> int:
+        return len(self._incident.get(vertex, ()))
+
+    def neighbors(self, edge: Edge) -> List[Edge]:
+        """Edges sharing a vertex with ``edge``, excluding ``edge`` itself.
+
+        O(sum of endpoint degrees); each neighbour appears once.
+        """
+        seen: Set[EdgeId] = set()
+        out: List[Edge] = []
+        for v in edge.vertices:
+            for other_id in self._incident.get(v, ()):
+                if other_id != edge.eid and other_id not in seen:
+                    seen.add(other_id)
+                    out.append(self._edges[other_id])
+        return out
+
+    def neighbor_ids(self, edge: Edge) -> Set[EdgeId]:
+        out: Set[EdgeId] = set()
+        for v in edge.vertices:
+            out.update(self._incident.get(v, ()))
+        out.discard(edge.eid)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._incident)
+
+    @property
+    def rank(self) -> int:
+        """Max edge cardinality (0 for the empty hypergraph)."""
+        return max((e.cardinality for e in self._edges.values()), default=0)
+
+    @property
+    def total_cardinality(self) -> int:
+        """m' = sum over edges of |e| — the static matcher's work measure."""
+        return sum(e.cardinality for e in self._edges.values())
+
+    # ------------------------------------------------------------------ #
+    # Matching predicates (reference semantics, used by tests/checkers)
+    # ------------------------------------------------------------------ #
+    def is_matching(self, eids: Iterable[EdgeId]) -> bool:
+        """True if the given edges exist and are pairwise non-incident."""
+        used: Set[Vertex] = set()
+        for eid in eids:
+            edge = self._edges.get(eid)
+            if edge is None:
+                return False
+            for v in edge.vertices:
+                if v in used:
+                    return False
+            used.update(edge.vertices)
+        return True
+
+    def is_maximal_matching(self, eids: Iterable[EdgeId]) -> bool:
+        """True if ``eids`` is a matching and no remaining edge is free."""
+        eids = set(eids)
+        if not self.is_matching(eids):
+            return False
+        covered: Set[Vertex] = set()
+        for eid in eids:
+            covered.update(self._edges[eid].vertices)
+        for e in self._edges.values():
+            if e.eid in eids:
+                continue
+            if not any(v in covered for v in e.vertices):
+                return False
+        return True
+
+    def copy(self) -> "Hypergraph":
+        h = Hypergraph()
+        h._edges = dict(self._edges)
+        h._incident = {v: set(s) for v, s in self._incident.items()}
+        return h
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(n={self.num_vertices}, m={self.num_edges}, rank={self.rank})"

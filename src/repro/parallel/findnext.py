@@ -1,0 +1,74 @@
+"""findNext: locate the next index satisfying a predicate.
+
+The paper's ``updateTop`` slides a vertex's top-of-edge-list pointer to the
+next *not-yet-deleted* edge.  Doing this with a plain scan would be O(d)
+work but also O(d) depth; the paper instead uses doubling + binary search:
+
+* round ``k`` examines the next ``2^k`` elements in parallel (O(2^k) work,
+  O(1) depth);
+* once a round finds a hit, binary search over that window isolates the
+  first hit (O(log) depth).
+
+Total: O(j - i) work and O(log(j - i)) depth, where ``j`` is the returned
+index.  We execute the doubling rounds faithfully (so the charged work is
+the model's actual probe count, not just the distance) and charge depth per
+round plus the binary search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.parallel.ledger import Ledger, log2ceil
+
+T = TypeVar("T")
+
+
+def find_next(
+    ledger: Ledger,
+    start: int,
+    length: int,
+    pred: Callable[[int], bool],
+) -> int:
+    """Smallest index ``j`` in ``[start, length)`` with ``pred(j)`` true.
+
+    Returns ``length`` if no such index exists.  ``start`` itself is a
+    candidate.  Charges the doubling-search model cost.
+    """
+    if start < 0:
+        raise ValueError("start must be non-negative")
+    if start >= length:
+        ledger.charge(work=1, depth=1, tag="find_next")
+        return length
+
+    lo = start
+    window = 1
+    while lo < length:
+        hi = min(lo + window, length)
+        # One parallel round: probe [lo, hi) — O(window) work, O(1) depth.
+        ledger.charge(work=hi - lo, depth=1, tag="find_next")
+        hit = False
+        for j in range(lo, hi):
+            if pred(j):
+                hit = True
+                break
+        if hit:
+            # Binary search inside [lo, hi) for the first satisfying index:
+            # O(window) work across levels, O(log window) depth.
+            ledger.charge(work=hi - lo, depth=log2ceil(max(hi - lo, 2)), tag="find_next")
+            a, b = lo, hi
+            while b - a > 1:
+                mid = (a + b) // 2
+                if any(pred(j) for j in range(a, mid)):
+                    b = mid
+                else:
+                    a = mid
+            return a
+        lo = hi
+        window *= 2
+    return length
+
+
+def find_next_in(ledger: Ledger, start: int, items: Sequence[T], pred: Callable[[T], bool]) -> int:
+    """Convenience wrapper: predicate over items rather than indices."""
+    return find_next(ledger, start, len(items), lambda j: pred(items[j]))

@@ -1,0 +1,98 @@
+"""Tabulation hashing — the constant-time, 3-independent hash family
+behind the paper's dictionary and semisort bounds.
+
+Gil–Matias–Vishkin-style parallel hashing and linear-work semisorting
+need hash functions that are (a) evaluable in O(1) and (b) sufficiently
+independent for load-balancing concentration.  Simple tabulation hashing
+(Zobrist; analyzed by Pătraşcu–Thorup) gives 3-independence and, beyond
+that, Chernoff-style concentration for hash tables — strong enough for
+every use in this library.
+
+A :class:`TabulationHash` splits a 64-bit key into ``c`` chunks and XORs
+per-chunk random tables::
+
+    h(x) = T_0[x_0] ^ T_1[x_1] ^ ... ^ T_{c-1}[x_{c-1}]
+
+Evaluation is ``c`` table lookups and XORs — O(1).  ``hash_batch`` is the
+vectorized (NumPy) form used to hash whole key arrays at once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+_CHUNK_BITS = 8
+_NUM_CHUNKS = 8  # 8 chunks x 8 bits = 64-bit keys
+_TABLE_SIZE = 1 << _CHUNK_BITS
+_MASK64 = (1 << 64) - 1
+
+
+class TabulationHash:
+    """Simple tabulation hashing over 64-bit integer keys.
+
+    Parameters
+    ----------
+    rng / seed:
+        Source for the random tables; fixing it makes the function
+        reproducible (tests rely on this).
+    out_bits:
+        Number of output bits (1..64); outputs lie in ``[0, 2**out_bits)``.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        out_bits: int = 64,
+    ) -> None:
+        if not (1 <= out_bits <= 64):
+            raise ValueError("out_bits must be in [1, 64]")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        self.out_bits = out_bits
+        # uint64 tables; one per chunk position
+        self._tables = rng.integers(
+            0, 1 << 63, size=(_NUM_CHUNKS, _TABLE_SIZE), dtype=np.uint64
+        ) * np.uint64(2) + rng.integers(
+            0, 2, size=(_NUM_CHUNKS, _TABLE_SIZE), dtype=np.uint64
+        )
+        self._out_mask = np.uint64(_MASK64 >> (64 - out_bits))
+
+    def __call__(self, key: int) -> int:
+        """Hash one integer key (negative keys are folded into 64 bits)."""
+        x = key & _MASK64
+        h = 0
+        for i in range(_NUM_CHUNKS):
+            h ^= int(self._tables[i][(x >> (i * _CHUNK_BITS)) & 0xFF])
+        return h & int(self._out_mask)
+
+    def hash_batch(self, keys: Sequence[int]) -> np.ndarray:
+        """Vectorized hashing of a key array (uint64 out)."""
+        x = np.asarray(keys, dtype=np.int64).astype(np.uint64)
+        h = np.zeros(len(x), dtype=np.uint64)
+        for i in range(_NUM_CHUNKS):
+            chunk = (x >> np.uint64(i * _CHUNK_BITS)) & np.uint64(0xFF)
+            h ^= self._tables[i][chunk]
+        return h & self._out_mask
+
+    def bucket(self, key: int, num_buckets: int) -> int:
+        """Map a key into ``[0, num_buckets)``."""
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        return self(key) % num_buckets
+
+    def bucket_batch(self, keys: Sequence[int], num_buckets: int) -> np.ndarray:
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        return self.hash_batch(keys) % np.uint64(num_buckets)
+
+
+def max_load(hasher: TabulationHash, keys: Sequence[int], num_buckets: int) -> int:
+    """Largest bucket occupancy — the load-balance figure the dictionary
+    analysis cares about (expected O(log n / log log n) at full load)."""
+    buckets = hasher.bucket_batch(keys, num_buckets)
+    if len(buckets) == 0:
+        return 0
+    return int(np.bincount(buckets.astype(np.int64), minlength=num_buckets).max())

@@ -1,0 +1,246 @@
+"""Work-depth cost ledger for the simulated fork-join machine.
+
+The ledger is the accounting backbone of the whole reproduction: every
+parallel primitive, data-structure operation, and algorithm phase charges
+work and depth here.  The conventions mirror the paper's cost model:
+
+* **Work** is additive: every charge adds to a single global counter (and,
+  optionally, to a per-tag counter so experiments can attribute work to
+  phases such as ``"greedy_match"`` or ``"adjust_cross_edges"``).
+
+* **Depth** composes *sequentially* within a frame (charges add) and
+  *in parallel* across sibling branches of a parallel region (the region
+  contributes the max branch depth to its parent frame).
+
+Typical usage::
+
+    ledger = Ledger()
+    with ledger.measure() as span:
+        ledger.charge(work=n, depth=log2ceil(n))     # e.g. a prefix sum
+        with ledger.parallel() as region:
+            for item in items:
+                with region.branch():
+                    ledger.charge(work=1, depth=1)   # per-branch body
+    span.cost  # Cost(work=n + len(items), depth=log2ceil(n) + 1)
+
+The ledger is deliberately *not* thread-safe: the simulated machine executes
+sequentially, which is what makes the accounting exact and reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+def log2ceil(n: float) -> int:
+    """Ceiling of log2(n), with log2ceil(x) = 1 for x <= 2.
+
+    Used as the canonical "logarithmic depth" charge: primitives on inputs
+    of size ``n`` charge ``log2ceil(n)`` depth.  Defined to be at least 1 so
+    that even constant-size operations consume a unit of depth.
+    """
+    if n <= 2:
+        return 1
+    return int(math.ceil(math.log2(n)))
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An immutable (work, depth) pair.
+
+    Supports the two composition rules of the work-depth model:
+    ``a.then(b)`` for sequential composition and ``Cost.par([...])`` for
+    parallel composition.
+    """
+
+    work: float = 0.0
+    depth: float = 0.0
+
+    def then(self, other: "Cost") -> "Cost":
+        """Sequential composition: work and depth both add."""
+        return Cost(self.work + other.work, self.depth + other.depth)
+
+    @staticmethod
+    def par(costs: Iterable["Cost"]) -> "Cost":
+        """Parallel composition: work adds, depth takes the max."""
+        work = 0.0
+        depth = 0.0
+        for c in costs:
+            work += c.work
+            depth = max(depth, c.depth)
+        return Cost(work, depth)
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return self.then(other)
+
+
+class _Frame:
+    """A sequential accounting frame: accumulates depth charges in order."""
+
+    __slots__ = ("depth",)
+
+    def __init__(self) -> None:
+        self.depth = 0.0
+
+
+class _ParallelRegion:
+    """Collects branch depths; contributes their max to the parent frame."""
+
+    __slots__ = ("_ledger", "_max_branch_depth", "_open")
+
+    def __init__(self, ledger: "Ledger") -> None:
+        self._ledger = ledger
+        self._max_branch_depth = 0.0
+        self._open = True
+
+    @contextmanager
+    def branch(self) -> Iterator[None]:
+        """Open one parallel branch.  Depth charged inside is isolated and
+        folded into the region's running max on exit."""
+        if not self._open:
+            raise RuntimeError("parallel region already closed")
+        frame = _Frame()
+        self._ledger._stack.append(frame)
+        try:
+            yield
+        finally:
+            self._ledger._stack.pop()
+            if frame.depth > self._max_branch_depth:
+                self._max_branch_depth = frame.depth
+
+    def _close(self) -> float:
+        self._open = False
+        return self._max_branch_depth
+
+
+class _Span:
+    """Handle returned by :meth:`Ledger.measure`; holds the measured cost."""
+
+    __slots__ = ("_start_work", "_start_depth", "cost", "_ledger")
+
+    def __init__(self, ledger: "Ledger") -> None:
+        self._ledger = ledger
+        self._start_work = ledger.work
+        self._start_depth = ledger._stack[-1].depth
+        self.cost: Optional[Cost] = None
+
+    def _finish(self) -> None:
+        self.cost = Cost(
+            self._ledger.work - self._start_work,
+            self._ledger._stack[-1].depth - self._start_depth,
+        )
+
+
+class Ledger:
+    """Accumulates work and depth for a simulated fork-join computation.
+
+    Attributes
+    ----------
+    work:
+        Total work charged since construction (or :meth:`reset`).
+    by_tag:
+        Per-tag work counters, for attributing cost to algorithm phases.
+    """
+
+    def __init__(self) -> None:
+        self.work: float = 0.0
+        self.by_tag: Dict[str, float] = {}
+        self._stack: List[_Frame] = [_Frame()]
+
+    # ------------------------------------------------------------------ #
+    # Charging
+    # ------------------------------------------------------------------ #
+    def charge(self, work: float = 0.0, depth: float = 0.0, tag: Optional[str] = None) -> None:
+        """Charge ``work`` units of work and ``depth`` units of sequential
+        depth to the current frame.  ``tag`` attributes the work to a phase."""
+        if work < 0 or depth < 0:
+            raise ValueError("work and depth charges must be non-negative")
+        self.work += work
+        self._stack[-1].depth += depth
+        if tag is not None:
+            self.by_tag[tag] = self.by_tag.get(tag, 0.0) + work
+
+    def charge_cost(self, cost: Cost, tag: Optional[str] = None) -> None:
+        """Charge a pre-composed :class:`Cost`."""
+        self.charge(cost.work, cost.depth, tag=tag)
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def parallel(self) -> Iterator[_ParallelRegion]:
+        """Open a parallel region.  Use ``region.branch()`` per parallel
+        task; on exit the max branch depth is added to the enclosing frame."""
+        region = _ParallelRegion(self)
+        try:
+            yield region
+        finally:
+            self._stack[-1].depth += region._close()
+
+    @contextmanager
+    def measure(self) -> Iterator[_Span]:
+        """Measure the cost of a block.  ``span.cost`` is set on exit.
+
+        Measurement is purely observational: charges inside still flow to
+        the ledger's totals.
+        """
+        span = _Span(self)
+        try:
+            yield span
+        finally:
+            span._finish()
+
+    # ------------------------------------------------------------------ #
+    # Introspection / control
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> float:
+        """Depth accumulated in the root frame (total sequential depth)."""
+        return self._stack[0].depth
+
+    def snapshot(self) -> Cost:
+        """Current (work, root-depth) totals as a :class:`Cost`."""
+        return Cost(self.work, self.depth)
+
+    def reset(self) -> None:
+        """Zero all counters.  Must not be called inside an open region."""
+        if len(self._stack) != 1:
+            raise RuntimeError("cannot reset ledger inside an open parallel region")
+        self.work = 0.0
+        self.by_tag.clear()
+        self._stack = [_Frame()]
+
+
+class NullLedger(Ledger):
+    """A ledger that discards all charges.
+
+    Handy for running the algorithms without accounting overhead (e.g. in
+    wall-clock benchmarks where only the output matters).
+    """
+
+    def charge(self, work: float = 0.0, depth: float = 0.0, tag: Optional[str] = None) -> None:  # noqa: D102
+        if work < 0 or depth < 0:
+            raise ValueError("work and depth charges must be non-negative")
+
+
+def parallel_for(ledger: Ledger, items: Iterable, body, per_item_depth: Optional[float] = None):
+    """Run ``body(item)`` for every item as one parallel region.
+
+    Work charged inside each call accumulates; depth contributed by the loop
+    is the *max* over iterations (plus nothing else).  If ``per_item_depth``
+    is given, each iteration additionally charges that flat depth (a common
+    shorthand for "each branch is a constant-depth body").
+
+    Returns the list of ``body`` return values, in iteration order.
+    """
+    results = []
+    with ledger.parallel() as region:
+        for item in items:
+            with region.branch():
+                if per_item_depth is not None:
+                    ledger.charge(depth=per_item_depth)
+                results.append(body(item))
+    return results

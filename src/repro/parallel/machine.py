@@ -1,0 +1,93 @@
+"""Simulated parallel machine: Brent's bound and speedup curves.
+
+A fork-join computation with work ``W`` and depth ``D`` can be executed by a
+greedy scheduler on ``p`` processors in time ``T_p <= W/p + D`` (Brent's
+theorem).  The paper's preliminaries note that mapping fork-join algorithms
+onto the PRAM costs at most an extra ``O(log* W)`` factor, so Brent's bound
+is the right first-order model for "how fast would this run on p cores".
+
+This module turns ledger measurements into simulated running times and
+speedup curves, which experiment E9 uses to show how batch-parallelism pays
+off as batches grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.parallel.ledger import Cost
+
+
+def brent_time(cost: Cost, processors: int) -> float:
+    """Greedy-scheduler running time upper bound: ``W/p + D``."""
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    return cost.work / processors + cost.depth
+
+
+def speedup(cost: Cost, processors: int) -> float:
+    """Speedup of ``p`` processors over 1 (using Brent's bound both sides)."""
+    return brent_time(cost, 1) / brent_time(cost, processors)
+
+
+def parallelism(cost: Cost) -> float:
+    """Average parallelism ``W/D`` — the asymptote of the speedup curve."""
+    if cost.depth == 0:
+        return float("inf") if cost.work > 0 else 1.0
+    return cost.work / cost.depth
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A simulated machine with a fixed processor count.
+
+    Examples
+    --------
+    >>> m = Machine(processors=16)
+    >>> m.time(Cost(work=1600, depth=10))
+    110.0
+    """
+
+    processors: int = 1
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+
+    def time(self, cost: Cost) -> float:
+        """Simulated running time for ``cost`` on this machine."""
+        return brent_time(cost, self.processors)
+
+    def speedup(self, cost: Cost) -> float:
+        """Speedup over the single-processor machine."""
+        return speedup(cost, self.processors)
+
+
+def speedup_curve(cost: Cost, processor_counts: Sequence[int]) -> Dict[int, float]:
+    """Speedup at each processor count; the raw material of experiment E9."""
+    return {p: speedup(cost, p) for p in processor_counts}
+
+
+def aggregate_costs(costs: Iterable[Cost]) -> Cost:
+    """Sequentially compose a stream of per-batch costs.
+
+    Batches are dependent (each sees the structure the previous one left),
+    so their costs compose sequentially: total work adds and total depth
+    adds.
+    """
+    total = Cost()
+    for c in costs:
+        total = total.then(c)
+    return total
+
+
+def critical_batch(costs: Sequence[Cost]) -> int:
+    """Index of the batch with the largest depth (the depth bottleneck)."""
+    if not costs:
+        raise ValueError("no costs given")
+    best = 0
+    for i, c in enumerate(costs):
+        if c.depth > costs[best].depth:
+            best = i
+    return best

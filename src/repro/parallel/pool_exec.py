@@ -1,0 +1,74 @@
+"""Optional real-parallel executor for round-synchronous loops.
+
+Everything in this reproduction is *accounted* on the simulated fork-join
+machine (see :mod:`repro.parallel.ledger`), because CPython's GIL rules out
+fine-grained parallelism.  The batch algorithms are nevertheless genuinely
+round-synchronous — each round of the greedy matcher processes its root set
+independently — so, to demonstrate that the structure really parallelizes,
+this module provides a coarse-grained process-pool map.
+
+It is intentionally tiny: chunked ``map`` with a serial fallback.  The
+function must be picklable (top-level, no closures over unpicklable state).
+None of the reported experiment numbers depend on it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def default_workers() -> int:
+    """A conservative worker count: physical-ish cores, at least 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def chunked(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced chunks."""
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    n = len(items)
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
+    base, extra = divmod(n, n_chunks)
+    out: List[List[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def pool_map(
+    fn: Callable[[T], U],
+    items: Sequence[T],
+    workers: int = 0,
+    serial_threshold: int = 64,
+) -> List[U]:
+    """Map ``fn`` over ``items`` using a process pool.
+
+    Falls back to a serial map when the input is small (process startup
+    would dominate) or when ``workers <= 1``.  Results keep input order.
+    """
+    if workers <= 0:
+        workers = default_workers()
+    if workers == 1 or len(items) < serial_threshold:
+        return [fn(x) for x in items]
+    chunks = chunked(items, workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        chunk_results = list(pool.map(_apply_chunk, [(fn, c) for c in chunks]))
+    out: List[U] = []
+    for sub in chunk_results:
+        out.extend(sub)
+    return out
+
+
+def _apply_chunk(arg):
+    fn, chunk = arg
+    return [fn(x) for x in chunk]

@@ -1,0 +1,58 @@
+"""Parallel random permutation.
+
+The paper relies on generating a uniformly random permutation of the edges
+in O(n) expected work and O(log n) depth (Gil, Matias & Vishkin).  We use
+NumPy's Fisher–Yates (sequentially exact, uniform) and charge the model
+cost of the parallel algorithm.
+
+Priorities vs. permutations
+---------------------------
+The greedy matching algorithms consume the permutation as a *priority map*
+``pi: index -> rank``; ties never occur because ranks are a permutation of
+``0..n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.parallel.ledger import Ledger, log2ceil
+
+
+def random_permutation(ledger: Ledger, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniformly random permutation of ``range(n)``.
+
+    Charges O(n) work and O(log n) depth, per Gil–Matias–Vishkin.
+
+    Parameters
+    ----------
+    ledger:
+        Cost ledger to charge.
+    n:
+        Length of the permutation.
+    rng:
+        NumPy generator; a fresh default generator is used if omitted
+        (callers that need reproducibility must pass one).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    ledger.charge(work=n, depth=log2ceil(max(n, 2)), tag="random_permutation")
+    if rng is None:
+        rng = np.random.default_rng()
+    return rng.permutation(n)
+
+
+def random_priorities(ledger: Ledger, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Priority array ``pri`` with ``pri[i]`` = rank of item ``i``.
+
+    ``random_permutation`` returns the permutation as an item *ordering*;
+    this returns its inverse, which is the form the matching algorithms
+    index by edge.  Same cost charge.
+    """
+    perm = random_permutation(ledger, n, rng)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(n)
+    ledger.charge(work=n, depth=log2ceil(max(n, 2)), tag="random_permutation")
+    return inv

@@ -1,0 +1,177 @@
+"""Discrete-event simulation of a greedy scheduler on a fork-join DAG.
+
+The :class:`~repro.parallel.ledger.Ledger` gives closed-form bounds
+(Brent: T_p <= W/p + D).  This module complements it with an *operational*
+model: build an explicit task DAG (fork-join computations are series-
+parallel DAGs, but arbitrary DAGs are accepted), then simulate a greedy
+list scheduler on ``p`` workers event by event.  Greedy scheduling theory
+guarantees the simulated makespan lands in ``[max(W/p, D), W/p + D]``;
+the tests assert exactly that envelope, tying the two models together.
+
+Typical use::
+
+    g = TaskGraph()
+    a = g.task(work=3)
+    b = g.task(work=5, deps=[a])
+    c = g.task(work=2, deps=[a])
+    d = g.task(work=1, deps=[b, c])
+    GreedyScheduler(workers=2).run(g).makespan
+
+``spawn_tree`` builds the balanced fork tree a ``parallel_for`` induces,
+for experiments on scheduler behaviour vs. fan-out.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class _Task:
+    tid: int
+    work: float
+    deps: Tuple[int, ...]
+    unmet: int = 0  # filled by the scheduler
+
+
+class TaskGraph:
+    """A DAG of tasks with positive work, built incrementally.
+
+    Dependencies must reference already-created tasks, which makes cycles
+    impossible by construction.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: List[_Task] = []
+        self._children: Dict[int, List[int]] = {}
+
+    def task(self, work: float = 1.0, deps: Sequence[int] = ()) -> int:
+        """Add a task; returns its id."""
+        if work <= 0:
+            raise ValueError("task work must be positive")
+        tid = len(self._tasks)
+        deps = tuple(dict.fromkeys(deps))  # dedupe, keep order
+        for d in deps:
+            if not (0 <= d < tid):
+                raise ValueError(f"dependency {d} does not exist yet")
+        self._tasks.append(_Task(tid=tid, work=float(work), deps=deps))
+        for d in deps:
+            self._children.setdefault(d, []).append(tid)
+        return tid
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def total_work(self) -> float:
+        return sum(t.work for t in self._tasks)
+
+    @property
+    def critical_path(self) -> float:
+        """Longest weighted path (the DAG's depth D)."""
+        dist: List[float] = [0.0] * len(self._tasks)
+        for t in self._tasks:  # ids are topological by construction
+            start = max((dist[d] for d in t.deps), default=0.0)
+            dist[t.tid] = start + t.work
+        return max(dist, default=0.0)
+
+    def children(self, tid: int) -> List[int]:
+        return self._children.get(tid, [])
+
+    def tasks(self) -> List[_Task]:
+        return list(self._tasks)
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a simulated run."""
+
+    makespan: float
+    workers: int
+    start_times: Dict[int, float]
+    finish_times: Dict[int, float]
+    busy_time: float  # total worker-seconds spent working
+
+    @property
+    def utilization(self) -> float:
+        denom = self.makespan * self.workers
+        return self.busy_time / denom if denom else 1.0
+
+
+class GreedyScheduler:
+    """Greedy (work-conserving) list scheduler: never idles a worker while
+    a ready task exists.  Ready tasks run in FIFO order of becoming ready
+    (ties by task id), so runs are deterministic."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run(self, graph: TaskGraph) -> ScheduleResult:
+        tasks = graph.tasks()
+        if not tasks:
+            return ScheduleResult(0.0, self.workers, {}, {}, 0.0)
+        unmet = {t.tid: len(t.deps) for t in tasks}
+        ready: List[Tuple[float, int]] = []  # (ready_time, tid), FIFO by heap
+        for t in tasks:
+            if unmet[t.tid] == 0:
+                heapq.heappush(ready, (0.0, t.tid))
+
+        running: List[Tuple[float, int]] = []  # (finish_time, tid)
+        start: Dict[int, float] = {}
+        finish: Dict[int, float] = {}
+        now = 0.0
+        busy = 0.0
+
+        while ready or running:
+            # Fill idle workers with ready tasks whose ready_time <= now.
+            while ready and len(running) < self.workers and ready[0][0] <= now:
+                _, tid = heapq.heappop(ready)
+                start[tid] = now
+                f = now + tasks[tid].work
+                busy += tasks[tid].work
+                heapq.heappush(running, (f, tid))
+            if not running:
+                # all workers idle: jump to the next ready time
+                now = ready[0][0]
+                continue
+            # Advance to the next completion.
+            now, tid = heapq.heappop(running)
+            finish[tid] = now
+            for c in graph.children(tid):
+                unmet[c] -= 1
+                if unmet[c] == 0:
+                    heapq.heappush(ready, (now, c))
+
+        return ScheduleResult(
+            makespan=now,
+            workers=self.workers,
+            start_times=start,
+            finish_times=finish,
+            busy_time=busy,
+        )
+
+
+def spawn_tree(graph: TaskGraph, leaves: int, leaf_work: float = 1.0, node_work: float = 0.0) -> List[int]:
+    """Build the balanced binary fork tree of a parallel_for over
+    ``leaves`` iterations; returns the leaf task ids.
+
+    Interior fork nodes get ``node_work`` (0 omits them, attaching leaves
+    directly to the root); the returned leaves carry ``leaf_work`` each.
+    """
+    if leaves < 1:
+        raise ValueError("need at least one leaf")
+    root = graph.task(work=max(node_work, 1e-9))
+
+    def build(count: int, parent: int) -> List[int]:
+        if count == 1:
+            return [graph.task(work=leaf_work, deps=[parent])]
+        node = graph.task(work=max(node_work, 1e-9), deps=[parent])
+        left = build(count // 2, node)
+        right = build(count - count // 2, node)
+        return left + right
+
+    return build(leaves, root)

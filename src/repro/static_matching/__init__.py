@@ -1,0 +1,31 @@
+"""Static maximal (hyper)matching — Section 3 of the paper.
+
+Two implementations of random greedy maximal matching, both returning the
+matching *augmented with sample spaces* (Lemma 3.1):
+
+* :func:`sequential_greedy_match` — the one-pass greedy over a random
+  permutation (Fig. 1, left).
+* :func:`parallel_greedy_match` — the round-synchronous work-efficient
+  algorithm (Fig. 1, right): O(m') expected work, O(log^2 m) depth whp
+  (Theorem 3.3), with O(log m) rounds whp (Fischer–Noever).
+
+Both produce the *same* matching and the same sample spaces for the same
+priority assignment — the key fact (from Blelloch–Fineman–Shun) that lets
+the paper analyze the sequential process and run the parallel one.
+
+:mod:`repro.static_matching.price` implements the price/charging process of
+§3.1 (Lemmas 3.4 and 3.5), used by experiment E6.
+"""
+
+from repro.static_matching.result import MatchResult, Matched
+from repro.static_matching.sequential_greedy import sequential_greedy_match
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.static_matching.price import DeletionPriceProcess
+
+__all__ = [
+    "MatchResult",
+    "Matched",
+    "sequential_greedy_match",
+    "parallel_greedy_match",
+    "DeletionPriceProcess",
+]

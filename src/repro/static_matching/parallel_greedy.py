@@ -1,0 +1,210 @@
+"""Work-efficient parallel greedy maximal matching (Fig. 1, right).
+
+Round-synchronous simulation of the paper's algorithm:
+
+* each vertex ``v`` keeps ``edges(v)`` — its incident edges sorted by
+  priority — and a pointer ``top(v)`` to the highest-priority remaining one;
+* each edge keeps a counter of how many of its vertices currently have it
+  on top; an edge is a *root* when the counter reaches its cardinality;
+* each round matches all roots, assigns every remaining edge adjacent to a
+  root to the sample space of its minimum-priority adjacent root, removes
+  the finished edges, and advances top pointers with ``findNext``
+  (``updateTop``), which may surface new roots.
+
+Cost (Theorem 3.3): O(m') expected work — the top pointers slide a total of
+O(m') positions (Lemma 3.2) — and O(log^2 m) depth whp: O(log m) rounds
+(Fischer–Noever) times O(log m) depth per round.
+
+The MATCHING is identical to
+:func:`~repro.static_matching.sequential_greedy.sequential_greedy_match`
+run with the same priorities (Blelloch–Fineman–Shun); the test suite
+verifies this exhaustively.  The SAMPLE SPACES can differ: this code
+follows the paper's pseudocode, which assigns each removed edge to its
+minimum-priority adjacent root *of the round it dies in*, whereas the
+sequential pass assigns it to the match that kills it in priority order.
+Both assignments satisfy Lemma 3.1, and experiment E6 verifies the §3.1
+price bound empirically for both (see EXPERIMENTS.md, "Deviations").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.hypergraph.edge import Edge, EdgeId, Vertex
+from repro.parallel.ledger import Ledger, NullLedger, log2ceil
+from repro.parallel.findnext import find_next
+from repro.parallel.semisort import group_by
+from repro.parallel.sorting import sort_by_priority
+from repro.static_matching.result import Matched, MatchResult
+from repro.static_matching.sequential_greedy import _assign_priorities
+
+
+class _State:
+    """Mutable per-run state: vertex lists, top pointers, counters, flags."""
+
+    __slots__ = (
+        "pri",
+        "vertex_edges",
+        "top",
+        "counter",
+        "done",
+        "neighbors",
+        "edge_by_id",
+    )
+
+    def __init__(self, edges: Sequence[Edge], pri: Dict[EdgeId, int], ledger: Ledger) -> None:
+        self.pri = pri
+        self.edge_by_id: Dict[EdgeId, Edge] = {e.eid: e for e in edges}
+        # edges(v): incident edges sorted by priority.  Per Fig. 1, radix
+        # sort E once globally by pi, then append to the per-vertex lists
+        # in that order — each list comes out sorted, O(m') total.
+        by_pri = sort_by_priority(ledger, list(edges), lambda e: pri[e.eid], len(edges))
+        self.vertex_edges: Dict[Vertex, List[Edge]] = {}
+        for e in by_pri:
+            for v in e.vertices:
+                self.vertex_edges.setdefault(v, []).append(e)
+        self.top: Dict[Vertex, int] = {v: 0 for v in self.vertex_edges}
+        self.counter: Dict[EdgeId, int] = {e.eid: 0 for e in edges}
+        self.done: Dict[EdgeId, bool] = {e.eid: False for e in edges}
+        # neighbors(v) "linked list": insertion-ordered dict of alive edges.
+        self.neighbors: Dict[Vertex, Dict[EdgeId, Edge]] = {
+            v: {e.eid: e for e in lst} for v, lst in self.vertex_edges.items()
+        }
+
+    def alive_neighbors(self, edge: Edge) -> List[Edge]:
+        """Remaining edges incident on ``edge`` (excluding itself)."""
+        seen: Set[EdgeId] = set()
+        out: List[Edge] = []
+        for v in edge.vertices:
+            for eid, e in self.neighbors.get(v, {}).items():
+                if eid != edge.eid and eid not in seen:
+                    seen.add(eid)
+                    out.append(e)
+        return out
+
+    def delete_edge(self, edge: Edge) -> None:
+        """Unlink a finished edge from every neighbour list (O(|e|))."""
+        for v in edge.vertices:
+            bucket = self.neighbors.get(v)
+            if bucket is not None:
+                bucket.pop(edge.eid, None)
+
+
+def _update_top(state: _State, v: Vertex, ledger: Ledger) -> Optional[Edge]:
+    """The paper's ``updateTop``: advance v's pointer past done edges,
+    increment the new top's counter, and return it if it became a root."""
+    lst = state.vertex_edges[v]
+    t = state.top[v]
+    if t >= len(lst) or not state.done[lst[t].eid]:
+        ledger.charge(work=1, depth=1, tag="update_top")
+        return None
+    t = find_next(ledger, t, len(lst), lambda j: not state.done[lst[j].eid])
+    state.top[v] = t
+    if t == len(lst):
+        return None
+    e_t = lst[t]
+    state.counter[e_t.eid] += 1
+    ledger.charge(work=1, depth=1, tag="update_top")
+    if state.counter[e_t.eid] == e_t.cardinality:
+        return e_t
+    return None
+
+
+def parallel_greedy_match(
+    edges: Sequence[Edge],
+    ledger: Optional[Ledger] = None,
+    rng: Optional[np.random.Generator] = None,
+    priorities: Optional[Dict[EdgeId, int]] = None,
+) -> MatchResult:
+    """Round-synchronous random greedy maximal matching.
+
+    Same interface and output as :func:`sequential_greedy_match`; charges
+    the parallel model's work and depth to ``ledger``.
+    """
+    if ledger is None:
+        ledger = NullLedger()
+    edges = list(edges)
+    if len({e.eid for e in edges}) != len(edges):
+        raise ValueError("duplicate edge ids in input")
+    m = len(edges)
+    if m == 0:
+        return MatchResult(matches=[], rounds=0, priorities={})
+
+    pri = _assign_priorities(edges, ledger, rng, priorities)
+    state = _State(edges, pri, ledger)
+
+    m_prime = sum(e.cardinality for e in edges)
+    # Distributing the sorted edges into per-vertex lists: O(m') work.
+    ledger.charge(work=m_prime, depth=log2ceil(max(m, 2)), tag="par_sort")
+
+    # Initial top counters and root set.
+    with ledger.parallel() as region:
+        for v, lst in state.vertex_edges.items():
+            with region.branch():
+                ledger.charge(work=1, depth=1, tag="par_init")
+                state.counter[lst[0].eid] += 1
+    roots: List[Edge] = [e for e in edges if state.counter[e.eid] == e.cardinality]
+    ledger.charge(work=m, depth=log2ceil(max(m, 2)), tag="par_init")
+
+    matches: List[Matched] = []
+    rounds = 0
+    while roots:
+        rounds += 1
+        # Deterministic processing order (priority) — matches are reported
+        # in the same order regardless of root-set iteration order.
+        roots.sort(key=lambda e: pri[e.eid])
+
+        # (n, w) pairs: every remaining edge adjacent to a root, plus the
+        # root itself, keyed by the non-root edge n.
+        pairs = []
+        for w in roots:
+            pairs.append((w.eid, w))
+            for n in state.alive_neighbors(w):
+                pairs.append((n.eid, w))
+        grouped = group_by(ledger, pairs)
+
+        # Each edge n goes to the sample space of its min-priority adjacent
+        # root (the root itself trivially maps to itself).
+        sample_of: Dict[EdgeId, List[Edge]] = {w.eid: [] for w in roots}
+        min_in = []
+        for n_eid, adj_roots in grouped:
+            best = min(adj_roots, key=lambda w: pri[w.eid])
+            min_in.append((best.eid, state.edge_by_id[n_eid]))
+        for w_eid, n_edge in min_in:
+            sample_of[w_eid].append(n_edge)
+        ledger.charge(work=len(pairs), depth=log2ceil(max(len(pairs), 2)), tag="par_assign")
+
+        for w in roots:
+            samples = sorted(sample_of[w.eid], key=lambda e: (e.eid != w.eid, pri[e.eid]))
+            matches.append(Matched(edge=w, samples=samples))
+
+        # finished = W ∪ N(W): mark done, unlink, gather touched vertices.
+        finished: Dict[EdgeId, Edge] = {}
+        for w in roots:
+            finished[w.eid] = w
+            for n in state.alive_neighbors(w):
+                finished[n.eid] = n
+        touched: Dict[Vertex, None] = {}
+        with ledger.parallel() as region:
+            for e in finished.values():
+                with region.branch():
+                    ledger.charge(work=e.cardinality, depth=1, tag="par_delete")
+                    state.done[e.eid] = True
+                    for v in e.vertices:
+                        touched[v] = None
+        for e in finished.values():
+            state.delete_edge(e)
+
+        # updateTop on every touched vertex; new roots surface here.
+        new_roots: List[Edge] = []
+        with ledger.parallel() as region:
+            for v in touched:
+                with region.branch():
+                    r = _update_top(state, v, ledger)
+                    if r is not None:
+                        new_roots.append(r)
+        roots = new_roots
+
+    return MatchResult(matches=matches, rounds=rounds, priorities=pri)

@@ -1,0 +1,121 @@
+"""Public testing utilities: reference-checked randomized workout.
+
+Downstream users embedding :class:`~repro.core.DynamicMatching` (or any
+object with the shared algorithm interface) can fuzz their integration
+with the same machinery our own suite uses: drive random batch scripts
+against an independent plain-hypergraph mirror and verify maximality (and
+full Definition 4.1 invariants, when available) after every step.
+
+Typical use in a downstream test::
+
+    from repro.testing import random_workout
+
+    def test_my_wrapper_stays_maximal():
+        random_workout(lambda: MyWrapper(...), seed=7, steps=40)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass
+class WorkoutResult:
+    """What a workout did: sizes of the batches it applied."""
+
+    insert_batches: int = 0
+    delete_batches: int = 0
+    inserted: int = 0
+    deleted: int = 0
+
+    @property
+    def steps(self) -> int:
+        return self.insert_batches + self.delete_batches
+
+
+def random_workout(
+    make_algo: Callable[[], object],
+    seed: int,
+    steps: int = 30,
+    max_vertices: int = 10,
+    max_rank: int = 2,
+    max_batch: int = 12,
+    matched_bias: float = 0.3,
+    check_invariants: bool = True,
+) -> WorkoutResult:
+    """Drive random insert/delete batches and verify after every step.
+
+    Parameters
+    ----------
+    make_algo:
+        Zero-arg factory for the object under test (fresh per workout).
+        Must expose ``insert_edges`` / ``delete_edges`` / ``matched_ids``.
+    seed:
+        Drives the WORKLOAD randomness only; the algorithm's own seed is
+        whatever ``make_algo`` chose (keeping the oblivious boundary).
+    matched_bias:
+        Probability that a delete step targets currently-matched edges —
+        the expensive path worth stressing.
+    check_invariants:
+        Also call ``algo.check_invariants()`` if the object has it.
+
+    Raises ``AssertionError`` on the first violation.
+    """
+    rng = np.random.default_rng(seed)
+    algo = make_algo()
+    mirror = Hypergraph()
+    next_eid = 0
+    result = WorkoutResult()
+
+    for _ in range(steps):
+        live = mirror.edge_ids()
+        do_insert = not live or rng.random() < 0.55
+        if do_insert:
+            k = int(rng.integers(0, max_batch + 1))
+            batch: List[Edge] = []
+            for _ in range(k):
+                card = int(rng.integers(1, max_rank + 1))
+                vs = rng.choice(max_vertices, size=card, replace=False)
+                batch.append(Edge(next_eid, [int(v) for v in vs]))
+                next_eid += 1
+            algo.insert_edges(batch)
+            mirror.add_edges(batch)
+            result.insert_batches += 1
+            result.inserted += len(batch)
+        else:
+            if rng.random() < matched_bias:
+                matched = list(algo.matched_ids())
+                pool = matched if matched else live
+            else:
+                pool = live
+            k = int(rng.integers(1, min(len(pool), max_batch) + 1))
+            idx = rng.choice(len(pool), size=k, replace=False)
+            eids = [pool[i] for i in idx]
+            algo.delete_edges(eids)
+            mirror.remove_edges(eids)
+            result.delete_batches += 1
+            result.deleted += len(eids)
+
+        matched_now = algo.matched_ids()
+        assert mirror.is_maximal_matching(matched_now), (
+            "matching not maximal after step"
+        )
+        if check_invariants and hasattr(algo, "check_invariants"):
+            algo.check_invariants()
+
+    return result
+
+
+def drain(algo, mirror_ids: Optional[List[int]] = None) -> None:
+    """Delete everything currently in ``algo`` (empty-to-empty closure)."""
+    if mirror_ids is None:
+        mirror_ids = [e.eid for e in algo.structure.all_edges()]
+    if mirror_ids:
+        algo.delete_edges(mirror_ids)
+    assert len(algo) == 0

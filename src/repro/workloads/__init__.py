@@ -1,0 +1,59 @@
+"""Workload generation: graph families, update streams, adversaries.
+
+The paper has no public inputs, so experiments run on the synthetic
+families standard in the dynamic-matching literature (random graphs and
+r-uniform hypergraphs, paths/grids/stars, preferential attachment) under
+oblivious update streams (insert/delete batch sequences generated without
+access to the algorithm's random seed).
+
+* :mod:`repro.workloads.generators` — edge-set factories;
+* :mod:`repro.workloads.streams` — batch update streams;
+* :mod:`repro.workloads.adversary` — oblivious deletion adversaries;
+* :mod:`repro.workloads.runner` — drive any matching algorithm over a
+  stream, collecting per-batch costs and (optionally) checking maximality.
+"""
+
+from repro.workloads.generators import (
+    complete_graph_edges,
+    cycle_edges,
+    erdos_renyi_edges,
+    grid_edges,
+    path_edges,
+    preferential_attachment_edges,
+    random_hypergraph_edges,
+    star_edges,
+)
+from repro.workloads.streams import (
+    UpdateBatch,
+    churn_stream,
+    insert_then_delete_stream,
+    sliding_window_stream,
+)
+from repro.workloads.adversary import (
+    FifoAdversary,
+    LifoAdversary,
+    RandomOrderAdversary,
+    VertexTargetingAdversary,
+)
+from repro.workloads.runner import RunRecord, run_stream
+
+__all__ = [
+    "erdos_renyi_edges",
+    "random_hypergraph_edges",
+    "path_edges",
+    "cycle_edges",
+    "grid_edges",
+    "star_edges",
+    "complete_graph_edges",
+    "preferential_attachment_edges",
+    "UpdateBatch",
+    "insert_then_delete_stream",
+    "sliding_window_stream",
+    "churn_stream",
+    "FifoAdversary",
+    "LifoAdversary",
+    "RandomOrderAdversary",
+    "VertexTargetingAdversary",
+    "RunRecord",
+    "run_stream",
+]

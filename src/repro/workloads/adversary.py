@@ -1,0 +1,92 @@
+"""Oblivious deletion adversaries.
+
+The paper's guarantees hold against an *oblivious* adversary: one that
+knows the algorithm and the graph but fixes its update sequence without
+observing the algorithm's coin flips.  Every adversary here consumes only
+the edge set (ids, vertices, insertion order) and its own independent RNG —
+never algorithm state — which keeps the boundary honest by construction.
+
+Each adversary maps an edge list to a deletion *order*; streams chop that
+order into batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hypergraph.edge import Edge, EdgeId
+
+
+class Adversary:
+    """Base class: produce a deletion order over the given edges."""
+
+    def deletion_order(self, edges: Sequence[Edge]) -> List[EdgeId]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class FifoAdversary(Adversary):
+    """Delete in insertion order (oldest first) — the sliding-window case."""
+
+    def deletion_order(self, edges: Sequence[Edge]) -> List[EdgeId]:
+        return [e.eid for e in edges]
+
+
+class LifoAdversary(Adversary):
+    """Delete newest first."""
+
+    def deletion_order(self, edges: Sequence[Edge]) -> List[EdgeId]:
+        return [e.eid for e in reversed(edges)]
+
+
+class RandomOrderAdversary(Adversary):
+    """Uniformly random deletion order (independent of algorithm RNG)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def deletion_order(self, edges: Sequence[Edge]) -> List[EdgeId]:
+        ids = [e.eid for e in edges]
+        self.rng.shuffle(ids)
+        return ids
+
+
+class VertexTargetingAdversary(Adversary):
+    """Delete edges vertex-by-vertex, densest vertex first.
+
+    Clearing out a high-degree vertex repeatedly hits whatever match covers
+    it, maximizing matched-edge deletions — the expensive case the paper's
+    sampling defends against.  Still oblivious: degree is a property of the
+    graph, not of the algorithm's coins.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def deletion_order(self, edges: Sequence[Edge]) -> List[EdgeId]:
+        degree: dict = {}
+        for e in edges:
+            for v in e.vertices:
+                degree[v] = degree.get(v, 0) + 1
+        order_v = sorted(degree, key=lambda v: (-degree[v], v))
+        emitted: set = set()
+        order: List[EdgeId] = []
+        by_vertex: dict = {}
+        for e in edges:
+            for v in e.vertices:
+                by_vertex.setdefault(v, []).append(e)
+        for v in order_v:
+            bucket = by_vertex.get(v, [])
+            self.rng.shuffle(bucket)
+            for e in bucket:
+                if e.eid not in emitted:
+                    emitted.add(e.eid)
+                    order.append(e.eid)
+        return order
+
+
+ALL_ADVERSARIES = (FifoAdversary, LifoAdversary, RandomOrderAdversary, VertexTargetingAdversary)

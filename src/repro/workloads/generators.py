@@ -1,0 +1,156 @@
+"""Edge-set generators for graphs and bounded-rank hypergraphs.
+
+All generators are deterministic given an explicit NumPy generator and
+allocate edge ids sequentially from ``start_eid``, so streams built from
+several generator calls never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.hypergraph.edge import Edge
+
+
+def _require_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def erdos_renyi_edges(
+    n: int,
+    m: int,
+    rng: Optional[np.random.Generator] = None,
+    start_eid: int = 0,
+    allow_parallel: bool = False,
+) -> List[Edge]:
+    """``m`` edges drawn uniformly over pairs of ``n`` vertices (G(n, m)).
+
+    With ``allow_parallel=False`` (default), distinct vertex pairs are
+    enforced via rejection; requires ``m <= n(n-1)/2``.
+    """
+    rng = _require_rng(rng)
+    max_m = n * (n - 1) // 2
+    if not allow_parallel and m > max_m:
+        raise ValueError(f"m={m} exceeds the {max_m} distinct pairs on {n} vertices")
+    edges: List[Edge] = []
+    seen: set = set()
+    eid = start_eid
+    while len(edges) < m:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if not allow_parallel:
+            if key in seen:
+                continue
+            seen.add(key)
+        edges.append(Edge(eid, key))
+        eid += 1
+    return edges
+
+
+def random_hypergraph_edges(
+    n: int,
+    m: int,
+    rank: int,
+    rng: Optional[np.random.Generator] = None,
+    start_eid: int = 0,
+    uniform: bool = True,
+) -> List[Edge]:
+    """``m`` random hyperedges over ``n`` vertices with cardinality
+    exactly ``rank`` (``uniform=True``) or uniform in ``[2, rank]``."""
+    rng = _require_rng(rng)
+    if rank < 1 or rank > n:
+        raise ValueError("need 1 <= rank <= n")
+    edges: List[Edge] = []
+    for i in range(m):
+        k = rank if uniform else int(rng.integers(min(2, rank), rank + 1))
+        vs = rng.choice(n, size=k, replace=False)
+        edges.append(Edge(start_eid + i, [int(x) for x in vs]))
+    return edges
+
+
+def path_edges(n: int, start_eid: int = 0) -> List[Edge]:
+    """The path on ``n`` vertices (n-1 edges)."""
+    return [Edge(start_eid + i, (i, i + 1)) for i in range(n - 1)]
+
+
+def cycle_edges(n: int, start_eid: int = 0) -> List[Edge]:
+    """The cycle on ``n`` vertices."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    edges = [Edge(start_eid + i, (i, i + 1)) for i in range(n - 1)]
+    edges.append(Edge(start_eid + n - 1, (n - 1, 0)))
+    return edges
+
+
+def grid_edges(rows: int, cols: int, start_eid: int = 0) -> List[Edge]:
+    """The rows x cols grid graph."""
+    edges: List[Edge] = []
+    eid = start_eid
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append(Edge(eid, (vid(r, c), vid(r, c + 1))))
+                eid += 1
+            if r + 1 < rows:
+                edges.append(Edge(eid, (vid(r, c), vid(r + 1, c))))
+                eid += 1
+    return edges
+
+
+def star_edges(n: int, start_eid: int = 0) -> List[Edge]:
+    """The star with center 0 and ``n - 1`` leaves — the classic hard case
+    for naive dynamic matching (one vertex of degree n-1)."""
+    return [Edge(start_eid + i, (0, i + 1)) for i in range(n - 1)]
+
+
+def complete_graph_edges(n: int, start_eid: int = 0) -> List[Edge]:
+    """K_n."""
+    edges: List[Edge] = []
+    eid = start_eid
+    for u in range(n):
+        for v in range(u + 1, n):
+            edges.append(Edge(eid, (u, v)))
+            eid += 1
+    return edges
+
+
+def preferential_attachment_edges(
+    n: int,
+    attach: int,
+    rng: Optional[np.random.Generator] = None,
+    start_eid: int = 0,
+) -> List[Edge]:
+    """Barabási–Albert preferential attachment (power-law degrees), via
+    networkx; a realistic skewed-degree workload."""
+    rng = _require_rng(rng)
+    g = nx.barabasi_albert_graph(n, attach, seed=int(rng.integers(0, 2**31)))
+    return [Edge(start_eid + i, (u, v)) for i, (u, v) in enumerate(g.edges())]
+
+
+def set_cover_instance(
+    num_sets: int,
+    num_elements: int,
+    frequency: int,
+    rng: Optional[np.random.Generator] = None,
+    start_eid: int = 0,
+) -> List[Edge]:
+    """A random set-cover instance in hypergraph form (Corollary 1.3):
+    vertices are sets, each element is a hyperedge over the ``frequency``
+    sets that contain it."""
+    rng = _require_rng(rng)
+    if frequency < 1 or frequency > num_sets:
+        raise ValueError("need 1 <= frequency <= num_sets")
+    edges: List[Edge] = []
+    for i in range(num_elements):
+        vs = rng.choice(num_sets, size=frequency, replace=False)
+        edges.append(Edge(start_eid + i, [int(x) for x in vs]))
+    return edges

@@ -1,0 +1,141 @@
+"""Stream (de)serialization: edge-list and update-stream file formats.
+
+Real dynamic-graph systems replay trace files.  Two plain-text formats:
+
+**Edge list** (SNAP-compatible for graphs, extended to hyperedges): one
+edge per line, whitespace-separated vertex ids, ``#`` comments.  Edge ids
+are assigned by line order::
+
+    # my graph
+    0 1
+    1 2
+    3 4 5       <- a rank-3 hyperedge
+
+**Update stream**: one batch per line.  ``+`` starts an insert batch of
+``id:v1,v2,...`` items; ``-`` starts a delete batch of edge ids::
+
+    + 0:1,2 1:2,3
+    - 0
+    + 2:3,4
+    - 1 2
+
+Both writers round-trip with their readers (property-tested).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence, TextIO, Union
+
+from repro.hypergraph.edge import Edge
+from repro.workloads.streams import UpdateBatch
+
+PathOrFile = Union[str, TextIO]
+
+
+def _open_read(f: PathOrFile):
+    return open(f, "r") if isinstance(f, str) else _noclose(f)
+
+
+def _open_write(f: PathOrFile):
+    return open(f, "w") if isinstance(f, str) else _noclose(f)
+
+
+class _noclose:
+    """Context wrapper that leaves caller-owned file objects open."""
+
+    def __init__(self, f: TextIO) -> None:
+        self.f = f
+
+    def __enter__(self) -> TextIO:
+        return self.f
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Edge lists
+# --------------------------------------------------------------------- #
+def read_edge_list(f: PathOrFile, start_eid: int = 0) -> List[Edge]:
+    """Parse an edge-list file; ids assigned sequentially by line order."""
+    edges: List[Edge] = []
+    eid = start_eid
+    with _open_read(f) as fh:
+        for lineno, line in enumerate(fh, 1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            try:
+                vertices = [int(tok) for tok in body.split()]
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: bad vertex id ({exc})") from None
+            edges.append(Edge(eid, vertices))
+            eid += 1
+    return edges
+
+
+def write_edge_list(f: PathOrFile, edges: Iterable[Edge]) -> None:
+    with _open_write(f) as fh:
+        for e in edges:
+            fh.write(" ".join(str(v) for v in e.vertices) + "\n")
+
+
+# --------------------------------------------------------------------- #
+# Update streams
+# --------------------------------------------------------------------- #
+def write_stream(f: PathOrFile, stream: Sequence[UpdateBatch]) -> None:
+    with _open_write(f) as fh:
+        for batch in stream:
+            if batch.kind == "insert":
+                items = " ".join(
+                    f"{e.eid}:{','.join(str(v) for v in e.vertices)}"
+                    for e in batch.edges
+                )
+                fh.write(f"+ {items}".rstrip() + "\n")
+            else:
+                items = " ".join(str(i) for i in batch.eids)
+                fh.write(f"- {items}".rstrip() + "\n")
+
+
+def read_stream(f: PathOrFile) -> List[UpdateBatch]:
+    out: List[UpdateBatch] = []
+    with _open_read(f) as fh:
+        for lineno, line in enumerate(fh, 1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            op, _, rest = body.partition(" ")
+            toks = rest.split()
+            if op == "+":
+                edges = []
+                for tok in toks:
+                    try:
+                        eid_s, _, verts_s = tok.partition(":")
+                        eid = int(eid_s)
+                        vertices = [int(v) for v in verts_s.split(",") if v]
+                    except ValueError:
+                        raise ValueError(f"line {lineno}: bad insert item {tok!r}") from None
+                    if not vertices:
+                        raise ValueError(f"line {lineno}: edge {eid} has no vertices")
+                    edges.append(Edge(eid, vertices))
+                out.append(UpdateBatch.insert(edges))
+            elif op == "-":
+                try:
+                    eids = [int(tok) for tok in toks]
+                except ValueError as exc:
+                    raise ValueError(f"line {lineno}: bad edge id ({exc})") from None
+                out.append(UpdateBatch.delete(eids))
+            else:
+                raise ValueError(f"line {lineno}: unknown op {op!r} (expected + or -)")
+    return out
+
+
+def stream_to_string(stream: Sequence[UpdateBatch]) -> str:
+    buf = io.StringIO()
+    write_stream(buf, stream)
+    return buf.getvalue()
+
+
+def stream_from_string(text: str) -> List[UpdateBatch]:
+    return read_stream(io.StringIO(text))

@@ -1,0 +1,95 @@
+"""Drive a matching algorithm over an update stream.
+
+Works with anything exposing the duck-typed algorithm interface shared by
+:class:`repro.core.DynamicMatching` and every baseline:
+
+* ``insert_edges(edges)`` / ``delete_edges(eids)``;
+* ``matched_ids()`` returning the current matching;
+* a ``ledger`` attribute with ``work``/``depth`` (cost accounting).
+
+The runner measures per-batch ledger cost, optionally mirrors the stream
+into a plain :class:`~repro.hypergraph.hypergraph.Hypergraph` and checks
+maximality after every batch (slow; for tests), and returns one
+:class:`RunRecord` per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.workloads.streams import UpdateBatch
+
+
+@dataclass
+class RunRecord:
+    """Per-batch measurement."""
+
+    kind: str
+    size: int
+    work: float
+    depth: float
+    matching_size: int
+    live_edges: int
+
+    @property
+    def work_per_update(self) -> float:
+        return self.work / self.size if self.size else 0.0
+
+
+def run_stream(
+    algo,
+    stream: Sequence[UpdateBatch],
+    check: bool = False,
+) -> List[RunRecord]:
+    """Apply every batch in order; return per-batch records.
+
+    With ``check=True`` a reference hypergraph mirrors the stream and the
+    algorithm's matching is verified maximal after every batch (O(m') per
+    batch — test-sized streams only).
+    """
+    mirror = Hypergraph() if check else None
+    records: List[RunRecord] = []
+    for batch in stream:
+        w0, d0 = algo.ledger.work, algo.ledger.depth
+        if batch.kind == "insert":
+            algo.insert_edges(list(batch.edges))
+            if mirror is not None:
+                mirror.add_edges(batch.edges)
+        else:
+            algo.delete_edges(list(batch.eids))
+            if mirror is not None:
+                mirror.remove_edges(batch.eids)
+        matched = algo.matched_ids()
+        if mirror is not None:
+            assert mirror.is_maximal_matching(matched), (
+                f"matching not maximal after {batch.kind} batch of {batch.size}"
+            )
+        records.append(
+            RunRecord(
+                kind=batch.kind,
+                size=batch.size,
+                work=algo.ledger.work - w0,
+                depth=algo.ledger.depth - d0,
+                matching_size=len(matched),
+                live_edges=len(mirror) if mirror is not None else len(algo),
+            )
+        )
+    return records
+
+
+def summarize(records: Sequence[RunRecord]) -> dict:
+    """Aggregate a run: total work, updates, work/update, max depth."""
+    total_updates = sum(r.size for r in records)
+    total_work = sum(r.work for r in records)
+    return {
+        "batches": len(records),
+        "updates": total_updates,
+        "total_work": total_work,
+        "work_per_update": total_work / total_updates if total_updates else 0.0,
+        "max_depth": max((r.depth for r in records), default=0.0),
+        "mean_depth": (
+            sum(r.depth for r in records) / len(records) if records else 0.0
+        ),
+    }

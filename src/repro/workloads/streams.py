@@ -1,0 +1,136 @@
+"""Batch update streams.
+
+A *stream* is a list of :class:`UpdateBatch` — inserts carry edges,
+deletes carry edge ids.  Streams are fully materialized up front, which is
+exactly the oblivious-adversary discipline: the whole update sequence is
+fixed before the algorithm flips a single coin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hypergraph.edge import Edge, EdgeId
+from repro.workloads.adversary import Adversary, RandomOrderAdversary
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One batch update: an insert (edges) or a delete (edge ids)."""
+
+    kind: str  # "insert" | "delete"
+    edges: tuple = ()
+    eids: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete"):
+            raise ValueError(f"unknown batch kind {self.kind!r}")
+        if self.kind == "insert" and self.eids:
+            raise ValueError("insert batches carry edges, not ids")
+        if self.kind == "delete" and self.edges:
+            raise ValueError("delete batches carry ids, not edges")
+
+    @property
+    def size(self) -> int:
+        return len(self.edges) if self.kind == "insert" else len(self.eids)
+
+    @staticmethod
+    def insert(edges: Sequence[Edge]) -> "UpdateBatch":
+        return UpdateBatch(kind="insert", edges=tuple(edges))
+
+    @staticmethod
+    def delete(eids: Sequence[EdgeId]) -> "UpdateBatch":
+        return UpdateBatch(kind="delete", eids=tuple(eids))
+
+
+def _chop(items: Sequence, batch_size: int) -> List[Sequence]:
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]
+
+
+def insert_then_delete_stream(
+    edges: Sequence[Edge],
+    batch_size: int,
+    adversary: Optional[Adversary] = None,
+) -> List[UpdateBatch]:
+    """Insert all edges in batches, then delete all in adversary order.
+
+    Ends on the empty graph — the shape §5.3's amortization argument is
+    stated for.
+    """
+    adversary = adversary if adversary is not None else RandomOrderAdversary()
+    stream = [UpdateBatch.insert(chunk) for chunk in _chop(list(edges), batch_size)]
+    order = adversary.deletion_order(edges)
+    stream += [UpdateBatch.delete(chunk) for chunk in _chop(order, batch_size)]
+    return stream
+
+
+def sliding_window_stream(
+    edges: Sequence[Edge],
+    window: int,
+    batch_size: int,
+) -> List[UpdateBatch]:
+    """Maintain a FIFO window of the last ``window`` edges: each step
+    inserts a batch and deletes the batch that fell out of the window.
+    Drains the window at the end (empty-to-empty)."""
+    edges = list(edges)
+    stream: List[UpdateBatch] = []
+    live: List[Edge] = []
+    for chunk in _chop(edges, batch_size):
+        stream.append(UpdateBatch.insert(chunk))
+        live.extend(chunk)
+        if len(live) > window:
+            evict = live[: len(live) - window]
+            live = live[len(live) - window :]
+            stream.append(UpdateBatch.delete([e.eid for e in evict]))
+    for chunk in _chop([e.eid for e in live], batch_size):
+        stream.append(UpdateBatch.delete(chunk))
+    return stream
+
+
+def churn_stream(
+    edge_factory: Callable[[int, int], List[Edge]],
+    initial: int,
+    steps: int,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[UpdateBatch]:
+    """Steady-state churn: start with ``initial`` edges, then alternate
+    insert/delete batches keeping the live count roughly constant, and
+    drain to empty at the end.
+
+    ``edge_factory(count, start_eid)`` must return ``count`` fresh edges
+    with ids starting at ``start_eid``.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    stream: List[UpdateBatch] = []
+    live: List[Edge] = list(edge_factory(initial, 0))
+    next_eid = initial
+    stream.append(UpdateBatch.insert(live))
+    for _ in range(steps):
+        fresh = edge_factory(batch_size, next_eid)
+        next_eid += batch_size
+        stream.append(UpdateBatch.insert(fresh))
+        live.extend(fresh)
+        k = min(batch_size, len(live))
+        victims_idx = rng.choice(len(live), size=k, replace=False)
+        victims = sorted(victims_idx, reverse=True)
+        ids = []
+        for i in victims:
+            ids.append(live[i].eid)
+            live[i] = live[-1]
+            live.pop()
+        stream.append(UpdateBatch.delete(ids))
+    ids = [e.eid for e in live]
+    rng.shuffle(ids)
+    stream += [UpdateBatch.delete(chunk) for chunk in _chop(ids, max(batch_size, 1))]
+    return stream
+
+
+def total_updates(stream: Sequence[UpdateBatch]) -> int:
+    """N: total edge insertions + deletions across the stream."""
+    return sum(b.size for b in stream)

@@ -1,0 +1,84 @@
+"""Tests for scaling-law fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fit import (
+    best_polylog_exponent,
+    constant_fit,
+    polylog_fit,
+    power_law_fit,
+)
+
+
+class TestPowerLaw:
+    def test_exact_linear(self):
+        f = power_law_fit([1, 2, 4, 8], [3, 6, 12, 24])
+        assert f.exponent == pytest.approx(1.0)
+        assert f.coeff == pytest.approx(3.0)
+        assert f.r2 == pytest.approx(1.0)
+
+    def test_cubic(self):
+        xs = np.array([2.0, 4, 8, 16])
+        f = power_law_fit(xs, 5 * xs**3)
+        assert f.exponent == pytest.approx(3.0)
+
+    def test_noisy_recovers_exponent(self):
+        rng = np.random.default_rng(0)
+        xs = np.logspace(1, 4, 20)
+        ys = 2 * xs**1.5 * np.exp(rng.normal(0, 0.05, 20))
+        f = power_law_fit(xs, ys)
+        assert 1.4 < f.exponent < 1.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_law_fit([1], [1])
+        with pytest.raises(ValueError):
+            power_law_fit([1, -2], [1, 1])
+        with pytest.raises(ValueError):
+            power_law_fit([1, 2], [1, 1, 1])
+
+    def test_describe(self):
+        assert "R²" in power_law_fit([1, 2], [1, 2]).describe()
+
+
+class TestPolylog:
+    def test_recovers_cube(self):
+        xs = np.array([2.0**k for k in range(3, 12)])
+        ys = 7 * np.log2(xs) ** 3
+        fits = polylog_fit(xs, ys)
+        assert fits[3].r2 == pytest.approx(1.0)
+        assert fits[3].coeff == pytest.approx(7.0)
+        assert fits[2].r2 < fits[3].r2
+        assert fits[4].r2 < fits[3].r2
+
+    def test_constant_series(self):
+        xs = [4, 8, 16, 32]
+        fits = polylog_fit(xs, [5, 5, 5, 5])
+        assert fits[0].r2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_best_exponent_free_fit(self):
+        xs = np.array([2.0**k for k in range(3, 12)])
+        ys = 2 * np.log2(xs) ** 2
+        f = best_polylog_exponent(xs, ys)
+        assert f.exponent == pytest.approx(2.0, abs=0.01)
+
+    def test_xs_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            polylog_fit([1, 2], [1, 1])
+
+
+class TestConstantFit:
+    def test_flat_series(self):
+        c = constant_fit([10, 100, 1000], [5.0, 5.0, 5.0])
+        assert c.mean == 5.0
+        assert c.cv == 0.0
+        assert c.max_over_min == 1.0
+        assert abs(c.growth_slope) < 1e-9
+
+    def test_growing_series_flagged(self):
+        c = constant_fit([10, 100, 1000], [5, 50, 500])
+        assert c.growth_slope == pytest.approx(1.0)
+
+    def test_describe(self):
+        assert "slope" in constant_fit([2, 4], [1.0, 1.1]).describe()

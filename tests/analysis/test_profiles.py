@@ -1,0 +1,63 @@
+"""Tests for work-profile rollups."""
+
+import numpy as np
+
+from repro.analysis.profiles import untagged_work, work_profile
+from repro.core.dynamic_matching import DynamicMatching
+from repro.parallel.ledger import Ledger
+from repro.workloads.generators import erdos_renyi_edges
+
+
+class TestWorkProfile:
+    def test_empty_ledger(self):
+        assert work_profile(Ledger()) == []
+
+    def test_fractions_sum_to_one(self):
+        led = Ledger()
+        led.charge(work=10, tag="add_match")
+        led.charge(work=30, tag="dict_batch")
+        rows = work_profile(led)
+        assert sum(frac for _, _, frac in rows) == 1.0
+
+    def test_sorted_descending(self):
+        led = Ledger()
+        led.charge(work=5, tag="add_match")
+        led.charge(work=50, tag="dict_batch")
+        rows = work_profile(led)
+        assert rows[0][0] == "hash tables"
+
+    def test_unknown_tags_grouped_as_other(self):
+        led = Ledger()
+        led.charge(work=7, tag="mystery_phase")
+        rows = work_profile(led)
+        assert rows == [("other", 7.0, 1.0)]
+
+    def test_real_run_covers_all_phases(self):
+        dm = DynamicMatching(seed=0)
+        edges = erdos_renyi_edges(20, 100, np.random.default_rng(1))
+        dm.insert_edges(edges)
+        dm.delete_edges([e.eid for e in edges])
+        rows = dict((p, w) for p, w, _ in work_profile(dm.ledger))
+        assert "greedy match" in rows and "hash tables" in rows
+        assert rows.get("other", 0.0) == 0.0, "unmapped tags appeared"
+
+
+class TestUntaggedWork:
+    def test_zero_when_all_tagged(self):
+        led = Ledger()
+        led.charge(work=10, tag="x")
+        assert untagged_work(led) == 0.0
+
+    def test_counts_untagged(self):
+        led = Ledger()
+        led.charge(work=10)
+        led.charge(work=5, tag="x")
+        assert untagged_work(led) == 10.0
+
+    def test_library_charges_are_always_tagged(self):
+        """Accounting canary: the whole dynamic pipeline tags every charge."""
+        dm = DynamicMatching(seed=3)
+        edges = erdos_renyi_edges(15, 60, np.random.default_rng(2))
+        dm.insert_edges(edges)
+        dm.delete_edges([e.eid for e in edges])
+        assert untagged_work(dm.ledger) == 0.0

@@ -1,0 +1,39 @@
+"""Tests for experiment table formatting."""
+
+import pytest
+
+from repro.analysis.reporting import format_table, print_experiment
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["m", "work"], [[100, 1.5], [10000, 22.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_header_rule(self):
+        out = format_table(["a"], [[1]])
+        assert set(out.splitlines()[1]) == {"-"}
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.000123], [123456.0], [1.5]])
+        assert "0.000123" in out and "1.23e+05" in out and "1.5" in out
+
+    def test_zero(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_strings_pass_through(self):
+        out = format_table(["algo"], [["dynamic"]])
+        assert "dynamic" in out
+
+
+def test_print_experiment(capsys):
+    print_experiment("E0 smoke", ["x"], [[1]], notes="a note")
+    out = capsys.readouterr().out
+    assert "=== E0 smoke ===" in out and "a note" in out

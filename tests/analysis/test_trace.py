@@ -1,0 +1,78 @@
+"""Tests for run traces and sparklines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace import RunTrace, sparkline, trace_stream
+from repro.core.dynamic_matching import DynamicMatching
+from repro.workloads.generators import erdos_renyi_edges
+from repro.workloads.streams import insert_then_delete_stream
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_rises(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+        assert list(s) == sorted(s)
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(10)))) == 10
+
+    def test_downsampling(self):
+        assert len(sparkline(list(range(100)), width=20)) == 20
+
+    def test_width_larger_than_series(self):
+        assert len(sparkline([1, 2], width=50)) == 2
+
+
+class TestRunTrace:
+    @pytest.fixture
+    def traced(self, rng):
+        edges = erdos_renyi_edges(15, 60, rng)
+        stream = insert_then_delete_stream(edges, 15)
+        dm = DynamicMatching(seed=0)
+        return trace_stream(dm, stream), stream
+
+    def test_one_point_per_batch(self, traced):
+        trace, stream = traced
+        assert len(trace.points) == len(stream)
+
+    def test_kinds_recorded(self, traced):
+        trace, stream = traced
+        assert [p.kind for p in trace.points] == [b.kind for b in stream]
+
+    def test_series_extraction(self, traced):
+        trace, _ = traced
+        work = trace.series("work")
+        assert len(work) == len(trace.points)
+        assert all(w >= 0 for w in work)
+
+    def test_unknown_metric(self, traced):
+        trace, _ = traced
+        with pytest.raises(KeyError):
+            trace.series("nonsense")
+
+    def test_live_edges_ends_at_zero(self, traced):
+        trace, _ = traced
+        assert trace.points[-1].live_edges == 0
+
+    def test_totals(self, traced):
+        trace, stream = traced
+        t = trace.totals()
+        assert t["batches"] == len(stream)
+        assert t["updates"] == sum(b.size for b in stream)
+        assert t["work"] > 0
+
+    def test_dashboard_renders(self, traced):
+        trace, _ = traced
+        dash = trace.dashboard(width=30)
+        assert "work/batch" in dash and "matching" in dash
+
+    def test_empty_dashboard(self):
+        assert "empty" in RunTrace().dashboard()

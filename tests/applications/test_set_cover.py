@@ -1,0 +1,105 @@
+"""Tests for batch-dynamic r-approximate set cover (Corollary 1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.set_cover import DynamicSetCover
+from repro.workloads.generators import set_cover_instance
+
+
+class TestBasics:
+    def test_single_element(self):
+        sc = DynamicSetCover(max_frequency=2, seed=0)
+        sc.add_elements({1: [10, 20]})
+        assert sc.is_covered(1)
+        assert sc.cover() <= {10, 20}
+
+    def test_add_remove_roundtrip(self):
+        sc = DynamicSetCover(max_frequency=2, seed=0)
+        sc.add_elements({1: [10, 20], 2: [20, 30]})
+        sc.remove_elements([1, 2])
+        assert sc.num_elements == 0
+        assert sc.cover() == set()
+
+    def test_duplicate_element_rejected(self):
+        sc = DynamicSetCover(max_frequency=2, seed=0)
+        sc.add_elements({1: [10, 20]})
+        with pytest.raises(KeyError):
+            sc.add_elements({1: [30, 40]})
+
+    def test_remove_absent_rejected(self):
+        sc = DynamicSetCover(max_frequency=2, seed=0)
+        with pytest.raises(KeyError):
+            sc.remove_elements([99])
+
+    def test_uncoverable_element_rejected(self):
+        sc = DynamicSetCover(max_frequency=2, seed=0)
+        with pytest.raises(ValueError):
+            sc.add_elements({1: []})
+
+    def test_frequency_bound_enforced(self):
+        sc = DynamicSetCover(max_frequency=2, seed=0)
+        with pytest.raises(ValueError):
+            sc.add_elements({1: [10, 20, 30]})
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("freq", [2, 3, 4])
+    def test_all_elements_always_covered(self, freq):
+        rng = np.random.default_rng(freq)
+        elems = set_cover_instance(15, 80, freq, rng)
+        sc = DynamicSetCover(max_frequency=freq, seed=freq)
+        sc.add_elements({e.eid: list(e.vertices) for e in elems})
+        sc.check_invariants()  # asserts every element covered
+        # churn: remove half, re-check, remove rest
+        ids = [e.eid for e in elems]
+        rng.shuffle(ids)
+        sc.remove_elements(ids[:40])
+        sc.check_invariants()
+        sc.remove_elements(ids[40:])
+        assert sc.cover_size() == 0
+
+    def test_batch_updates_keep_coverage(self):
+        rng = np.random.default_rng(0)
+        sc = DynamicSetCover(max_frequency=3, seed=1)
+        next_id = 0
+        live = []
+        for step in range(8):
+            batch = set_cover_instance(12, 15, 3, rng, start_eid=next_id)
+            next_id += 15
+            sc.add_elements({e.eid: list(e.vertices) for e in batch})
+            live += [e.eid for e in batch]
+            sc.check_invariants()
+            kill = [live[i] for i in rng.choice(len(live), size=10, replace=False)]
+            live = [x for x in live if x not in set(kill)]
+            sc.remove_elements(kill)
+            sc.check_invariants()
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("freq", [2, 3])
+    def test_cover_within_r_times_matching_bound(self, freq):
+        """|cover| <= r * (matching size) and matching size <= OPT."""
+        rng = np.random.default_rng(freq + 10)
+        elems = set_cover_instance(20, 100, freq, rng)
+        sc = DynamicSetCover(max_frequency=freq, seed=2)
+        sc.add_elements({e.eid: list(e.vertices) for e in elems})
+        assert sc.cover_size() <= freq * sc.approximation_bound()
+
+    def test_matched_elements_are_disjoint_certificate(self):
+        rng = np.random.default_rng(5)
+        elems = set_cover_instance(12, 60, 3, rng)
+        sc = DynamicSetCover(max_frequency=3, seed=3)
+        sc.add_elements({e.eid: list(e.vertices) for e in elems})
+        matched = sc.matching.matching()
+        used: set = set()
+        for e in matched:
+            assert not (used & set(e.vertices)), "matched elements share a set"
+            used.update(e.vertices)
+
+
+class TestCostExposure:
+    def test_ledger_accessible(self):
+        sc = DynamicSetCover(max_frequency=2, seed=0)
+        sc.add_elements({1: [10, 20]})
+        assert sc.ledger.work > 0

@@ -1,0 +1,73 @@
+"""Tests for batch-dynamic 2-approximate vertex cover."""
+
+import numpy as np
+import pytest
+
+from repro.applications.vertex_cover import DynamicVertexCover
+from repro.hypergraph.edge import Edge
+from repro.workloads.generators import erdos_renyi_edges, star_edges
+
+
+class TestBasics:
+    def test_single_edge(self):
+        vc = DynamicVertexCover(seed=0)
+        vc.insert_edges([Edge(0, (1, 2))])
+        assert vc.cover() == {1, 2}
+        assert vc.in_cover(1) and not vc.in_cover(3)
+
+    def test_cover_size_is_twice_matching(self):
+        vc = DynamicVertexCover(seed=0)
+        vc.insert_edges(erdos_renyi_edges(20, 60, np.random.default_rng(1)))
+        assert vc.cover_size() == 2 * vc.opt_lower_bound()
+
+    def test_rejects_hyperedges(self):
+        vc = DynamicVertexCover(seed=0)
+        with pytest.raises(ValueError):
+            vc.insert_edges([Edge(0, (1, 2, 3))])
+
+    def test_empty_graph(self):
+        vc = DynamicVertexCover(seed=0)
+        assert vc.cover() == set()
+        assert vc.covers_all_edges()
+
+
+class TestDynamicBehaviour:
+    def test_coverage_through_churn(self):
+        rng = np.random.default_rng(3)
+        edges = erdos_renyi_edges(25, 120, rng)
+        vc = DynamicVertexCover(seed=1)
+        vc.insert_edges(edges)
+        vc.check_invariants()
+        ids = [e.eid for e in edges]
+        rng.shuffle(ids)
+        for i in range(0, len(ids), 30):
+            vc.delete_edges(ids[i : i + 30])
+            vc.check_invariants()
+        assert vc.num_edges == 0
+
+    def test_star_cover_is_small(self):
+        """On a star the cover is one matched edge's endpoints — near OPT=1."""
+        vc = DynamicVertexCover(seed=2)
+        vc.insert_edges(star_edges(50))
+        assert vc.cover_size() == 2
+        assert vc.opt_lower_bound() == 1
+
+    def test_two_approximation_vs_exact(self):
+        """Compare against the exact minimum via brute force (tiny graph)."""
+        import itertools
+
+        edges = erdos_renyi_edges(8, 12, np.random.default_rng(5))
+        vc = DynamicVertexCover(seed=3)
+        vc.insert_edges(edges)
+        vertices = sorted({v for e in edges for v in e.vertices})
+        opt = None
+        for k in range(len(vertices) + 1):
+            for combo in itertools.combinations(vertices, k):
+                chosen = set(combo)
+                if all(set(e.vertices) & chosen for e in edges):
+                    opt = k
+                    break
+            if opt is not None:
+                break
+        assert vc.cover_size() <= 2 * opt
+        assert vc.opt_lower_bound() <= opt

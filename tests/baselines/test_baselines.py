@@ -1,0 +1,177 @@
+"""Correctness tests for every baseline algorithm.
+
+All four baselines must maintain a maximal matching under arbitrary batch
+streams — they only differ in cost profile.  A shared test matrix runs the
+same scripts over each.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BGSStyle, GTStyle, NaiveDynamic, SolomonStyle, StaticRecompute
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.workloads.generators import (
+    erdos_renyi_edges,
+    random_hypergraph_edges,
+    star_edges,
+)
+
+ALGOS = [
+    pytest.param(lambda: StaticRecompute(rank=3, seed=0), id="static"),
+    pytest.param(lambda: NaiveDynamic(rank=3), id="naive"),
+    pytest.param(lambda: SolomonStyle(rank=3, seed=0), id="solomon"),
+    pytest.param(lambda: GTStyle(rank=3, seed=0), id="gt"),
+    pytest.param(lambda: DynamicMatching(rank=3, seed=0), id="paper"),
+]
+
+
+def _check(algo, mirror):
+    assert mirror.is_maximal_matching(algo.matched_ids())
+
+
+@pytest.mark.parametrize("make", ALGOS)
+class TestSharedCorrectness:
+    def test_insert_then_delete_everything(self, make):
+        algo = make()
+        edges = erdos_renyi_edges(15, 50, np.random.default_rng(1))
+        mirror = Hypergraph(edges)
+        algo.insert_edges(edges)
+        _check(algo, mirror)
+        ids = [e.eid for e in edges]
+        rng = np.random.default_rng(2)
+        rng.shuffle(ids)
+        for i in range(0, len(ids), 12):
+            batch = ids[i : i + 12]
+            algo.delete_edges(batch)
+            mirror.remove_edges(batch)
+            _check(algo, mirror)
+        assert len(algo) == 0
+
+    def test_hypergraph_stream(self, make):
+        algo = make()
+        edges = random_hypergraph_edges(12, 60, 3, np.random.default_rng(4), uniform=False)
+        mirror = Hypergraph(edges)
+        algo.insert_edges(edges)
+        _check(algo, mirror)
+        for i in range(0, 60, 20):
+            batch = [e.eid for e in edges[i : i + 20]]
+            algo.delete_edges(batch)
+            mirror.remove_edges(batch)
+            _check(algo, mirror)
+
+    def test_star_matched_churn(self, make):
+        algo = make()
+        edges = star_edges(30)
+        mirror = Hypergraph(edges)
+        algo.insert_edges(edges)
+        for _ in range(10):
+            matched = algo.matched_ids()
+            if not matched:
+                break
+            algo.delete_edges(matched)
+            mirror.remove_edges(matched)
+            _check(algo, mirror)
+
+    def test_interleaved_inserts(self, make):
+        algo = make()
+        mirror = Hypergraph()
+        rng = np.random.default_rng(9)
+        for step in range(5):
+            edges = erdos_renyi_edges(
+                10, 15, rng, start_eid=step * 100, allow_parallel=True
+            )
+            algo.insert_edges(edges)
+            mirror.add_edges(edges)
+            _check(algo, mirror)
+            live = mirror.edge_ids()
+            kill = [live[i] for i in rng.choice(len(live), size=min(8, len(live)), replace=False)]
+            algo.delete_edges(kill)
+            mirror.remove_edges(kill)
+            _check(algo, mirror)
+
+    def test_num_updates_counted(self, make):
+        algo = make()
+        algo.insert_edges([Edge(0, (1, 2)), Edge(1, (3, 4))])
+        algo.delete_edges([0])
+        assert algo.num_updates == 3
+
+
+class TestBaselineSpecifics:
+    def test_naive_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            algo = NaiveDynamic(rank=2)
+            algo.insert_edges(star_edges(20))
+            algo.delete_edges(algo.matched_ids())
+            runs.append(tuple(algo.matched_ids()))
+        assert runs[0] == runs[1]
+
+    def test_naive_pays_degree_on_star(self):
+        """Deleting the star's match costs ~degree work every time."""
+        algo = NaiveDynamic(rank=2)
+        n = 200
+        algo.insert_edges(star_edges(n))
+        w0 = algo.ledger.work
+        algo.delete_edges(algo.matched_ids())
+        assert algo.ledger.work - w0 >= n / 2  # full neighbourhood scan
+
+    def test_static_recompute_work_scales_with_graph(self):
+        small, large = Hypergraph(), Hypergraph()
+        costs = {}
+        for m in (50, 400):
+            algo = StaticRecompute(rank=2, seed=0)
+            algo.insert_edges(erdos_renyi_edges(int(m**0.8), m, np.random.default_rng(m)))
+            w0 = algo.ledger.work
+            algo.delete_edges([algo.matched_ids()[0]])
+            costs[m] = algo.ledger.work - w0
+        assert costs[400] > 4 * costs[50]  # per-batch cost grows with m
+
+    def test_solomon_random_mate_varies(self):
+        """The random mate must differ across seeds somewhere."""
+        outcomes = set()
+        for seed in range(10):
+            algo = SolomonStyle(rank=2, seed=seed)
+            algo.insert_edges(star_edges(12))
+            algo.delete_edges(algo.matched_ids())
+            outcomes.add(tuple(algo.matched_ids()))
+        assert len(outcomes) > 1
+
+    def test_gt_style_is_always_heavy(self):
+        algo = GTStyle(rank=2, seed=0)
+        assert algo.structure.heavy_factor == 0.0
+        algo.insert_edges([Edge(0, (1, 2)), Edge(1, (2, 3))])
+        stats = algo.delete_edges([algo.matched_ids()[0]])
+        # with heavy_factor 0 the deleted match must hit the settle path
+        assert stats.heavy_matches >= 1
+
+    def test_gt_does_more_work_than_lazy(self):
+        """The non-lazy variant pays more per update on matched churn."""
+
+        def run(cls):
+            algo = cls(rank=2, seed=0)
+            algo.insert_edges(erdos_renyi_edges(20, 150, np.random.default_rng(0)))
+            ids = list(range(150))
+            np.random.default_rng(1).shuffle(ids)
+            for i in range(0, 150, 15):
+                algo.delete_edges(ids[i : i + 15])
+            return algo.ledger.work
+
+        assert run(GTStyle) > run(DynamicMatching)
+
+
+class TestBaselineValidation:
+    def test_rank_enforced(self):
+        algo = NaiveDynamic(rank=2)
+        with pytest.raises(ValueError):
+            algo.insert_edges([Edge(0, (1, 2, 3))])
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            NaiveDynamic(rank=0)
+
+    def test_check_invariants_passes(self):
+        algo = SolomonStyle(rank=2, seed=1)
+        algo.insert_edges(erdos_renyi_edges(10, 20, np.random.default_rng(3)))
+        algo.check_invariants()

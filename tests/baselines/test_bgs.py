@@ -1,0 +1,95 @@
+"""Tests specific to the BGS-style two-level baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bgs import BGSStyle
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.testing import random_workout
+from repro.workloads.generators import erdos_renyi_edges, star_edges
+
+
+class TestBasics:
+    def test_graphs_only(self):
+        with pytest.raises(ValueError):
+            BGSStyle(rank=3)
+
+    def test_insert_matches_free_edges(self):
+        algo = BGSStyle(seed=0)
+        algo.insert_edges([Edge(0, (1, 2)), Edge(1, (3, 4))])
+        assert sorted(algo.matched_ids()) == [0, 1]
+        assert algo.level == {0: 0, 1: 0}
+        algo.check_invariants()
+
+    def test_maximality_through_random_churn(self):
+        rng = np.random.default_rng(1)
+        edges = erdos_renyi_edges(20, 100, rng)
+        algo = BGSStyle(seed=2)
+        mirror = Hypergraph(edges)
+        algo.insert_edges(edges)
+        ids = [e.eid for e in edges]
+        rng.shuffle(ids)
+        for i in range(0, len(ids), 20):
+            batch = ids[i : i + 20]
+            algo.delete_edges(batch)
+            mirror.remove_edges(batch)
+            assert mirror.is_maximal_matching(algo.matched_ids())
+            algo.check_invariants()
+        assert len(algo) == 0
+
+
+class TestLevelMechanics:
+    def test_high_degree_settle_reaches_level_one(self):
+        """Killing the star's match on a large star triggers the random
+        level-1 settle (degree >= sqrt(m))."""
+        algo = BGSStyle(seed=3)
+        algo.insert_edges(star_edges(80))
+        algo.delete_edges(algo.matched_ids())
+        assert algo.matched_ids(), "star must stay matched"
+        assert 1 in set(algo.level.values())
+        algo.check_invariants()
+
+    def test_low_degree_stays_level_zero(self):
+        algo = BGSStyle(seed=4)
+        algo.insert_edges([Edge(0, (1, 2)), Edge(1, (2, 3))])
+        algo.delete_edges(algo.matched_ids())
+        assert all(l == 0 for l in algo.level.values())
+
+    def test_takeover_preserves_maximality(self):
+        """Engineer a takeover: high-degree hub whose random mate is
+        already matched at level 0; repeat over seeds so the takeover
+        branch certainly fires."""
+        took_over = False
+        for seed in range(30):
+            algo = BGSStyle(seed=seed)
+            star = star_edges(60)  # hub 0
+            side = [Edge(1000 + i, (i + 1, 500 + i)) for i in range(59)]
+            algo.insert_edges(star + side)
+            mirror = Hypergraph(star + side)
+            hub_match = algo.cover.get(0)
+            if hub_match is None:
+                continue
+            algo.delete_edges([hub_match])
+            mirror.remove_edge(hub_match)
+            assert mirror.is_maximal_matching(algo.matched_ids())
+            algo.check_invariants()
+            if 1 in set(algo.level.values()):
+                took_over = True
+        assert took_over
+
+    def test_random_mate_varies(self):
+        mates = set()
+        for seed in range(20):
+            algo = BGSStyle(seed=seed)
+            algo.insert_edges(star_edges(50))
+            algo.delete_edges(algo.matched_ids())
+            mates.update(algo.matched_ids())
+        assert len(mates) > 3
+
+
+class TestWorkout:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_workout(self, seed):
+        random_workout(lambda: BGSStyle(seed=seed), seed=seed + 40, steps=30,
+                       max_rank=2)

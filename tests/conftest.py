@@ -1,0 +1,73 @@
+"""Shared fixtures and hypothesis strategies for the whole test suite."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.hypergraph.edge import Edge
+from repro.parallel.ledger import Ledger
+
+
+@pytest.fixture
+def ledger() -> Ledger:
+    return Ledger()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis strategies
+# --------------------------------------------------------------------- #
+def edge_lists(
+    max_vertices: int = 12,
+    max_edges: int = 30,
+    max_rank: int = 2,
+    min_edges: int = 0,
+):
+    """Strategy producing lists of distinct-id edges over a small vertex
+    universe, with cardinality in [1, max_rank] (rank-2 by default)."""
+
+    def build(raw: List[tuple]) -> List[Edge]:
+        edges = []
+        for i, vs in enumerate(raw):
+            edges.append(Edge(i, vs))
+        return edges
+
+    vertex = st.integers(0, max_vertices - 1)
+    vset = st.lists(vertex, min_size=1, max_size=max_rank, unique=True).map(tuple)
+    return st.lists(vset, min_size=min_edges, max_size=max_edges).map(build)
+
+
+def graph_edge_lists(max_vertices: int = 12, max_edges: int = 30, min_edges: int = 0):
+    """Rank-exactly-2 edge lists (ordinary graphs, no self loops)."""
+
+    def build(raw: List[tuple]) -> List[Edge]:
+        return [Edge(i, vs) for i, vs in enumerate(raw)]
+
+    vertex = st.integers(0, max_vertices - 1)
+    pair = st.lists(vertex, min_size=2, max_size=2, unique=True).map(tuple)
+    return st.lists(pair, min_size=min_edges, max_size=max_edges).map(build)
+
+
+def update_scripts(max_vertices: int = 10, max_rank: int = 3, max_ops: int = 40):
+    """Strategy for randomized insert/delete scripts.
+
+    Emits a list of operations: ("insert", vertex-tuple) or
+    ("delete", index) where the index selects among currently-live edges
+    at replay time (mod live count).  The replay helper in tests turns
+    this into concrete batches.
+    """
+    vertex = st.integers(0, max_vertices - 1)
+    vset = st.lists(vertex, min_size=1, max_size=max_rank, unique=True).map(tuple)
+    op = st.one_of(
+        st.tuples(st.just("insert"), vset),
+        st.tuples(st.just("delete"), st.integers(0, 10_000)),
+    )
+    return st.lists(op, min_size=0, max_size=max_ops)

@@ -1,0 +1,95 @@
+"""Tests for matching certificates."""
+
+import numpy as np
+import pytest
+
+from repro.core.certify import MatchingCertificate, certify
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+from repro.workloads.generators import erdos_renyi_edges, random_hypergraph_edges
+
+
+def _built(seed=0, rank=2, m=60):
+    rng = np.random.default_rng(seed)
+    if rank == 2:
+        edges = erdos_renyi_edges(15, m, rng)
+    else:
+        edges = random_hypergraph_edges(15, m, rank, rng, uniform=False)
+    dm = DynamicMatching(rank=rank, seed=seed + 1)
+    dm.insert_edges(edges)
+    return dm, edges
+
+
+class TestCertify:
+    def test_certificate_verifies(self):
+        dm, edges = _built()
+        certify(dm).verify(edges)
+
+    def test_after_deletions(self):
+        dm, edges = _built()
+        ids = [e.eid for e in edges]
+        dm.delete_edges(ids[:25])
+        remaining = [e for e in edges if e.eid not in set(ids[:25])]
+        certify(dm).verify(remaining)
+
+    @pytest.mark.parametrize("rank", [3, 4])
+    def test_hypergraphs(self, rank):
+        dm, edges = _built(seed=rank, rank=rank)
+        certify(dm).verify(edges)
+
+    def test_empty_structure(self):
+        dm = DynamicMatching(seed=0)
+        certify(dm).verify([])
+
+    def test_verification_is_independent(self):
+        """A certificate round-trips through plain data (no live refs)."""
+        dm, edges = _built(seed=9)
+        cert = certify(dm)
+        clone = MatchingCertificate(
+            matched=tuple(cert.matched), witness=dict(cert.witness)
+        )
+        clone.verify(edges)
+
+
+class TestVerifierCatchesDefects:
+    def test_conflicting_matching_rejected(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3))]
+        cert = MatchingCertificate(matched=(0, 1), witness={})
+        with pytest.raises(AssertionError):
+            cert.verify(edges)
+
+    def test_missing_witness_rejected(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3))]
+        cert = MatchingCertificate(matched=(0,), witness={})
+        with pytest.raises(AssertionError):
+            cert.verify(edges)
+
+    def test_non_incident_witness_rejected(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (5, 6)), Edge(2, (2, 3))]
+        cert = MatchingCertificate(matched=(0, 1), witness={2: 1})  # 1 not incident on 2
+        with pytest.raises(AssertionError):
+            cert.verify(edges)
+
+    def test_unmatched_witness_rejected(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (3, 4))]
+        cert = MatchingCertificate(matched=(0,), witness={1: 0, 2: 1})
+        with pytest.raises(AssertionError):
+            cert.verify(edges)
+
+    def test_unknown_matched_id_rejected(self):
+        cert = MatchingCertificate(matched=(7,), witness={})
+        with pytest.raises(AssertionError):
+            cert.verify([Edge(0, (1, 2))])
+
+    def test_stray_witness_rejected(self):
+        edges = [Edge(0, (1, 2))]
+        cert = MatchingCertificate(matched=(0,), witness={99: 0})
+        with pytest.raises(AssertionError):
+            cert.verify(edges)
+
+    def test_non_maximal_not_certifiable(self):
+        """A free edge cannot be given a valid witness."""
+        edges = [Edge(0, (1, 2)), Edge(1, (5, 6))]
+        cert = MatchingCertificate(matched=(0,), witness={1: 0})
+        with pytest.raises(AssertionError):
+            cert.verify(edges)

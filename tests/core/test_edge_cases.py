@@ -1,0 +1,207 @@
+"""Edge cases and failure injection for the dynamic matching core.
+
+Covers inputs at the boundary of the model (rank-1 edges, parallel
+hyperedges, single-vertex overlap patterns, giant batches, pathological
+streams) and verifies the invariant checker actually *catches* each class
+of corruption — a checker that never fires is worthless as evidence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.core.level_structure import EdgeType
+from repro.hypergraph.edge import Edge
+from repro.workloads.generators import complete_graph_edges, erdos_renyi_edges
+
+
+class TestBoundaryInputs:
+    def test_rank_one_edges(self):
+        """Singleton hyperedges: each covers one vertex; two singletons on
+        the same vertex conflict."""
+        dm = DynamicMatching(rank=1, seed=0)
+        dm.insert_edges([Edge(0, (5,)), Edge(1, (5,)), Edge(2, (6,))])
+        dm.check_invariants()
+        assert len(dm.matched_ids()) == 2  # one of {0,1}, plus 2
+        dm.delete_edges([0, 1, 2])
+        assert len(dm) == 0
+
+    def test_parallel_hyperedges(self):
+        """Distinct edges over the identical vertex set."""
+        dm = DynamicMatching(rank=3, seed=0)
+        dm.insert_edges([Edge(i, (1, 2, 3)) for i in range(6)])
+        dm.check_invariants()
+        assert len(dm.matched_ids()) == 1
+        # delete the matched copy repeatedly; another copy must take over
+        for _ in range(5):
+            dm.delete_edges(dm.matched_ids())
+            dm.check_invariants()
+            if len(dm) == 0:
+                break
+            assert len(dm.matched_ids()) == 1
+
+    def test_complete_graph_churn(self):
+        dm = DynamicMatching(rank=2, seed=1)
+        edges = complete_graph_edges(12)
+        dm.insert_edges(edges)
+        dm.check_invariants()
+        rng = np.random.default_rng(2)
+        ids = [e.eid for e in edges]
+        rng.shuffle(ids)
+        for i in range(0, len(ids), 11):
+            dm.delete_edges(ids[i : i + 11])
+            dm.check_invariants()
+
+    def test_single_giant_batch(self):
+        edges = erdos_renyi_edges(100, 3000, np.random.default_rng(3))
+        dm = DynamicMatching(rank=2, seed=4)
+        dm.insert_edges(edges)
+        dm.check_invariants()
+        dm.delete_edges([e.eid for e in edges])
+        assert len(dm) == 0
+        dm.check_invariants()
+
+    def test_many_single_edge_batches(self):
+        dm = DynamicMatching(rank=2, seed=5)
+        edges = erdos_renyi_edges(20, 80, np.random.default_rng(6))
+        for e in edges:
+            dm.insert_edge(e)
+        for e in edges:
+            dm.delete_edge(e.eid)
+        assert len(dm) == 0
+        assert len(dm.batch_stats) == 160
+
+    def test_reinsert_same_id_after_delete(self):
+        dm = DynamicMatching(seed=0)
+        dm.insert_edges([Edge(0, (1, 2))])
+        dm.delete_edges([0])
+        dm.insert_edges([Edge(0, (3, 4))])  # id reuse after deletion is legal
+        assert dm.matched_ids() == [0]
+        dm.check_invariants()
+
+    def test_alternating_insert_delete_same_vertices(self):
+        """Thrash one vertex pair through many epochs."""
+        dm = DynamicMatching(seed=7)
+        for i in range(30):
+            dm.insert_edges([Edge(i, (1, 2))])
+            dm.delete_edges([i])
+        assert len(dm) == 0
+        assert dm.tracker.counts()["natural"] == 30
+
+    def test_empty_delete_batch(self):
+        dm = DynamicMatching(seed=0)
+        stats = dm.delete_edges([])
+        assert stats.batch_size == 0
+        dm.check_invariants()
+
+    def test_interleaved_empty_batches(self):
+        dm = DynamicMatching(seed=0)
+        dm.insert_edges([])
+        dm.insert_edges([Edge(0, (1, 2))])
+        dm.delete_edges([])
+        dm.delete_edges([0])
+        assert len(dm) == 0
+
+
+class TestFailureInjection:
+    """Corrupt the structure in targeted ways; the checker must fire."""
+
+    def _built(self):
+        dm = DynamicMatching(seed=0)
+        dm.insert_edges(
+            [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (3, 4)), Edge(3, (4, 5))]
+        )
+        dm.check_invariants()
+        return dm
+
+    def test_detects_vertex_pointer_corruption(self):
+        dm = self._built()
+        mid = dm.matched_ids()[0]
+        v = dm.structure.rec(mid).edge.vertices[0]
+        dm.structure.verts[v].p = None
+        with pytest.raises(AssertionError):
+            dm.check_invariants()
+
+    def test_detects_type_corruption(self):
+        dm = self._built()
+        mid = dm.matched_ids()[0]
+        dm.structure.rec(mid).type = EdgeType.CROSS
+        with pytest.raises(AssertionError):
+            dm.check_invariants()
+
+    def test_detects_orphaned_owner(self):
+        dm = self._built()
+        for rec in dm.structure.recs.values():
+            if rec.type == EdgeType.CROSS:
+                rec.owner = 424242
+                break
+        with pytest.raises((AssertionError, KeyError)):
+            dm.check_invariants()
+
+    def test_detects_cross_set_desync(self):
+        dm = self._built()
+        for rec in dm.structure.recs.values():
+            if rec.type == EdgeType.CROSS:
+                dm.structure.rec(rec.owner).cross.delete_one(rec.eid)
+                break
+        with pytest.raises(AssertionError):
+            dm.check_invariants()
+
+    def test_detects_sample_set_desync(self):
+        dm = self._built()
+        mid = dm.matched_ids()[0]
+        dm.structure.rec(mid).samples.delete_one(mid)  # match must own itself
+        with pytest.raises(AssertionError):
+            dm.check_invariants()
+
+    def test_detects_level_drift(self):
+        dm = self._built()
+        mid = dm.matched_ids()[0]
+        dm.structure.rec(mid).level += 1
+        with pytest.raises(AssertionError):
+            dm.check_invariants()
+
+    def test_detects_tracker_desync(self):
+        dm = self._built()
+        mid = dm.matched_ids()[0]
+        dm.tracker.death(mid, "natural")  # tracker thinks the epoch died
+        with pytest.raises(AssertionError):
+            dm.check_invariants()
+
+    def test_detects_matching_conflict(self):
+        dm = self._built()
+        # force a second "match" adjacent to an existing one
+        cross = next(
+            r for r in dm.structure.recs.values() if r.type == EdgeType.CROSS
+        )
+        dm.structure.matched.add(cross.eid)
+        with pytest.raises(AssertionError):
+            dm.check_invariants()
+
+
+class TestErrorRecovery:
+    """Failed validation must not half-apply a batch."""
+
+    def test_failed_insert_leaves_state_clean(self):
+        dm = DynamicMatching(rank=2, seed=0)
+        dm.insert_edges([Edge(0, (1, 2))])
+        with pytest.raises(KeyError):
+            dm.insert_edges([Edge(5, (7, 8)), Edge(0, (9, 10))])  # 0 duplicate
+        # edge 5 must not have been half-registered
+        assert 5 not in dm
+        dm.check_invariants()
+
+    def test_failed_delete_leaves_state_clean(self):
+        dm = DynamicMatching(rank=2, seed=0)
+        dm.insert_edges([Edge(0, (1, 2))])
+        with pytest.raises(KeyError):
+            dm.delete_edges([0, 99])  # 99 absent
+        assert 0 in dm
+        dm.check_invariants()
+
+    def test_rank_violation_rejects_whole_batch(self):
+        dm = DynamicMatching(rank=2, seed=0)
+        with pytest.raises(ValueError):
+            dm.insert_edges([Edge(0, (1, 2)), Edge(1, (3, 4, 5))])
+        assert 0 not in dm
+        dm.check_invariants()

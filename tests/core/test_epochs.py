@@ -1,0 +1,103 @@
+"""Unit tests for the epoch tracker and batch statistics."""
+
+import pytest
+
+from repro.core.epochs import (
+    BLOATED,
+    NATURAL,
+    STOLEN,
+    BatchStats,
+    EpochTracker,
+    SettleRound,
+)
+
+
+class TestLifecycle:
+    def test_birth_and_death(self):
+        t = EpochTracker()
+        ep = t.birth(5, level=1, sample_size=3)
+        assert ep.alive
+        t.death(5, NATURAL)
+        assert not ep.alive and ep.death_kind == NATURAL
+
+    def test_double_birth_rejected(self):
+        t = EpochTracker()
+        t.birth(5, 0, 1)
+        with pytest.raises(ValueError):
+            t.birth(5, 0, 1)
+
+    def test_death_without_birth_rejected(self):
+        with pytest.raises(ValueError):
+            EpochTracker().death(5, NATURAL)
+
+    def test_unknown_kind_rejected(self):
+        t = EpochTracker()
+        t.birth(5, 0, 1)
+        with pytest.raises(ValueError):
+            t.death(5, "mysterious")
+
+    def test_rebirth_after_death(self):
+        t = EpochTracker()
+        t.birth(5, 0, 1)
+        t.death(5, STOLEN)
+        ep2 = t.birth(5, 2, 4)
+        assert ep2.alive
+        assert len(t.epochs) == 2
+
+    def test_batch_stamping(self):
+        t = EpochTracker()
+        t.birth(1, 0, 1)
+        t.next_batch()
+        t.next_batch()
+        t.death(1, NATURAL)
+        ep = t.epochs[0]
+        assert ep.birth_batch == 0 and ep.death_batch == 2
+
+
+class TestAggregates:
+    def _populated(self):
+        t = EpochTracker()
+        t.birth(1, 0, 4)
+        t.birth(2, 0, 6)
+        t.birth(3, 0, 10)
+        t.birth(4, 0, 1)
+        t.death(1, NATURAL)
+        t.death(2, STOLEN)
+        t.death(3, BLOATED)
+        return t
+
+    def test_counts(self):
+        c = self._populated().counts()
+        assert c == {NATURAL: 1, STOLEN: 1, BLOATED: 1, "alive": 1}
+
+    def test_total_sample_by_kind(self):
+        t = self._populated()
+        assert t.total_sample(NATURAL) == 4
+        assert t.total_sample("induced") == 16
+        assert t.total_added_sample() == 21
+
+    def test_live_epochs(self):
+        t = self._populated()
+        assert [e.eid for e in t.live_epochs()] == [4]
+
+    def test_dead_filter(self):
+        t = self._populated()
+        assert len(t.dead()) == 3
+        assert [e.eid for e in t.dead(STOLEN)] == [2]
+
+    def test_induced_property(self):
+        t = self._populated()
+        assert not t.epochs[0].induced
+        assert t.epochs[1].induced and t.epochs[2].induced
+
+
+class TestBatchStats:
+    def test_round_counting(self):
+        st = BatchStats(kind="delete", batch_index=0, batch_size=10)
+        st.settle_rounds.append(SettleRound(input_edges=5))
+        st.settle_rounds.append(SettleRound(input_edges=10))
+        assert st.num_rounds == 2
+
+    def test_defaults(self):
+        st = BatchStats(kind="insert", batch_index=3, batch_size=7)
+        assert st.natural_deaths == 0 and st.new_epochs == 0

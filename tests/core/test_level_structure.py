@@ -1,0 +1,282 @@
+"""Unit tests for the leveled matching structure layer."""
+
+import pytest
+
+from repro.hypergraph.edge import Edge
+from repro.parallel.ledger import Ledger
+from repro.core.level_structure import (
+    EdgeType,
+    LeveledStructure,
+    level_of,
+)
+
+
+@pytest.fixture
+def structure(ledger):
+    return LeveledStructure(rank=3, ledger=ledger)
+
+
+class TestLevelOf:
+    def test_alpha_two(self):
+        assert level_of(1, 2) == 0
+        assert level_of(2, 2) == 1
+        assert level_of(3, 2) == 1
+        assert level_of(4, 2) == 2
+        assert level_of(1023, 2) == 9
+        assert level_of(1024, 2) == 10
+
+    def test_alpha_three(self):
+        assert level_of(1, 3) == 0
+        assert level_of(2, 3) == 0
+        assert level_of(3, 3) == 1
+        assert level_of(9, 3) == 2
+        assert level_of(26, 3) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            level_of(0, 2)
+        with pytest.raises(ValueError):
+            level_of(5, 1)
+
+
+class TestRegistry:
+    def test_register_and_rec(self, structure):
+        e = Edge(0, (1, 2))
+        rec = structure.register(e)
+        assert rec.type == EdgeType.UNSETTLED
+        assert structure.rec(0) is rec
+
+    def test_register_duplicate_rejected(self, structure):
+        structure.register(Edge(0, (1, 2)))
+        with pytest.raises(KeyError):
+            structure.register(Edge(0, (3, 4)))
+
+    def test_register_rank_violation_rejected(self, structure):
+        with pytest.raises(ValueError):
+            structure.register(Edge(0, (1, 2, 3, 4)))  # rank bound is 3
+
+    def test_unregister(self, structure):
+        structure.register(Edge(0, (1, 2)))
+        structure.unregister(0)
+        assert 0 not in structure.recs
+
+    def test_constructor_validation(self, ledger):
+        with pytest.raises(ValueError):
+            LeveledStructure(rank=0, ledger=ledger)
+
+
+class TestAddMatch:
+    def test_singleton_match_level0(self, structure):
+        e = Edge(0, (1, 2))
+        structure.register(e)
+        rec = structure.add_match(e, [e])
+        assert rec.type == EdgeType.MATCHED
+        assert rec.level == 0
+        assert rec.owner == 0
+        assert structure.cover_of(1) == 0 and structure.cover_of(2) == 0
+
+    def test_match_with_samples(self, structure):
+        m = Edge(0, (1, 2))
+        s1, s2, s3 = Edge(1, (2, 3)), Edge(2, (1, 4)), Edge(3, (2, 5))
+        for e in (m, s1, s2, s3):
+            structure.register(e)
+        rec = structure.add_match(m, [m, s1, s2, s3])
+        assert rec.level == 2  # floor(lg 4)
+        assert rec.settle_size == 4
+        assert structure.rec(1).type == EdgeType.SAMPLED
+        assert structure.rec(1).owner == 0
+
+    def test_match_must_contain_self(self, structure):
+        m, s = Edge(0, (1, 2)), Edge(1, (2, 3))
+        structure.register(m)
+        structure.register(s)
+        with pytest.raises(ValueError):
+            structure.add_match(m, [s])
+
+    def test_double_match_rejected(self, structure):
+        e = Edge(0, (1, 2))
+        structure.register(e)
+        structure.add_match(e, [e])
+        with pytest.raises(ValueError):
+            structure.add_match(e, [e])
+
+
+class TestCrossEdges:
+    def _matched_pair(self, structure):
+        m = Edge(0, (1, 2))
+        structure.register(m)
+        structure.add_match(m, [m])
+        return m
+
+    def test_add_cross_edge_owner_and_index(self, structure):
+        self._matched_pair(structure)
+        c = Edge(5, (2, 7))
+        structure.register(c)
+        structure.add_cross_edge(c)
+        rec = structure.rec(5)
+        assert rec.type == EdgeType.CROSS and rec.owner == 0
+        assert 5 in structure.rec(0).cross
+        # P(v, 0) holds the edge under BOTH endpoints
+        assert 5 in structure.verts[2].P[0]
+        assert 5 in structure.verts[7].P[0]
+
+    def test_add_cross_edge_requires_incident_match(self, structure):
+        c = Edge(5, (8, 9))
+        structure.register(c)
+        with pytest.raises(ValueError):
+            structure.add_cross_edge(c)
+
+    def test_cross_owner_prefers_higher_level(self, structure):
+        # level-0 match on (1,2); level-1 match (sample size 2) on (3,4)
+        m0 = Edge(0, (1, 2))
+        structure.register(m0)
+        structure.add_match(m0, [m0])
+        m1, s = Edge(1, (3, 4)), Edge(2, (4, 5))
+        structure.register(m1)
+        structure.register(s)
+        structure.add_match(m1, [m1, s])
+        c = Edge(9, (2, 3))  # incident on both matches
+        structure.register(c)
+        structure.add_cross_edge(c)
+        assert structure.rec(9).owner == 1  # the level-1 match
+
+    def test_remove_cross_edge(self, structure):
+        self._matched_pair(structure)
+        c = Edge(5, (2, 7))
+        structure.register(c)
+        structure.add_cross_edge(c)
+        structure.remove_cross_edge(c)
+        rec = structure.rec(5)
+        assert rec.type == EdgeType.UNSETTLED and rec.owner is None
+        assert 5 not in structure.rec(0).cross
+        assert 0 not in structure.verts[2].P  # bucket cleaned up
+
+    def test_remove_non_cross_rejected(self, structure):
+        m = self._matched_pair(structure)
+        with pytest.raises(ValueError):
+            structure.remove_cross_edge(m)
+
+
+class TestRemoveMatch:
+    def test_returns_owned_cross_edges(self, structure):
+        m = Edge(0, (1, 2))
+        structure.register(m)
+        structure.add_match(m, [m])
+        c1, c2 = Edge(1, (2, 7)), Edge(2, (1, 8))
+        for c in (c1, c2):
+            structure.register(c)
+            structure.add_cross_edge(c)
+        out = structure.remove_match(0)
+        assert {e.eid for e in out} == {1, 2}
+        assert structure.cover_of(1) is None
+        assert structure.rec(1).type == EdgeType.UNSETTLED
+        assert 0 not in structure.matched
+
+    def test_remove_unmatched_rejected(self, structure):
+        e = Edge(0, (1, 2))
+        structure.register(e)
+        with pytest.raises(ValueError):
+            structure.remove_match(0)
+
+    def test_preserves_newer_vertex_claims(self, structure):
+        """remove_match must not clear p(v) that a newer match took over."""
+        m_old = Edge(0, (1, 2))
+        structure.register(m_old)
+        structure.add_match(m_old, [m_old])
+        m_new = Edge(1, (2, 3))
+        structure.register(m_new)
+        # simulate a settle stealing vertex 2
+        structure.verts[2].p = 1
+        structure.matched.add(1)
+        structure.rec(1).type = EdgeType.MATCHED
+        from repro.parallel.dictionary import BatchSet
+
+        structure.rec(1).samples = BatchSet(structure.ledger, [1])
+        structure.rec(1).cross = BatchSet(structure.ledger)
+        structure.rec(1).owner = 1
+        structure.rec(1).level = 0
+        structure.rec(1).settle_size = 1
+        structure.remove_match(0)
+        assert structure.cover_of(2) == 1  # untouched
+        assert structure.cover_of(1) is None
+
+
+class TestIsHeavy:
+    def test_threshold(self, ledger):
+        s = LeveledStructure(rank=2, ledger=ledger, heavy_factor=4.0)
+        m = Edge(0, (1, 2))
+        s.register(m)
+        rec = s.add_match(m, [m])  # level 0 -> threshold 4*4*1 = 16
+        for i in range(1, 16):
+            c = Edge(i, (2, 100 + i))
+            s.register(c)
+            s.add_cross_edge(c)
+        assert not s.is_heavy(rec)  # 15 < 16
+        c = Edge(16, (2, 200))
+        s.register(c)
+        s.add_cross_edge(c)
+        assert s.is_heavy(rec)  # 16 >= 16
+
+    def test_heavy_factor_zero_always_heavy(self, ledger):
+        s = LeveledStructure(rank=2, ledger=ledger, heavy_factor=0.0)
+        m = Edge(0, (1, 2))
+        s.register(m)
+        rec = s.add_match(m, [m])
+        assert s.is_heavy(rec)
+
+    def test_non_match_rejected(self, structure):
+        e = Edge(0, (1, 2))
+        structure.register(e)
+        with pytest.raises(ValueError):
+            structure.is_heavy(structure.rec(0))
+
+
+class TestCrossEdgesBelow:
+    def test_collects_strictly_lower_levels(self, structure):
+        m0 = Edge(0, (1, 2))
+        structure.register(m0)
+        structure.add_match(m0, [m0])  # level 0
+        c = Edge(1, (2, 9))
+        structure.register(c)
+        structure.add_cross_edge(c)  # sits in P(2, 0) and P(9, 0)
+        assert structure.cross_edges_below(2, 0) == []
+        assert structure.cross_edges_below(2, 1) == [1]
+        assert structure.cross_edges_below(99, 5) == []
+
+
+class TestInvariantChecker:
+    def test_accepts_valid_structure(self, structure):
+        m = Edge(0, (1, 2))
+        structure.register(m)
+        structure.add_match(m, [m])
+        c = Edge(1, (2, 3))
+        structure.register(c)
+        structure.add_cross_edge(c)
+        structure.check_invariants()
+
+    def test_detects_unsettled_edge(self, structure):
+        structure.register(Edge(0, (1, 2)))
+        with pytest.raises(AssertionError):
+            structure.check_invariants()
+
+    def test_detects_bad_owner_level(self, structure):
+        m = Edge(0, (1, 2))
+        structure.register(m)
+        structure.add_match(m, [m])
+        c = Edge(1, (2, 3))
+        structure.register(c)
+        structure.add_cross_edge(c)
+        structure.rec(0).level = 3  # corrupt: stored level diverges
+        with pytest.raises(AssertionError):
+            structure.check_invariants()
+
+    def test_detects_stale_p_entry(self, structure):
+        m = Edge(0, (1, 2))
+        structure.register(m)
+        structure.add_match(m, [m])
+        c = Edge(1, (2, 3))
+        structure.register(c)
+        structure.add_cross_edge(c)
+        structure.verts[3].P[0].insert_one(777)  # dangling id
+        with pytest.raises(AssertionError):
+            structure.check_invariants()

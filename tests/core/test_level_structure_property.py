@@ -1,0 +1,113 @@
+"""Property tests of the structure-edit layer in isolation.
+
+The dynamic algorithm composes four edits (add_match, remove_match,
+add_cross_edge, remove_cross_edge).  Here hypothesis drives random VALID
+edit sequences directly against :class:`LeveledStructure` — bypassing the
+algorithm — and checks that the data-structure layer alone preserves its
+own representation invariants (C/S/P/p(v) consistency).  Invariant 4
+(max-level ownership) is the *algorithm's* responsibility (via
+adjustCrossEdges), so this harness restores it the same way the algorithm
+does: re-adding affected cross edges after every edit that changes levels.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.level_structure import EdgeType, LeveledStructure
+from repro.hypergraph.edge import Edge
+from repro.parallel.ledger import Ledger
+
+MAX_V = 8
+
+
+@st.composite
+def edit_scripts(draw):
+    """A list of abstract edit commands over a small universe."""
+    n_ops = draw(st.integers(1, 25))
+    ops = []
+    for _ in range(n_ops):
+        ops.append(
+            draw(
+                st.sampled_from(
+                    ["add_free_match", "add_cross", "remove_cross", "remove_match"]
+                )
+            )
+        )
+    seed = draw(st.integers(0, 10_000))
+    return ops, seed
+
+
+@given(edit_scripts())
+@settings(max_examples=60, deadline=None)
+def test_property_edit_layer_consistency(script):
+    ops, seed = script
+    rng = np.random.default_rng(seed)
+    s = LeveledStructure(rank=2, ledger=Ledger())
+    next_eid = 0
+    cross_ids = []
+    match_ids = []
+
+    def fresh_edge(require_free=False, require_covered=False):
+        nonlocal next_eid
+        for _ in range(20):
+            u, v = rng.choice(MAX_V, size=2, replace=False)
+            e = Edge(next_eid, (int(u), int(v)))
+            covered = any(s.verts.get(w) and s.verts[w].p is not None for w in e.vertices)
+            if require_free and covered:
+                continue
+            if require_covered and not covered:
+                continue
+            next_eid += 1
+            return e
+        return None
+
+    for op in ops:
+        if op == "add_free_match":
+            e = fresh_edge(require_free=True)
+            if e is None:
+                continue
+            s.register(e)
+            s.add_match(e, [e])
+            match_ids.append(e.eid)
+        elif op == "add_cross":
+            if not match_ids:
+                continue
+            e = fresh_edge(require_covered=True)
+            if e is None:
+                continue
+            s.register(e)
+            s.add_cross_edge(e)
+            cross_ids.append(e.eid)
+        elif op == "remove_cross" and cross_ids:
+            eid = cross_ids.pop(int(rng.integers(0, len(cross_ids))))
+            if eid in s.recs and s.rec(eid).type == EdgeType.CROSS:
+                s.remove_cross_edge(s.rec(eid).edge)
+                s.unregister(eid)
+        elif op == "remove_match" and match_ids:
+            eid = match_ids.pop(int(rng.integers(0, len(match_ids))))
+            if eid not in s.matched:
+                continue
+            freed = s.remove_match(eid)
+            s.unregister(eid)
+            # the algorithm would rematch/reattach freed edges; here we
+            # keep the harness minimal: reattach those that still touch a
+            # match, drop the rest
+            for fe in freed:
+                cross_ids = [c for c in cross_ids if c != fe.eid]
+                if any(s.verts[v].p is not None for v in fe.vertices):
+                    s.add_cross_edge(fe)
+                    cross_ids.append(fe.eid)
+                else:
+                    s.unregister(fe.eid)
+
+    # all level-0 structure: invariant 4 holds trivially; full check runs
+    s.check_invariants()
+    # spot structural facts beyond check_invariants
+    for eid in cross_ids:
+        if eid in s.recs:
+            rec = s.rec(eid)
+            assert rec.type == EdgeType.CROSS
+            assert eid in s.rec(rec.owner).cross
+    for eid in s.matched:
+        assert s.rec(eid).level == 0  # this harness only makes singleton matches

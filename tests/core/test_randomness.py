@@ -1,0 +1,106 @@
+"""Statistical tests of the randomness the oblivious-adversary defense
+rests on.
+
+The algorithm is only safe because the adversary cannot predict WHICH edge
+is matched.  These tests estimate match distributions over many seeds and
+check them against the exact distributions (small cases, chi-square via
+scipy) or sanity envelopes (larger cases).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sstats
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+from repro.static_matching.sequential_greedy import sequential_greedy_match
+from repro.workloads.generators import star_edges
+
+TRIALS = 600
+
+
+class TestStaticMatcherDistributions:
+    def test_triangle_uniform(self):
+        """On a triangle, greedy matches the minimum-priority edge — each
+        of the 3 edges with probability exactly 1/3."""
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (1, 3))]
+        counts = np.zeros(3)
+        for seed in range(TRIALS):
+            r = sequential_greedy_match(edges, rng=np.random.default_rng(seed))
+            counts[r.matched_ids[0]] += 1
+        chi = sstats.chisquare(counts)
+        assert chi.pvalue > 0.001, f"counts {counts}, p={chi.pvalue:.4f}"
+
+    def test_star_match_uniform(self):
+        """On a star all edges conflict; the matched one is the priority
+        minimum — uniform over the k edges."""
+        k = 6
+        edges = star_edges(k + 1)
+        counts = np.zeros(k)
+        for seed in range(TRIALS):
+            r = sequential_greedy_match(edges, rng=np.random.default_rng(seed + 10_000))
+            counts[r.matched_ids[0]] += 1
+        chi = sstats.chisquare(counts)
+        assert chi.pvalue > 0.001, f"counts {counts}, p={chi.pvalue:.4f}"
+
+    def test_path3_distribution(self):
+        """Path a-b-c: the middle edge is matched iff it has the minimum
+        priority (prob 1/3); otherwise both end edges are matched."""
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (3, 4))]
+        middle_alone = 0
+        for seed in range(TRIALS):
+            r = sequential_greedy_match(edges, rng=np.random.default_rng(seed + 20_000))
+            if r.matched_ids == [1]:
+                middle_alone += 1
+        p_hat = middle_alone / TRIALS
+        # exact probability 1/3; allow 4 sigma
+        sigma = (1 / 3 * 2 / 3 / TRIALS) ** 0.5
+        assert abs(p_hat - 1 / 3) < 4 * sigma, p_hat
+
+
+class TestDynamicMatcherUnpredictability:
+    def test_settle_match_spreads_over_candidates(self):
+        """After the star's center match dies, the replacement is drawn
+        from a large sample — an adversary cannot point at it."""
+        k = 12
+        seen = set()
+        for seed in range(120):
+            dm = DynamicMatching(rank=2, seed=seed)
+            dm.insert_edges(star_edges(k + 1))
+            dm.delete_edges(dm.matched_ids())
+            new = dm.matched_ids()
+            if new:
+                seen.add(new[0])
+        # at least half the surviving edges get matched in some run
+        assert len(seen) >= k // 2, seen
+
+    def test_insert_match_choice_varies(self):
+        """Simultaneously inserted conflicting edges: the winner varies."""
+        winners = set()
+        for seed in range(60):
+            dm = DynamicMatching(rank=2, seed=seed)
+            dm.insert_edges([Edge(0, (1, 2)), Edge(1, (1, 2)), Edge(2, (1, 2))])
+            winners.add(dm.matched_ids()[0])
+        assert winners == {0, 1, 2}
+
+    def test_same_seed_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            dm = DynamicMatching(rank=2, seed=77)
+            dm.insert_edges(star_edges(30))
+            dm.delete_edges(dm.matched_ids())
+            runs.append((tuple(dm.matched_ids()), dm.ledger.work))
+        assert runs[0] == runs[1]
+
+    def test_sample_sizes_track_candidates(self):
+        """The settle sample over a k-star has size ~k (all candidates),
+        so the expected number of cheap deletes before the match is ~k/2."""
+        k = 40
+        sizes = []
+        for seed in range(40):
+            dm = DynamicMatching(rank=2, seed=seed)
+            dm.insert_edges(star_edges(k + 1))
+            dm.delete_edges(dm.matched_ids())
+            for ep in dm.tracker.live_epochs():
+                sizes.append(ep.sample_size)
+        assert np.mean(sizes) > k / 2, np.mean(sizes)

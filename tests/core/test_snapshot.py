@@ -1,0 +1,111 @@
+"""Tests for snapshot / restore of the leveled matching structure."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.core.snapshot import load_state, save_state
+from repro.hypergraph.edge import Edge
+from repro.workloads.generators import erdos_renyi_edges, star_edges
+
+
+def _churned(seed=0):
+    """A structure with matches above level 0, sampled and cross edges."""
+    dm = DynamicMatching(rank=2, seed=seed)
+    dm.insert_edges(star_edges(64))
+    dm.insert_edges(erdos_renyi_edges(20, 80, np.random.default_rng(seed), start_eid=500))
+    dm.delete_edges(dm.matched_ids())  # force settles
+    return dm
+
+
+class TestRoundTrip:
+    def test_restores_same_graph_and_matching(self):
+        dm = _churned()
+        state = save_state(dm)
+        dm2 = load_state(state, seed=99)
+        assert {e.eid for e in dm2.structure.all_edges()} == {
+            e.eid for e in dm.structure.all_edges()
+        }
+        assert dm2.matched_ids() == dm.matched_ids()
+        dm2.check_invariants()
+
+    def test_levels_and_settle_sizes_preserved(self):
+        dm = _churned()
+        dm2 = load_state(save_state(dm), seed=1)
+        for eid in dm.matched_ids():
+            a, b = dm.structure.rec(eid), dm2.structure.rec(eid)
+            assert a.level == b.level
+            assert a.settle_size == b.settle_size
+            assert set(a.samples) == set(b.samples)
+            assert set(a.cross) == set(b.cross)
+
+    def test_json_serializable(self):
+        dm = _churned()
+        blob = json.dumps(save_state(dm))
+        dm2 = load_state(json.loads(blob), seed=2)
+        dm2.check_invariants()
+
+    def test_restored_instance_keeps_working(self):
+        dm = _churned(seed=3)
+        dm2 = load_state(save_state(dm), seed=4)
+        # continue updating on the restored instance
+        dm2.insert_edges([Edge(9000 + i, (100 + i, 101 + i)) for i in range(10)])
+        dm2.check_invariants()
+        dm2.delete_edges(dm2.matched_ids())
+        dm2.check_invariants()
+        g = dm2.current_graph()
+        assert g.is_maximal_matching(dm2.matched_ids())
+
+    def test_empty_structure(self):
+        dm = DynamicMatching(seed=0)
+        dm2 = load_state(save_state(dm), seed=1)
+        assert len(dm2) == 0
+
+    def test_config_preserved(self):
+        dm = DynamicMatching(rank=4, seed=0, alpha=3, heavy_factor=8.0)
+        dm.insert_edges([Edge(0, (1, 2, 3))])
+        dm2 = load_state(save_state(dm), seed=1)
+        assert dm2.rank == 4
+        assert dm2.structure.alpha == 3
+        assert dm2.structure.heavy_factor == 8.0
+
+
+class TestValidation:
+    def test_version_mismatch(self):
+        dm = DynamicMatching(seed=0)
+        state = save_state(dm)
+        state["version"] = 999
+        with pytest.raises(ValueError):
+            load_state(state)
+
+    def test_corrupt_owner_rejected(self):
+        dm = DynamicMatching(seed=0)
+        dm.insert_edges([Edge(0, (1, 2)), Edge(1, (2, 3))])
+        state = save_state(dm)
+        for entry in state["edges"]:
+            if entry["type"] == "cross":
+                entry["owner"] = 12345
+        with pytest.raises(ValueError):
+            load_state(state)
+
+    def test_corrupt_cross_membership_rejected(self):
+        dm = DynamicMatching(seed=0)
+        dm.insert_edges([Edge(0, (1, 2)), Edge(1, (2, 3))])
+        state = save_state(dm)
+        for entry in state["edges"]:
+            if entry["type"] == "matched":
+                entry["cross"] = []
+        with pytest.raises(ValueError):
+            load_state(state)
+
+    def test_unsettled_type_rejected(self):
+        dm = DynamicMatching(seed=0)
+        dm.insert_edges([Edge(0, (1, 2)), Edge(1, (2, 3))])
+        state = save_state(dm)
+        for entry in state["edges"]:
+            if entry["type"] == "cross":
+                entry["type"] = "unsettled"
+        with pytest.raises(ValueError):
+            load_state(state)

@@ -1,0 +1,86 @@
+"""Stateful property-based fuzzing of the batch-dynamic algorithm.
+
+Hypothesis drives arbitrary interleavings of insert/delete batches over a
+small vertex universe (small universes maximize edge collisions, which is
+where the matched-deletion machinery gets stressed).  After every step the
+full Definition 4.1 invariant check runs and the matching is verified
+maximal against an independently-maintained plain hypergraph mirror.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+
+MAX_VERTEX = 8
+MAX_RANK = 3
+
+
+class DynamicMatchingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dm = DynamicMatching(rank=MAX_RANK, seed=1234)
+        self.mirror = Hypergraph()
+        self.next_eid = 0
+
+    @rule(
+        vertex_sets=st.lists(
+            st.lists(st.integers(0, MAX_VERTEX - 1), min_size=1, max_size=MAX_RANK, unique=True),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def insert_batch(self, vertex_sets):
+        edges = []
+        for vs in vertex_sets:
+            edges.append(Edge(self.next_eid, vs))
+            self.next_eid += 1
+        self.dm.insert_edges(edges)
+        self.mirror.add_edges(edges)
+
+    @rule(data=st.data())
+    def delete_batch(self, data):
+        live = self.mirror.edge_ids()
+        if not live:
+            return
+        k = data.draw(st.integers(1, min(len(live), 8)))
+        idx = data.draw(
+            st.lists(st.integers(0, len(live) - 1), min_size=k, max_size=k, unique=True)
+        )
+        eids = [live[i] for i in idx]
+        self.dm.delete_edges(eids)
+        self.mirror.remove_edges(eids)
+
+    @rule(data=st.data())
+    def delete_matched_batch(self, data):
+        """Bias the fuzzer toward the interesting case: kill matches."""
+        matched = self.dm.matched_ids()
+        if not matched:
+            return
+        k = data.draw(st.integers(1, len(matched)))
+        self.dm.delete_edges(matched[:k])
+        self.mirror.remove_edges(matched[:k])
+
+    @invariant()
+    def structure_invariants_hold(self):
+        self.dm.check_invariants()
+
+    @invariant()
+    def matching_is_maximal_on_mirror(self):
+        assert self.mirror.is_maximal_matching(self.dm.matched_ids())
+
+    @invariant()
+    def edge_sets_agree(self):
+        assert {e.eid for e in self.dm.structure.all_edges()} == set(
+            self.mirror.edge_ids()
+        )
+
+
+TestDynamicMatchingStateful = DynamicMatchingMachine.TestCase
+TestDynamicMatchingStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,88 @@
+"""Tests for parallel connected components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph.components import (
+    component_sizes,
+    connected_components,
+    num_components,
+    same_component,
+)
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.parallel.ledger import Ledger
+from repro.workloads.generators import erdos_renyi_edges, path_edges
+
+from tests.conftest import edge_lists
+
+
+class TestBasics:
+    def test_empty(self):
+        labels, rounds = connected_components(Hypergraph())
+        assert labels == {}
+
+    def test_single_edge(self):
+        g = Hypergraph([Edge(0, (3, 7))])
+        labels, _ = connected_components(g)
+        assert labels == {3: 3, 7: 3}
+
+    def test_two_components(self):
+        g = Hypergraph([Edge(0, (1, 2)), Edge(1, (5, 6))])
+        assert num_components(g) == 2
+        assert component_sizes(g) == [2, 2]
+
+    def test_path_is_one_component(self):
+        g = Hypergraph(path_edges(30))
+        assert num_components(g) == 1
+
+    def test_hyperedge_connects_all_endpoints(self):
+        g = Hypergraph([Edge(0, (1, 5, 9)), Edge(1, (9, 12, 13))])
+        assert num_components(g) == 1
+
+    def test_same_component(self):
+        g = Hypergraph([Edge(0, (1, 2)), Edge(1, (5, 6))])
+        assert same_component(g, 1, 2)
+        assert not same_component(g, 1, 5)
+
+    def test_same_component_missing_vertex(self):
+        g = Hypergraph([Edge(0, (1, 2))])
+        with pytest.raises(KeyError):
+            same_component(g, 1, 99)
+
+    def test_ledger_charged(self):
+        led = Ledger()
+        connected_components(Hypergraph(path_edges(10)), led)
+        assert led.work > 0 and led.by_tag.get("components_round", 0) > 0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs_match_networkx(self, seed):
+        edges = erdos_renyi_edges(30, 40, np.random.default_rng(seed))
+        g = Hypergraph(edges)
+        nxg = nx.Graph()
+        nxg.add_edges_from(e.vertices for e in edges)
+        assert num_components(g) == nx.number_connected_components(nxg)
+        assert component_sizes(g) == sorted(
+            (len(c) for c in nx.connected_components(nxg)), reverse=True
+        )
+
+    @given(edge_lists(max_rank=3, max_edges=25))
+    @settings(max_examples=40)
+    def test_property_labels_are_component_minima(self, edges):
+        g = Hypergraph(edges)
+        labels, _ = connected_components(g)
+        # build reference components by expanding hyperedges to cliques
+        nxg = nx.Graph()
+        for e in edges:
+            vs = list(e.vertices)
+            nxg.add_node(vs[0])
+            for a, b in zip(vs, vs[1:]):
+                nxg.add_edge(a, b)
+        for comp in nx.connected_components(nxg):
+            lo = min(comp)
+            for v in comp:
+                assert labels[v] == lo

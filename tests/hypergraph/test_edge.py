@@ -1,0 +1,95 @@
+"""Unit tests for the Edge type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hypergraph.edge import Edge
+
+
+class TestConstruction:
+    def test_vertices_sorted_and_deduped(self):
+        e = Edge(1, (5, 3, 5, 1))
+        assert e.vertices == (1, 3, 5)
+
+    def test_cardinality(self):
+        assert Edge(0, (1, 2, 3)).cardinality == 3
+        assert Edge(0, (7,)).cardinality == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(0, ())
+
+    def test_immutable(self):
+        e = Edge(0, (1, 2))
+        with pytest.raises(AttributeError):
+            e.eid = 5
+        with pytest.raises(AttributeError):
+            e.vertices = (3,)
+
+
+class TestIdentity:
+    def test_equality_by_id_only(self):
+        assert Edge(1, (1, 2)) == Edge(1, (3, 4))
+        assert Edge(1, (1, 2)) != Edge(2, (1, 2))
+
+    def test_hash_by_id(self):
+        assert hash(Edge(9, (1, 2))) == hash(Edge(9, (5, 6)))
+
+    def test_usable_in_sets(self):
+        s = {Edge(1, (1, 2)), Edge(1, (3, 4)), Edge(2, (1, 2))}
+        assert len(s) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert Edge(1, (1, 2)) != 1
+
+    def test_ordering_by_id(self):
+        assert Edge(1, (9,)) < Edge(2, (0,))
+
+
+class TestIncidence:
+    def test_intersects_shared_vertex(self):
+        assert Edge(0, (1, 2)).intersects(Edge(1, (2, 3)))
+
+    def test_no_intersection(self):
+        assert not Edge(0, (1, 2)).intersects(Edge(1, (3, 4)))
+
+    def test_self_intersection(self):
+        e = Edge(0, (1, 2))
+        assert e.intersects(e)
+
+    def test_hyperedge_intersection(self):
+        assert Edge(0, (1, 2, 3)).intersects(Edge(1, (3, 9, 10)))
+
+    def test_covers(self):
+        e = Edge(0, (1, 5))
+        assert e.covers(5) and not e.covers(2)
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=5),
+        st.lists(st.integers(0, 20), min_size=1, max_size=5),
+    )
+    def test_property_intersects_iff_shared(self, a, b):
+        ea, eb = Edge(0, a), Edge(1, b)
+        assert ea.intersects(eb) == bool(set(a) & set(b))
+        assert ea.intersects(eb) == eb.intersects(ea)
+
+
+def test_repr_contains_id_and_vertices():
+    r = repr(Edge(7, (2, 1)))
+    assert "7" in r and "(1, 2)" in r
+
+
+class TestPickling:
+    def test_roundtrip(self):
+        import pickle
+
+        e = Edge(7, (3, 1, 9))
+        back = pickle.loads(pickle.dumps(e))
+        assert back == e and back.vertices == e.vertices
+
+    def test_still_immutable_after_unpickle(self):
+        import pickle
+
+        back = pickle.loads(pickle.dumps(Edge(1, (1, 2))))
+        with pytest.raises(AttributeError):
+            back.eid = 5

@@ -1,0 +1,151 @@
+"""Unit and property tests for the mutable Hypergraph."""
+
+import pytest
+from hypothesis import given
+
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+
+from tests.conftest import edge_lists
+
+
+@pytest.fixture
+def triangle():
+    return Hypergraph([Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (1, 3))])
+
+
+class TestMutation:
+    def test_add_and_len(self, triangle):
+        assert len(triangle) == 3
+
+    def test_duplicate_id_rejected(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.add_edge(Edge(0, (5, 6)))
+
+    def test_remove_returns_edge(self, triangle):
+        e = triangle.remove_edge(1)
+        assert e.vertices == (2, 3)
+        assert 1 not in triangle
+
+    def test_remove_absent_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.remove_edge(99)
+
+    def test_remove_cleans_incidence(self):
+        h = Hypergraph([Edge(0, (1, 2))])
+        h.remove_edge(0)
+        assert h.num_vertices == 0
+        assert h.incident_edge_ids(1) == set()
+
+    def test_clear(self, triangle):
+        triangle.clear()
+        assert len(triangle) == 0 and triangle.num_vertices == 0
+
+    def test_bulk_add_remove(self):
+        h = Hypergraph()
+        h.add_edges([Edge(i, (i, i + 1)) for i in range(5)])
+        removed = h.remove_edges([0, 2, 4])
+        assert [e.eid for e in removed] == [0, 2, 4]
+        assert len(h) == 2
+
+
+class TestQueries:
+    def test_degree(self, triangle):
+        assert triangle.degree(1) == 2
+        assert triangle.degree(99) == 0
+
+    def test_neighbors(self, triangle):
+        nbrs = {e.eid for e in triangle.neighbors(triangle.edge(0))}
+        assert nbrs == {1, 2}
+
+    def test_neighbors_no_duplicates(self):
+        # edge 1 shares BOTH vertices with edge 0: must appear once.
+        h = Hypergraph([Edge(0, (1, 2)), Edge(1, (1, 2))])
+        assert len(h.neighbors(h.edge(0))) == 1
+
+    def test_neighbor_ids(self, triangle):
+        assert triangle.neighbor_ids(triangle.edge(1)) == {0, 2}
+
+    def test_incident_edge_ids(self, triangle):
+        assert triangle.incident_edge_ids(2) == {0, 1}
+
+    def test_get(self, triangle):
+        assert triangle.get(0).eid == 0
+        assert triangle.get(42) is None
+
+    def test_iteration(self, triangle):
+        assert {e.eid for e in triangle} == {0, 1, 2}
+
+
+class TestAggregates:
+    def test_rank(self):
+        h = Hypergraph([Edge(0, (1, 2)), Edge(1, (1, 2, 3, 4))])
+        assert h.rank == 4
+
+    def test_rank_empty(self):
+        assert Hypergraph().rank == 0
+
+    def test_total_cardinality(self):
+        h = Hypergraph([Edge(0, (1, 2)), Edge(1, (1, 2, 3))])
+        assert h.total_cardinality == 5
+
+    def test_num_vertices_counts_touched_only(self):
+        h = Hypergraph([Edge(0, (4, 9))])
+        assert h.num_vertices == 2
+
+
+class TestMatchingPredicates:
+    def test_is_matching_true(self, triangle):
+        assert triangle.is_matching([0])
+        assert triangle.is_matching([])
+
+    def test_is_matching_conflict(self, triangle):
+        assert not triangle.is_matching([0, 1])  # share vertex 2
+
+    def test_is_matching_missing_edge(self, triangle):
+        assert not triangle.is_matching([99])
+
+    def test_is_maximal_matching(self, triangle):
+        # any single edge of a triangle is maximal
+        for eid in (0, 1, 2):
+            assert triangle.is_maximal_matching([eid])
+
+    def test_not_maximal_when_free_edge_exists(self):
+        h = Hypergraph([Edge(0, (1, 2)), Edge(1, (3, 4))])
+        assert not h.is_maximal_matching([0])
+        assert h.is_maximal_matching([0, 1])
+
+    def test_empty_matching_on_empty_graph_is_maximal(self):
+        assert Hypergraph().is_maximal_matching([])
+
+
+class TestCopy:
+    def test_copy_independent(self, triangle):
+        c = triangle.copy()
+        c.remove_edge(0)
+        assert 0 in triangle and 0 not in c
+
+    def test_copy_preserves_incidence(self, triangle):
+        c = triangle.copy()
+        assert c.incident_edge_ids(2) == triangle.incident_edge_ids(2)
+
+
+@given(edge_lists(max_rank=3))
+def test_property_incidence_index_consistent(edges):
+    h = Hypergraph(edges)
+    # every edge is indexed under each of its vertices, and nothing else
+    for e in edges:
+        for v in e.vertices:
+            assert e.eid in h.incident_edge_ids(v)
+    for v in h.vertices():
+        for eid in h.incident_edge_ids(v):
+            assert v in h.edge(eid).vertices
+    assert h.total_cardinality == sum(e.cardinality for e in edges)
+
+
+@given(edge_lists(max_rank=3))
+def test_property_add_remove_roundtrip(edges):
+    h = Hypergraph(edges)
+    for e in list(edges):
+        h.remove_edge(e.eid)
+    assert len(h) == 0 and h.num_vertices == 0

@@ -1,0 +1,71 @@
+"""Tests for hypergraph descriptive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.statistics import (
+    DegreeStats,
+    cardinality_histogram,
+    degree_histogram,
+    density,
+    incidence_skew,
+    summary,
+)
+from repro.workloads.generators import star_edges
+
+
+@pytest.fixture
+def star():
+    return Hypergraph(star_edges(11))  # hub degree 10, leaves degree 1
+
+
+class TestDegreeStats:
+    def test_star(self, star):
+        s = DegreeStats.of(star)
+        assert s.max == 10 and s.min == 1
+        assert s.n == 11
+        assert s.mean == pytest.approx(20 / 11)
+
+    def test_empty(self):
+        s = DegreeStats.of(Hypergraph())
+        assert s.n == 0 and s.mean == 0.0
+
+
+class TestHistograms:
+    def test_degree_histogram(self, star):
+        h = degree_histogram(star)
+        assert h == {10: 1, 1: 10}
+
+    def test_cardinality_histogram(self):
+        g = Hypergraph([Edge(0, (1, 2)), Edge(1, (1, 2, 3)), Edge(2, (4, 5))])
+        assert cardinality_histogram(g) == {2: 2, 3: 1}
+
+
+class TestScalars:
+    def test_density(self, star):
+        assert density(star) == pytest.approx(10 / 11)
+
+    def test_density_empty(self):
+        assert density(Hypergraph()) == 0.0
+
+    def test_skew_star_vs_path(self, star):
+        from repro.workloads.generators import path_edges
+
+        path = Hypergraph(path_edges(12))
+        assert incidence_skew(star) > incidence_skew(path)
+
+    def test_skew_regular_is_one(self):
+        g = Hypergraph([Edge(0, (1, 2)), Edge(1, (3, 4))])
+        assert incidence_skew(g) == pytest.approx(1.0)
+
+
+class TestSummary:
+    def test_keys_and_consistency(self, star):
+        s = summary(star)
+        assert s["vertices"] == 11
+        assert s["edges"] == 10
+        assert s["rank"] == 2
+        assert s["total_cardinality"] == 20
+        assert s["max_degree"] == 10

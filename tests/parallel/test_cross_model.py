@@ -1,0 +1,83 @@
+"""Cross-validation of the two cost models.
+
+The ledger produces (W, D) analytically; the simulator schedules explicit
+DAGs operationally.  For computations whose DAG we can build exactly —
+parallel_for fork trees with known per-branch work — the two must agree:
+the ledger's (W, D) equals the DAG's (total work, critical path), and the
+simulated makespan obeys Brent's bound computed from the ledger numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel.ledger import Ledger, parallel_for
+from repro.parallel.machine import brent_time
+from repro.parallel.simulator import GreedyScheduler, TaskGraph
+
+
+def _ledger_parallel_for(branch_works):
+    """Account a flat parallel_for whose branch i charges branch_works[i]
+    work at depth == work (a sequential body)."""
+    led = Ledger()
+
+    def body(w):
+        led.charge(work=w, depth=w)
+
+    parallel_for(led, branch_works, body)
+    return led
+
+
+def _dag_parallel_for(branch_works):
+    g = TaskGraph()
+    root = g.task(work=1e-9)
+    for w in branch_works:
+        g.task(work=w, deps=[root])
+    return g
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_flat_parallel_for_agrees(seed):
+    rng = np.random.default_rng(seed)
+    works = [float(w) for w in rng.integers(1, 20, size=int(rng.integers(1, 30)))]
+
+    led = _ledger_parallel_for(works)
+    g = _dag_parallel_for(works)
+
+    assert led.work == pytest.approx(sum(works))
+    assert led.depth == pytest.approx(max(works))
+    assert g.total_work == pytest.approx(sum(works), abs=1e-6)
+    assert g.critical_path == pytest.approx(max(works), abs=1e-6)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 16])
+@pytest.mark.parametrize("seed", range(3))
+def test_simulated_makespan_obeys_ledger_brent(seed, p):
+    rng = np.random.default_rng(100 + seed)
+    works = [float(w) for w in rng.integers(1, 15, size=25)]
+    led = _ledger_parallel_for(works)
+    g = _dag_parallel_for(works)
+    res = GreedyScheduler(p).run(g)
+    upper = brent_time(led.snapshot(), p)
+    assert res.makespan <= upper + 1e-6, (res.makespan, upper)
+
+
+def test_nested_regions_agree_with_series_parallel_dag():
+    """Two sequential phases, each a parallel_for — ledger vs DAG."""
+    led = Ledger()
+
+    def body(w):
+        led.charge(work=w, depth=w)
+
+    parallel_for(led, [3.0, 5.0], body)  # phase 1: depth 5
+    parallel_for(led, [2.0, 7.0, 1.0], body)  # phase 2: depth 7
+    assert led.work == 18.0
+    assert led.depth == 12.0
+
+    g = TaskGraph()
+    root = g.task(work=1e-9)
+    p1 = [g.task(work=w, deps=[root]) for w in (3.0, 5.0)]
+    barrier = g.task(work=1e-9, deps=p1)
+    p2 = [g.task(work=w, deps=[barrier]) for w in (2.0, 7.0, 1.0)]
+    g.task(work=1e-9, deps=p2)
+    assert g.total_work == pytest.approx(18.0, abs=1e-6)
+    assert g.critical_path == pytest.approx(12.0, abs=1e-6)

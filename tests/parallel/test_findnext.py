@@ -1,0 +1,77 @@
+"""Unit and property tests for findNext (doubling + binary search)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.findnext import find_next, find_next_in
+from repro.parallel.ledger import Ledger, log2ceil
+
+
+class TestFindNext:
+    def test_start_satisfies(self, ledger):
+        assert find_next(ledger, 0, 10, lambda j: True) == 0
+
+    def test_finds_first_hit(self, ledger):
+        flags = [False, False, False, True, False, True]
+        assert find_next(ledger, 0, len(flags), lambda j: flags[j]) == 3
+
+    def test_respects_start(self, ledger):
+        flags = [True, False, False, True]
+        assert find_next(ledger, 1, len(flags), lambda j: flags[j]) == 3
+
+    def test_no_hit_returns_length(self, ledger):
+        assert find_next(ledger, 0, 8, lambda j: False) == 8
+
+    def test_start_at_length(self, ledger):
+        assert find_next(ledger, 5, 5, lambda j: True) == 5
+
+    def test_start_past_length(self, ledger):
+        assert find_next(ledger, 9, 5, lambda j: True) == 5
+
+    def test_negative_start_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            find_next(ledger, -1, 5, lambda j: True)
+
+    def test_hit_at_last_index(self, ledger):
+        n = 37
+        assert find_next(ledger, 0, n, lambda j: j == n - 1) == n - 1
+
+
+class TestFindNextIn:
+    def test_over_items(self, ledger):
+        items = ["a", "b", "x", "c", "x"]
+        assert find_next_in(ledger, 0, items, lambda s: s == "x") == 2
+
+    def test_no_match(self, ledger):
+        assert find_next_in(ledger, 0, [1, 2], lambda x: x > 5) == 2
+
+
+class TestCostModel:
+    def test_work_proportional_to_distance(self):
+        """Work for a hit at distance d is O(d) — here within 4d + O(1)."""
+        for d in (1, 5, 17, 100, 900):
+            led = Ledger()
+            find_next(led, 0, 2000, lambda j, d=d: j >= d)
+            assert led.work <= 4 * (d + 1) + 8, f"distance {d}: work {led.work}"
+
+    def test_depth_logarithmic_in_distance(self):
+        for d in (1, 10, 100, 1000):
+            led = Ledger()
+            find_next(led, 0, 5000, lambda j, d=d: j >= d)
+            assert led.depth <= 3 * log2ceil(d + 2) + 4, f"distance {d}: depth {led.depth}"
+
+    def test_miss_costs_linear_in_range(self):
+        led = Ledger()
+        find_next(led, 0, 256, lambda j: False)
+        assert led.work <= 3 * 256
+
+
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=200),
+    st.integers(0, 220),
+)
+def test_property_matches_linear_scan(flags, start):
+    led = Ledger()
+    got = find_next(led, start, len(flags), lambda j: flags[j])
+    expect = next((j for j in range(min(start, len(flags)), len(flags)) if flags[j]), len(flags))
+    assert got == expect

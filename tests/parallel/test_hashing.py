@@ -1,0 +1,83 @@
+"""Tests for tabulation hashing."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.hashing import TabulationHash, max_load
+
+
+class TestBasics:
+    def test_deterministic_given_seed(self):
+        a, b = TabulationHash(seed=5), TabulationHash(seed=5)
+        assert all(a(k) == b(k) for k in range(100))
+
+    def test_different_seeds_differ(self):
+        a, b = TabulationHash(seed=1), TabulationHash(seed=2)
+        assert any(a(k) != b(k) for k in range(100))
+
+    def test_output_range(self):
+        h = TabulationHash(seed=0, out_bits=10)
+        assert all(0 <= h(k) < 1024 for k in range(500))
+
+    def test_out_bits_validation(self):
+        with pytest.raises(ValueError):
+            TabulationHash(seed=0, out_bits=0)
+        with pytest.raises(ValueError):
+            TabulationHash(seed=0, out_bits=65)
+
+    def test_negative_keys_fold(self):
+        h = TabulationHash(seed=0)
+        assert h(-1) == h(-1 & ((1 << 64) - 1))
+
+    def test_batch_matches_scalar(self):
+        h = TabulationHash(seed=3)
+        keys = list(range(0, 2000, 7)) + [-5, -99, 2**40 + 3]
+        batch = h.hash_batch(keys)
+        for k, hv in zip(keys, batch):
+            assert h(k) == int(hv)
+
+    def test_bucket_range(self):
+        h = TabulationHash(seed=1)
+        assert all(0 <= h.bucket(k, 17) < 17 for k in range(200))
+        with pytest.raises(ValueError):
+            h.bucket(1, 0)
+
+
+class TestStatisticalQuality:
+    def test_bit_balance(self):
+        """Each output bit should be ~50/50 over many keys."""
+        h = TabulationHash(seed=7)
+        vals = h.hash_batch(np.arange(4096))
+        for bit in range(0, 64, 8):
+            ones = int(((vals >> np.uint64(bit)) & np.uint64(1)).sum())
+            assert 1500 < ones < 2600, f"bit {bit}: {ones}/4096 ones"
+
+    def test_sequential_keys_spread(self):
+        """Sequential keys (the common edge-id case) must not cluster."""
+        h = TabulationHash(seed=11)
+        load = max_load(h, list(range(1024)), num_buckets=1024)
+        # balls-in-bins with n=b=1024: whp max load < ~10
+        assert load <= 12, load
+
+    def test_collision_rate_near_uniform(self):
+        h = TabulationHash(seed=13, out_bits=16)
+        vals = h.hash_batch(np.arange(2000))
+        collisions = 2000 - len(set(int(v) for v in vals))
+        # birthday bound: expected ~ 2000^2 / 2^17 ≈ 30
+        assert collisions < 120, collisions
+
+    def test_three_wise_spotcheck(self):
+        """XOR of hashes of distinct triples shouldn't be constant —
+        a cheap smoke signal of >2-independence."""
+        h = TabulationHash(seed=17, out_bits=8)
+        xors = {h(a) ^ h(a + 1) ^ h(a + 2) for a in range(0, 600, 3)}
+        assert len(xors) > 30
+
+
+class TestMaxLoad:
+    def test_empty(self):
+        assert max_load(TabulationHash(seed=0), [], 8) == 0
+
+    def test_counts(self):
+        h = TabulationHash(seed=0)
+        assert max_load(h, list(range(100)), 1) == 100

@@ -1,0 +1,213 @@
+"""Unit tests for the work-depth cost ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.ledger import Cost, Ledger, NullLedger, log2ceil, parallel_for
+
+
+class TestLog2Ceil:
+    def test_small_values_floor_at_one(self):
+        assert log2ceil(0) == 1
+        assert log2ceil(1) == 1
+        assert log2ceil(2) == 1
+
+    def test_powers_of_two(self):
+        assert log2ceil(4) == 2
+        assert log2ceil(8) == 3
+        assert log2ceil(1024) == 10
+
+    def test_between_powers_rounds_up(self):
+        assert log2ceil(5) == 3
+        assert log2ceil(1000) == 10
+
+    @given(st.integers(3, 10**9))
+    def test_bracketing(self, n):
+        k = log2ceil(n)
+        assert 2 ** (k - 1) < n <= 2**k
+
+
+class TestCost:
+    def test_sequential_composition_adds(self):
+        c = Cost(3, 2).then(Cost(5, 7))
+        assert c == Cost(8, 9)
+
+    def test_parallel_composition_maxes_depth(self):
+        c = Cost.par([Cost(3, 2), Cost(5, 7), Cost(1, 1)])
+        assert c == Cost(9, 7)
+
+    def test_par_empty(self):
+        assert Cost.par([]) == Cost(0, 0)
+
+    def test_add_operator(self):
+        assert Cost(1, 1) + Cost(2, 3) == Cost(3, 4)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Cost(1, 1).work = 5
+
+
+class TestLedgerCharging:
+    def test_charge_accumulates_work_and_depth(self, ledger):
+        ledger.charge(work=5, depth=2)
+        ledger.charge(work=3, depth=1)
+        assert ledger.work == 8
+        assert ledger.depth == 3
+
+    def test_negative_charge_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.charge(work=-1)
+        with pytest.raises(ValueError):
+            ledger.charge(depth=-1)
+
+    def test_tags_accumulate(self, ledger):
+        ledger.charge(work=5, tag="a")
+        ledger.charge(work=3, tag="a")
+        ledger.charge(work=2, tag="b")
+        assert ledger.by_tag == {"a": 8, "b": 2}
+
+    def test_charge_cost(self, ledger):
+        ledger.charge_cost(Cost(4, 2), tag="x")
+        assert ledger.work == 4
+        assert ledger.depth == 2
+        assert ledger.by_tag["x"] == 4
+
+    def test_reset(self, ledger):
+        ledger.charge(work=5, depth=5, tag="a")
+        ledger.reset()
+        assert ledger.work == 0
+        assert ledger.depth == 0
+        assert ledger.by_tag == {}
+
+
+class TestParallelRegions:
+    def test_region_contributes_max_branch_depth(self, ledger):
+        with ledger.parallel() as region:
+            for d in (3, 7, 2):
+                with region.branch():
+                    ledger.charge(work=1, depth=d)
+        assert ledger.work == 3
+        assert ledger.depth == 7
+
+    def test_empty_region_adds_no_depth(self, ledger):
+        with ledger.parallel():
+            pass
+        assert ledger.depth == 0
+
+    def test_nested_regions(self, ledger):
+        # outer: two branches; first branch contains an inner region.
+        with ledger.parallel() as outer:
+            with outer.branch():
+                ledger.charge(depth=1)
+                with ledger.parallel() as inner:
+                    for d in (5, 2):
+                        with inner.branch():
+                            ledger.charge(depth=d)
+                ledger.charge(depth=1)  # 1 + 5 + 1 = 7
+            with outer.branch():
+                ledger.charge(depth=4)
+        assert ledger.depth == 7
+
+    def test_sequential_then_parallel(self, ledger):
+        ledger.charge(depth=10)
+        with ledger.parallel() as region:
+            with region.branch():
+                ledger.charge(depth=3)
+        assert ledger.depth == 13
+
+    def test_branch_after_close_rejected(self, ledger):
+        with ledger.parallel() as region:
+            pass
+        with pytest.raises(RuntimeError):
+            with region.branch():
+                pass
+
+    def test_reset_inside_region_rejected(self, ledger):
+        with pytest.raises(RuntimeError):
+            with ledger.parallel() as region:
+                with region.branch():
+                    ledger.reset()
+
+
+class TestMeasure:
+    def test_measure_captures_delta(self, ledger):
+        ledger.charge(work=100, depth=50)
+        with ledger.measure() as span:
+            ledger.charge(work=7, depth=3)
+        assert span.cost == Cost(7, 3)
+
+    def test_measure_sees_parallel_depth(self, ledger):
+        with ledger.measure() as span:
+            with ledger.parallel() as region:
+                for d in (2, 9):
+                    with region.branch():
+                        ledger.charge(work=1, depth=d)
+        assert span.cost == Cost(2, 9)
+
+    def test_nested_measures(self, ledger):
+        with ledger.measure() as outer:
+            ledger.charge(work=1, depth=1)
+            with ledger.measure() as inner:
+                ledger.charge(work=2, depth=2)
+        assert inner.cost == Cost(2, 2)
+        assert outer.cost == Cost(3, 3)
+
+
+class TestParallelFor:
+    def test_results_in_order(self, ledger):
+        out = parallel_for(ledger, [1, 2, 3], lambda x: x * 10)
+        assert out == [10, 20, 30]
+
+    def test_depth_is_max_not_sum(self, ledger):
+        def body(d):
+            ledger.charge(work=1, depth=d)
+
+        parallel_for(ledger, [4, 9, 1], body)
+        assert ledger.depth == 9
+        assert ledger.work == 3
+
+    def test_per_item_depth(self, ledger):
+        parallel_for(ledger, range(100), lambda x: None, per_item_depth=2)
+        assert ledger.depth == 2
+
+    def test_empty(self, ledger):
+        assert parallel_for(ledger, [], lambda x: x) == []
+        assert ledger.depth == 0
+
+
+class TestNullLedger:
+    def test_discards_charges(self):
+        nl = NullLedger()
+        nl.charge(work=100, depth=100, tag="x")
+        assert nl.work == 0
+        assert nl.depth == 0
+
+    def test_still_validates(self):
+        with pytest.raises(ValueError):
+            NullLedger().charge(work=-1)
+
+    def test_supports_regions(self):
+        nl = NullLedger()
+        with nl.parallel() as region:
+            with region.branch():
+                nl.charge(depth=5)
+        assert nl.depth == 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)), min_size=1, max_size=20))
+def test_property_sequential_charges_sum(charges):
+    led = Ledger()
+    for w, d in charges:
+        led.charge(work=w, depth=d)
+    assert led.work == sum(w for w, _ in charges)
+    assert led.depth == sum(d for _, d in charges)
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=20))
+def test_property_parallel_depth_is_max(depths):
+    led = Ledger()
+    with led.parallel() as region:
+        for d in depths:
+            with region.branch():
+                led.charge(depth=d)
+    assert led.depth == max(depths)

@@ -1,0 +1,85 @@
+"""Unit tests for the Brent-bound simulated machine."""
+
+import pytest
+
+from repro.parallel.ledger import Cost
+from repro.parallel.machine import (
+    Machine,
+    aggregate_costs,
+    brent_time,
+    critical_batch,
+    parallelism,
+    speedup,
+    speedup_curve,
+)
+
+
+class TestBrent:
+    def test_single_processor_is_work_plus_depth(self):
+        assert brent_time(Cost(100, 10), 1) == 110
+
+    def test_many_processors_floor_at_depth(self):
+        assert brent_time(Cost(100, 10), 10**9) == pytest.approx(10, rel=1e-3)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            brent_time(Cost(1, 1), 0)
+
+    def test_monotone_in_processors(self):
+        c = Cost(1000, 5)
+        times = [brent_time(c, p) for p in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+
+class TestSpeedup:
+    def test_speedup_bounded_by_parallelism(self):
+        c = Cost(1000, 10)
+        for p in (2, 8, 64, 4096):
+            assert speedup(c, p) <= parallelism(c) + 1
+
+    def test_speedup_at_one_is_one(self):
+        assert speedup(Cost(50, 5), 1) == 1.0
+
+    def test_curve(self):
+        curve = speedup_curve(Cost(1000, 10), [1, 2, 4])
+        assert set(curve) == {1, 2, 4}
+        assert curve[1] == 1.0
+        assert curve[4] > curve[2] > curve[1]
+
+
+class TestParallelism:
+    def test_ratio(self):
+        assert parallelism(Cost(100, 4)) == 25
+
+    def test_zero_depth(self):
+        assert parallelism(Cost(100, 0)) == float("inf")
+        assert parallelism(Cost(0, 0)) == 1.0
+
+
+class TestMachine:
+    def test_time(self):
+        assert Machine(16).time(Cost(1600, 10)) == 110.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Machine(0)
+
+    def test_speedup(self):
+        assert Machine(2).speedup(Cost(100, 0)) == pytest.approx(2.0)
+
+
+class TestAggregation:
+    def test_aggregate_sequential(self):
+        total = aggregate_costs([Cost(10, 1), Cost(20, 2)])
+        assert total == Cost(30, 3)
+
+    def test_aggregate_empty(self):
+        assert aggregate_costs([]) == Cost(0, 0)
+
+    def test_critical_batch(self):
+        costs = [Cost(1, 5), Cost(1, 9), Cost(1, 2)]
+        assert critical_batch(costs) == 1
+
+    def test_critical_batch_empty(self):
+        with pytest.raises(ValueError):
+            critical_batch([])

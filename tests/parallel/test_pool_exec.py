@@ -1,0 +1,50 @@
+"""Tests for the optional process-pool executor."""
+
+import pytest
+
+from repro.parallel.pool_exec import chunked, default_workers, pool_map
+
+
+def _square(x):
+    return x * x
+
+
+class TestChunked:
+    def test_balanced(self):
+        chunks = chunked(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunked([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+    def test_empty(self):
+        assert chunked([], 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestPoolMap:
+    def test_serial_fallback_small_input(self):
+        assert pool_map(_square, [1, 2, 3], workers=4) == [1, 4, 9]
+
+    def test_serial_one_worker(self):
+        out = pool_map(_square, list(range(200)), workers=1)
+        assert out == [x * x for x in range(200)]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(300))
+        out = pool_map(_square, items, workers=2, serial_threshold=10)
+        assert out == [x * x for x in items]
+
+    def test_order_preserved(self):
+        items = list(range(299, -1, -1))
+        out = pool_map(_square, items, workers=2, serial_threshold=10)
+        assert out == [x * x for x in items]
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1

@@ -1,0 +1,109 @@
+"""Unit tests for the parallel primitives and their cost charges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.ledger import Ledger, log2ceil
+from repro.parallel import primitives as P
+
+
+class TestPmap:
+    def test_maps(self, ledger):
+        assert P.pmap(ledger, [1, 2, 3], lambda x: x + 1) == [2, 3, 4]
+
+    def test_cost(self, ledger):
+        P.pmap(ledger, list(range(16)), lambda x: x)
+        assert ledger.work == 16
+        assert ledger.depth == 4
+
+    def test_empty(self, ledger):
+        assert P.pmap(ledger, [], lambda x: x) == []
+
+
+class TestPfilter:
+    def test_keeps_order(self, ledger):
+        out = P.pfilter(ledger, [5, 2, 9, 4], lambda x: x % 2 == 0)
+        assert out == [2, 4]
+
+    def test_cost(self, ledger):
+        P.pfilter(ledger, list(range(32)), lambda x: True)
+        assert ledger.work == 32
+        assert ledger.depth == 5
+
+
+class TestPreduce:
+    def test_reduces(self, ledger):
+        assert P.preduce(ledger, [1, 2, 3, 4], lambda a, b: a + b) == 10
+
+    def test_identity_on_empty(self, ledger):
+        assert P.preduce(ledger, [], lambda a, b: a + b, identity=0) == 0
+
+    def test_empty_without_identity_raises(self, ledger):
+        with pytest.raises(ValueError):
+            P.preduce(ledger, [], lambda a, b: a + b)
+
+    def test_max(self, ledger):
+        assert P.preduce(ledger, [3, 7, 1], max) == 7
+
+
+class TestScan:
+    def test_exclusive_prefix_sums(self, ledger):
+        out = P.scan(ledger, [1, 2, 3, 4])
+        assert list(out) == [0, 1, 3, 6, 10]
+
+    def test_empty(self, ledger):
+        out = P.scan(ledger, [])
+        assert list(out) == [0]
+
+    def test_total_in_last_slot(self, ledger):
+        out = P.scan(ledger, [5, 5, 5])
+        assert out[-1] == 15
+
+    @given(st.lists(st.integers(-100, 100), max_size=50))
+    def test_property_matches_cumsum(self, values):
+        led = Ledger()
+        out = P.scan(led, values)
+        assert out[0] == 0
+        for i in range(len(values)):
+            assert out[i + 1] == out[i] + values[i]
+
+
+class TestPflatten:
+    def test_flattens(self, ledger):
+        assert P.pflatten(ledger, [[1], [], [2, 3]]) == [1, 2, 3]
+
+    def test_cost_proportional_to_total(self, ledger):
+        P.pflatten(ledger, [[0] * 10, [0] * 22])
+        assert ledger.work == 32
+
+
+class TestPackIndex:
+    def test_indices(self, ledger):
+        assert P.pack_index(ledger, [True, False, True, True]) == [0, 2, 3]
+
+    def test_all_false(self, ledger):
+        assert P.pack_index(ledger, [False] * 5) == []
+
+
+class TestPzipWith:
+    def test_combines(self, ledger):
+        assert P.pzip_with(ledger, [1, 2], [10, 20], lambda a, b: a + b) == [11, 22]
+
+    def test_length_mismatch(self, ledger):
+        with pytest.raises(ValueError):
+            P.pzip_with(ledger, [1], [1, 2], lambda a, b: a)
+
+
+class TestPcount:
+    def test_counts(self, ledger):
+        assert P.pcount(ledger, range(10), lambda x: x < 3) == 3
+
+
+@given(st.lists(st.integers(), max_size=64))
+def test_property_primitives_charge_logarithmic_depth(values):
+    """Every O(n)-work primitive charges at most log2ceil(n)+1 depth."""
+    n = len(values)
+    led = Ledger()
+    P.pmap(led, values, lambda x: x)
+    assert led.depth <= log2ceil(max(n, 2)) + 1

@@ -1,0 +1,52 @@
+"""Tests for the parallel random permutation / priority generation."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.ledger import Ledger
+from repro.parallel.random_perm import random_permutation, random_priorities
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self, ledger, rng):
+        perm = random_permutation(ledger, 100, rng)
+        assert sorted(perm) == list(range(100))
+
+    def test_empty(self, ledger, rng):
+        assert len(random_permutation(ledger, 0, rng)) == 0
+
+    def test_negative_rejected(self, ledger, rng):
+        with pytest.raises(ValueError):
+            random_permutation(ledger, -1, rng)
+
+    def test_deterministic_given_rng(self, ledger):
+        a = random_permutation(ledger, 50, np.random.default_rng(7))
+        b = random_permutation(ledger, 50, np.random.default_rng(7))
+        assert (a == b).all()
+
+    def test_cost(self):
+        led = Ledger()
+        random_permutation(led, 1024, np.random.default_rng(0))
+        assert led.work == 1024
+        assert led.depth == 10
+
+    def test_roughly_uniform_first_element(self):
+        """Chi-square-ish sanity: position of item 0 spreads over slots."""
+        counts = np.zeros(8)
+        for seed in range(400):
+            perm = random_permutation(Ledger(), 8, np.random.default_rng(seed))
+            counts[np.where(perm == 0)[0][0]] += 1
+        assert counts.min() > 20  # expected 50 each
+
+
+class TestRandomPriorities:
+    def test_is_inverse_of_permutation(self, ledger):
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        perm = random_permutation(ledger, 30, rng_a)
+        pri = random_priorities(ledger, 30, rng_b)
+        for rank, item in enumerate(perm):
+            assert pri[item] == rank
+
+    def test_is_permutation_of_ranks(self, ledger, rng):
+        pri = random_priorities(ledger, 64, rng)
+        assert sorted(pri) == list(range(64))

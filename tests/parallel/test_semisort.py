@@ -1,0 +1,111 @@
+"""Unit and property tests for semisort / group_by / sum_by / dedup."""
+
+from collections import Counter, defaultdict
+
+from hypothesis import given, strategies as st
+
+from repro.parallel.ledger import Ledger
+from repro.parallel.semisort import (
+    count_by,
+    group_by,
+    remove_duplicates,
+    semisort,
+    sum_by,
+)
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(-100, 100)), max_size=60
+)
+
+
+class TestSemisort:
+    def test_equal_keys_adjacent(self, ledger):
+        out = semisort(ledger, [(1, "a"), (2, "b"), (1, "c"), (2, "d")])
+        keys = [k for k, _ in out]
+        # every key occupies one contiguous block
+        seen = set()
+        prev = object()
+        for k in keys:
+            if k != prev:
+                assert k not in seen, f"key {k} split into two blocks"
+                seen.add(k)
+            prev = k
+
+    def test_is_permutation_of_input(self, ledger):
+        data = [(1, "a"), (2, "b"), (1, "c")]
+        assert Counter(semisort(ledger, data)) == Counter(data)
+
+    @given(pairs_strategy)
+    def test_property_adjacency_and_multiset(self, pairs):
+        led = Ledger()
+        out = semisort(led, pairs)
+        assert Counter(out) == Counter(pairs)
+        blocks = set()
+        prev = object()
+        for k, _ in out:
+            if k != prev:
+                assert k not in blocks
+                blocks.add(k)
+            prev = k
+
+
+class TestGroupBy:
+    def test_groups(self, ledger):
+        out = dict(group_by(ledger, [(1, "a"), (2, "b"), (1, "c")]))
+        assert out == {1: ["a", "c"], 2: ["b"]}
+
+    def test_empty(self, ledger):
+        assert group_by(ledger, []) == []
+
+    @given(pairs_strategy)
+    def test_property_matches_dict_grouping(self, pairs):
+        led = Ledger()
+        expect = defaultdict(list)
+        for k, v in pairs:
+            expect[k].append(v)
+        assert dict(group_by(led, pairs)) == dict(expect)
+
+
+class TestSumBy:
+    def test_sums(self, ledger):
+        out = dict(sum_by(ledger, [(1, 5), (2, 3), (1, 7)]))
+        assert out == {1: 12, 2: 3}
+
+    @given(pairs_strategy)
+    def test_property_matches_counter(self, pairs):
+        led = Ledger()
+        expect = defaultdict(int)
+        for k, v in pairs:
+            expect[k] += v
+        assert dict(sum_by(led, pairs)) == dict(expect)
+
+
+class TestRemoveDuplicates:
+    def test_first_occurrence_order(self, ledger):
+        assert remove_duplicates(ledger, [3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_empty(self, ledger):
+        assert remove_duplicates(ledger, []) == []
+
+    @given(st.lists(st.integers(0, 20), max_size=60))
+    def test_property_set_equality_no_dupes(self, items):
+        led = Ledger()
+        out = remove_duplicates(led, items)
+        assert len(out) == len(set(out))
+        assert set(out) == set(items)
+
+
+class TestCountBy:
+    def test_counts(self, ledger):
+        assert dict(count_by(ledger, ["a", "b", "a"])) == {"a": 2, "b": 1}
+
+
+class TestCostCharging:
+    def test_linear_work_logarithmic_depth(self, ledger):
+        group_by(ledger, [(i % 4, i) for i in range(64)])
+        assert ledger.work == 64
+        assert ledger.depth == 6
+
+    def test_empty_input_charges_minimum(self, ledger):
+        group_by(ledger, [])
+        assert ledger.work == 1

@@ -1,0 +1,154 @@
+"""Tests for the discrete-event greedy scheduler.
+
+The headline property ties the operational model to the analytical one:
+for every DAG and worker count, the greedy makespan lies in
+``[max(W/p, D), W/p + D]`` (greedy scheduling / Brent).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.simulator import GreedyScheduler, ScheduleResult, TaskGraph, spawn_tree
+
+
+def _chain(n, work=1.0):
+    g = TaskGraph()
+    prev = None
+    for _ in range(n):
+        prev = g.task(work=work, deps=[prev] if prev is not None else [])
+    return g
+
+
+def _independent(n, work=1.0):
+    g = TaskGraph()
+    for _ in range(n):
+        g.task(work=work)
+    return g
+
+
+class TestTaskGraph:
+    def test_work_and_critical_path_chain(self):
+        g = _chain(5, work=2.0)
+        assert g.total_work == 10.0
+        assert g.critical_path == 10.0
+
+    def test_work_and_critical_path_independent(self):
+        g = _independent(8, work=3.0)
+        assert g.total_work == 24.0
+        assert g.critical_path == 3.0
+
+    def test_diamond(self):
+        g = TaskGraph()
+        a = g.task(work=1)
+        b = g.task(work=5, deps=[a])
+        c = g.task(work=2, deps=[a])
+        d = g.task(work=1, deps=[b, c])
+        assert g.critical_path == 7.0
+        assert g.total_work == 9.0
+
+    def test_forward_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.task(deps=[0])
+
+    def test_nonpositive_work_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph().task(work=0)
+
+    def test_duplicate_deps_collapsed(self):
+        g = TaskGraph()
+        a = g.task()
+        b = g.task(deps=[a, a])
+        assert g.tasks()[b].deps == (a,)
+
+
+class TestGreedyScheduler:
+    def test_empty_graph(self):
+        r = GreedyScheduler(4).run(TaskGraph())
+        assert r.makespan == 0.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            GreedyScheduler(0)
+
+    def test_single_worker_is_total_work(self):
+        g = _independent(7, work=2.0)
+        assert GreedyScheduler(1).run(g).makespan == 14.0
+
+    def test_chain_cannot_parallelize(self):
+        g = _chain(6)
+        assert GreedyScheduler(8).run(g).makespan == 6.0
+
+    def test_independent_tasks_divide(self):
+        g = _independent(8, work=1.0)
+        assert GreedyScheduler(4).run(g).makespan == 2.0
+
+    def test_utilization_full_on_independent(self):
+        g = _independent(8, work=1.0)
+        assert GreedyScheduler(4).run(g).utilization == pytest.approx(1.0)
+
+    def test_start_respects_dependencies(self):
+        g = TaskGraph()
+        a = g.task(work=3)
+        b = g.task(work=1, deps=[a])
+        r = GreedyScheduler(2).run(g)
+        assert r.start_times[b] >= r.finish_times[a]
+
+    def test_deterministic(self):
+        g = _independent(20)
+        a = GreedyScheduler(3).run(g)
+        b = GreedyScheduler(3).run(g)
+        assert a.finish_times == b.finish_times
+
+
+class TestBrentEnvelope:
+    def _assert_envelope(self, g: TaskGraph, p: int):
+        r = GreedyScheduler(p).run(g)
+        W, D = g.total_work, g.critical_path
+        lower = max(W / p, D)
+        upper = W / p + D
+        assert lower - 1e-9 <= r.makespan <= upper + 1e-9, (
+            f"p={p}: makespan {r.makespan} outside [{lower}, {upper}]"
+        )
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 8, 64])
+    def test_envelope_on_fork_tree(self, p):
+        g = TaskGraph()
+        spawn_tree(g, leaves=37, leaf_work=2.0, node_work=0.1)
+        self._assert_envelope(g, p)
+
+    @given(
+        st.integers(1, 12),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_envelope_random_dags(self, p, data):
+        rng_seed = data.draw(st.integers(0, 10_000))
+        rng = np.random.default_rng(rng_seed)
+        g = TaskGraph()
+        n = int(rng.integers(1, 40))
+        for i in range(n):
+            deps = []
+            if i:
+                k = int(rng.integers(0, min(i, 3) + 1))
+                deps = list(rng.choice(i, size=k, replace=False))
+            g.task(work=float(rng.uniform(0.1, 5.0)), deps=deps)
+        self._assert_envelope(g, p)
+
+
+class TestSpawnTree:
+    def test_leaf_count(self):
+        g = TaskGraph()
+        leaves = spawn_tree(g, leaves=13)
+        assert len(leaves) == 13
+
+    def test_logarithmic_depth(self):
+        g = TaskGraph()
+        spawn_tree(g, leaves=64, leaf_work=1.0, node_work=0.0)
+        # critical path ~ 1 leaf + tiny fork nodes
+        assert g.critical_path < 1.1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            spawn_tree(TaskGraph(), leaves=0)

@@ -1,0 +1,111 @@
+"""Unit and property tests for parallel integer sorting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.ledger import Ledger
+from repro.parallel.sorting import (
+    bucket_by_key,
+    counting_sort,
+    radix_sort,
+    sort_by_priority,
+)
+
+
+class TestCountingSort:
+    def test_sorts(self, ledger):
+        out = counting_sort(ledger, [5, 1, 4, 1, 3], key=lambda x: x, key_range=6)
+        assert out == [1, 1, 3, 4, 5]
+
+    def test_stable(self, ledger):
+        items = [("a", 1), ("b", 0), ("c", 1), ("d", 0)]
+        out = counting_sort(ledger, items, key=lambda x: x[1], key_range=2)
+        assert out == [("b", 0), ("d", 0), ("a", 1), ("c", 1)]
+
+    def test_empty(self, ledger):
+        assert counting_sort(ledger, [], key=lambda x: x, key_range=4) == []
+
+    def test_out_of_range_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            counting_sort(ledger, [5], key=lambda x: x, key_range=5)
+        with pytest.raises(ValueError):
+            counting_sort(ledger, [-1], key=lambda x: x, key_range=5)
+
+    def test_invalid_range(self, ledger):
+        with pytest.raises(ValueError):
+            counting_sort(ledger, [], key=lambda x: x, key_range=0)
+
+    def test_cost(self):
+        led = Ledger()
+        counting_sort(led, list(range(100)), key=lambda x: x, key_range=100)
+        assert led.work == 200
+
+    @given(st.lists(st.integers(0, 63), max_size=80))
+    def test_property_matches_sorted(self, values):
+        led = Ledger()
+        out = counting_sort(led, values, key=lambda x: x, key_range=64)
+        assert out == sorted(values)
+
+
+class TestRadixSort:
+    def test_sorts_large_keys(self, ledger):
+        vals = [90210, 7, 512, 44, 100000, 0]
+        out = radix_sort(ledger, vals, key=lambda x: x, key_bound=10**6)
+        assert out == sorted(vals)
+
+    def test_stable(self, ledger):
+        items = [("a", 300), ("b", 44), ("c", 300)]
+        out = radix_sort(ledger, items, key=lambda x: x[1], key_bound=1000, base=10)
+        assert out == [("b", 44), ("a", 300), ("c", 300)]
+
+    def test_single_digit(self, ledger):
+        out = radix_sort(ledger, [3, 1, 2], key=lambda x: x, key_bound=4, base=16)
+        assert out == [1, 2, 3]
+
+    def test_empty(self, ledger):
+        assert radix_sort(ledger, [], key=lambda x: x, key_bound=10) == []
+
+    def test_validation(self, ledger):
+        with pytest.raises(ValueError):
+            radix_sort(ledger, [1], key=lambda x: x, key_bound=0)
+        with pytest.raises(ValueError):
+            radix_sort(ledger, [1], key=lambda x: x, key_bound=10, base=1)
+        with pytest.raises(ValueError):
+            radix_sort(ledger, [10], key=lambda x: x, key_bound=10)
+
+    @given(st.lists(st.integers(0, 10**6 - 1), max_size=60), st.sampled_from([2, 10, 256]))
+    def test_property_matches_sorted(self, values, base):
+        led = Ledger()
+        out = radix_sort(led, values, key=lambda x: x, key_bound=10**6, base=base)
+        assert out == sorted(values)
+
+
+class TestBucketByKey:
+    def test_partitions_stably(self, ledger):
+        out = bucket_by_key(ledger, [3, 0, 3, 1], key=lambda x: x, num_buckets=4)
+        assert out == [[0], [1], [], [3, 3]]
+
+    def test_out_of_range(self, ledger):
+        with pytest.raises(ValueError):
+            bucket_by_key(ledger, [9], key=lambda x: x, num_buckets=4)
+
+    def test_invalid_buckets(self, ledger):
+        with pytest.raises(ValueError):
+            bucket_by_key(ledger, [], key=lambda x: x, num_buckets=0)
+
+
+class TestSortByPriority:
+    def test_permutation_ranks(self, ledger):
+        items = ["c", "a", "b"]
+        pri = {"c": 2, "a": 0, "b": 1}
+        out = sort_by_priority(ledger, items, lambda x: pri[x], 3)
+        assert out == ["a", "b", "c"]
+
+    @given(st.integers(1, 60))
+    def test_property_inverts_any_permutation(self, n):
+        rng = np.random.default_rng(n)
+        perm = rng.permutation(n)
+        items = list(range(n))
+        out = sort_by_priority(Ledger(), items, lambda i: int(perm[i]), n)
+        assert [int(perm[i]) for i in out] == list(range(n))

@@ -1,0 +1,100 @@
+"""Tests for the dependence-depth analysis (BFS / Fischer–Noever)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph.edge import Edge
+from repro.static_matching.dependence import (
+    dependence_depth,
+    dependence_depths,
+    depth_histogram,
+    mean_depth_over_seeds,
+)
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.static_matching.sequential_greedy import sequential_greedy_match
+
+from tests.conftest import edge_lists
+
+
+def _random_edges(n, m, seed, rank=2):
+    rng = np.random.default_rng(seed)
+    out = []
+    for eid in range(m):
+        k = rank if rank == 2 else int(rng.integers(2, rank + 1))
+        vs = rng.choice(n, size=k, replace=False)
+        out.append(Edge(eid, [int(v) for v in vs]))
+    return out
+
+
+class TestDepths:
+    def test_empty(self):
+        assert dependence_depth([]) == 0
+
+    def test_independent_edges_depth_one(self):
+        edges = [Edge(i, (2 * i, 2 * i + 1)) for i in range(10)]
+        assert dependence_depth(edges, rng=np.random.default_rng(0)) == 1
+
+    def test_increasing_path_is_a_chain(self):
+        n = 12
+        edges = [Edge(i, (i, i + 1)) for i in range(n)]
+        pri = {i: i for i in range(n)}
+        assert dependence_depth(edges, priorities=pri) == n
+
+    def test_decreasing_path_alternates(self):
+        n = 12
+        edges = [Edge(i, (i, i + 1)) for i in range(n)]
+        pri = {i: n - 1 - i for i in range(n)}
+        # same chain structure, reversed: still a full chain
+        assert dependence_depth(edges, priorities=pri) == n
+
+    def test_star_depth_linear_in_degree(self):
+        """Every star edge conflicts with every other: depth = m."""
+        edges = [Edge(i, (0, i + 1)) for i in range(8)]
+        pri = {i: i for i in range(8)}
+        assert dependence_depth(edges, priorities=pri) == 8
+
+    def test_per_edge_depths_monotone_along_dependences(self):
+        edges = _random_edges(15, 50, seed=3)
+        result = sequential_greedy_match(edges, rng=np.random.default_rng(4))
+        depths = dependence_depths(edges, result.priorities)
+        by_id = {e.eid: e for e in edges}
+        for e in edges:
+            for other in edges:
+                if other.eid != e.eid and by_id[e.eid].intersects(other):
+                    if result.priorities[other.eid] < result.priorities[e.eid]:
+                        assert depths[other.eid] < depths[e.eid]
+
+
+class TestRoundsBound:
+    @given(edge_lists(max_rank=3, max_edges=30))
+    @settings(max_examples=60)
+    def test_property_rounds_at_most_dependence_depth(self, edges):
+        seq = sequential_greedy_match(edges, rng=np.random.default_rng(7))
+        par = parallel_greedy_match(edges, priorities=seq.priorities)
+        if edges:
+            depth = dependence_depth(edges, priorities=seq.priorities)
+            assert par.rounds <= depth
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rounds_bound_dense(self, seed):
+        edges = _random_edges(20, 150, seed)
+        seq = sequential_greedy_match(edges, rng=np.random.default_rng(seed + 50))
+        par = parallel_greedy_match(edges, priorities=seq.priorities)
+        assert par.rounds <= dependence_depth(edges, priorities=seq.priorities)
+
+
+class TestFischerNoeverScaling:
+    def test_depth_logarithmic_on_random_priorities(self):
+        for m in (200, 800, 3200):
+            edges = _random_edges(int(m**0.7), m, seed=m)
+            d = mean_depth_over_seeds(edges, seeds=range(3))
+            assert d <= 8 * math.log2(m), f"m={m}: depth {d}"
+
+    def test_histogram_sums_to_m(self):
+        edges = _random_edges(15, 60, seed=1)
+        result = sequential_greedy_match(edges, rng=np.random.default_rng(2))
+        hist = depth_histogram(edges, result.priorities)
+        assert sum(hist.values()) == 60

@@ -1,0 +1,92 @@
+"""Tests for component-partitioned (really-parallel) static matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph.edge import Edge
+from repro.parallel.ledger import Ledger
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.static_matching.partitioned import (
+    partition_by_component,
+    partitioned_greedy_match,
+)
+from repro.static_matching.result import check_lemma_3_1
+from repro.workloads.generators import erdos_renyi_edges
+
+from tests.conftest import edge_lists
+
+
+def _clustered(num_clusters, per_cluster, seed):
+    """Disjoint dense clusters — many components."""
+    rng = np.random.default_rng(seed)
+    edges, eid = [], 0
+    for c in range(num_clusters):
+        base = 100 * c
+        for _ in range(per_cluster):
+            u, v = rng.choice(10, size=2, replace=False)
+            edges.append(Edge(eid, (base + int(u), base + int(v))))
+            eid += 1
+    return edges
+
+
+class TestPartition:
+    def test_groups_by_component(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (10, 11))]
+        parts = partition_by_component(edges)
+        assert sorted(len(p) for p in parts) == [1, 2]
+
+    def test_all_edges_kept(self):
+        edges = _clustered(5, 20, seed=0)
+        parts = partition_by_component(edges)
+        assert sum(len(p) for p in parts) == len(edges)
+
+
+class TestEquivalenceWithGlobal:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_output_equality(self, seed):
+        edges = _clustered(4, 25, seed)
+        seq = parallel_greedy_match(edges, rng=np.random.default_rng(seed + 77))
+        part = partitioned_greedy_match(edges, priorities=seq.priorities)
+        assert part.canonical() == seq.canonical()
+
+    @given(edge_lists(max_rank=3, max_edges=25))
+    @settings(max_examples=40)
+    def test_property_output_equality(self, edges):
+        glob = parallel_greedy_match(edges, rng=np.random.default_rng(5))
+        part = partitioned_greedy_match(edges, priorities=glob.priorities)
+        assert part.canonical() == glob.canonical()
+
+    def test_lemma_3_1_holds(self):
+        edges = _clustered(3, 30, seed=2)
+        result = partitioned_greedy_match(edges, rng=np.random.default_rng(3))
+        check_lemma_3_1(edges, result)
+
+    def test_empty(self):
+        assert partitioned_greedy_match([]).matches == []
+
+
+class TestParallelExecution:
+    def test_process_pool_matches_serial(self):
+        edges = _clustered(6, 30, seed=4)
+        pri_src = parallel_greedy_match(edges, rng=np.random.default_rng(9))
+        serial = partitioned_greedy_match(edges, priorities=pri_src.priorities, workers=1)
+        pooled = partitioned_greedy_match(edges, priorities=pri_src.priorities, workers=2)
+        assert serial.canonical() == pooled.canonical()
+
+    def test_depth_is_max_over_components(self):
+        """A big component next to tiny ones: ledger depth ~ big one's."""
+        big = erdos_renyi_edges(30, 150, np.random.default_rng(1))
+        tiny = [Edge(10_000 + i, (1000 + 2 * i, 1001 + 2 * i)) for i in range(20)]
+        edges = big + tiny
+
+        led_all = Ledger()
+        partitioned_greedy_match(edges, led_all, rng=np.random.default_rng(2))
+
+        led_big = Ledger()
+        partitioned_greedy_match(big, led_big, rng=np.random.default_rng(2))
+
+        # adding 20 independent single-edge components should barely move
+        # depth (parallel composition), while work strictly grows
+        assert led_all.depth <= led_big.depth * 1.5 + 20
+        assert led_all.work > led_big.work

@@ -1,0 +1,120 @@
+"""Tests for the §3.1 price process (Lemmas 3.4 and 3.5).
+
+Lemma 3.5 is deterministic — after deleting *every* edge, the total early
+price Phi' equals m exactly — so it is asserted, not estimated.  Lemma 3.4
+(early deletes pay <= 2 in expectation) is statistical; the unit tests here
+check it on small ensembles with slack, and experiment E6 measures it at
+scale for both the sequential and the parallel sample assignment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph.edge import Edge
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.static_matching.price import DeletionPriceProcess
+from repro.static_matching.sequential_greedy import sequential_greedy_match
+
+from tests.conftest import edge_lists
+
+
+def _path4():
+    return [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (3, 4))]
+
+
+class TestMechanics:
+    def test_unmatched_delete_pays_one(self):
+        result = sequential_greedy_match(_path4(), priorities={1: 0, 0: 1, 2: 2})
+        proc = DeletionPriceProcess(result)
+        rec = proc.delete(0)  # unmatched, owner 1 alive -> early
+        assert rec.phi == 1 and rec.early and not rec.was_matched
+
+    def test_matched_delete_pays_current_price(self):
+        result = sequential_greedy_match(_path4(), priorities={1: 0, 0: 1, 2: 2})
+        proc = DeletionPriceProcess(result)
+        proc.delete(0)  # decrements match 1's price from 3 to 2
+        rec = proc.delete(1)
+        assert rec.was_matched and rec.early and rec.phi == 2
+
+    def test_late_delete(self):
+        result = sequential_greedy_match(_path4(), priorities={1: 0, 0: 1, 2: 2})
+        proc = DeletionPriceProcess(result)
+        proc.delete(1)  # the match goes first
+        rec = proc.delete(0)
+        assert not rec.early and rec.phi == 1 and rec.phi_prime == 0
+
+    def test_matched_delete_is_always_early(self):
+        result = sequential_greedy_match(_path4(), priorities={1: 0, 0: 1, 2: 2})
+        proc = DeletionPriceProcess(result)
+        assert proc.delete(1).early
+
+    def test_double_delete_rejected(self):
+        result = sequential_greedy_match(_path4(), priorities={1: 0, 0: 1, 2: 2})
+        proc = DeletionPriceProcess(result)
+        proc.delete(0)
+        with pytest.raises(ValueError):
+            proc.delete(0)
+
+    def test_unknown_edge_rejected(self):
+        result = sequential_greedy_match(_path4(), priorities={1: 0, 0: 1, 2: 2})
+        with pytest.raises(KeyError):
+            DeletionPriceProcess(result).delete(99)
+
+    def test_late_delete_does_not_decrement(self):
+        """Footnote 4: price only decremented while the owner is present."""
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (2, 4))]
+        result = sequential_greedy_match(edges, priorities={0: 0, 1: 1, 2: 2})
+        # match 0 owns all three edges
+        proc = DeletionPriceProcess(result)
+        proc.delete(0)  # matched: pays 3
+        rec1 = proc.delete(1)  # late
+        rec2 = proc.delete(2)  # late
+        assert proc.total_phi() == 5
+        assert proc.total_phi_prime() == 3  # only the matched (early) delete
+
+
+class TestLemma35Deterministic:
+    @given(edge_lists(max_rank=3, max_edges=25, min_edges=1))
+    @settings(max_examples=60)
+    def test_property_full_deletion_phi_prime_equals_m(self, edges):
+        rng = np.random.default_rng(17)
+        result = sequential_greedy_match(edges, rng=rng)
+        proc = DeletionPriceProcess(result)
+        order = [e.eid for e in edges]
+        rng.shuffle(order)
+        proc.delete_sequence(order)
+        assert proc.total_phi_prime() == len(edges)
+
+    @given(edge_lists(max_rank=4, max_edges=25, min_edges=1))
+    @settings(max_examples=40)
+    def test_property_holds_for_parallel_samples_too(self, edges):
+        """Lemma 3.5 relies only on the partition property (Lemma 3.1), so
+        it must hold verbatim for the parallel matcher's sample spaces."""
+        result = parallel_greedy_match(edges, rng=np.random.default_rng(23))
+        proc = DeletionPriceProcess(result)
+        proc.delete_sequence([e.eid for e in reversed(edges)])
+        assert proc.total_phi_prime() == len(edges)
+
+
+class TestLemma34Statistical:
+    @pytest.mark.parametrize("matcher", [sequential_greedy_match, parallel_greedy_match])
+    def test_mean_early_price_at_most_two(self, matcher):
+        """Average Phi over early deletes across seeds stays near <= 2.
+
+        The per-delete bound is an expectation over permutations; averaging
+        over 300 seeds on a fixed instance and an adversarial (fixed) FIFO
+        delete order gives a tight estimate; we allow 10% statistical slack.
+        """
+        edges = [Edge(i, (i % 9, (i * 5 + 2) % 9)) for i in range(30)
+                 if i % 9 != (i * 5 + 2) % 9]
+        total_phi, total_early = 0.0, 0
+        for seed in range(300):
+            result = matcher(edges, rng=np.random.default_rng(seed))
+            proc = DeletionPriceProcess(result)
+            proc.delete_sequence([e.eid for e in edges])
+            early = proc.early_records()
+            total_phi += sum(r.phi for r in early)
+            total_early += len(early)
+        mean = total_phi / total_early
+        assert mean <= 2.2, f"mean early price {mean:.3f}"

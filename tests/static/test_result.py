@@ -1,0 +1,101 @@
+"""Direct unit tests for MatchResult and the Lemma 3.1 checker."""
+
+import pytest
+
+from repro.hypergraph.edge import Edge
+from repro.static_matching.result import Matched, MatchResult, check_lemma_3_1
+
+
+@pytest.fixture
+def simple_result():
+    e0, e1, e2 = Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (4, 5))
+    result = MatchResult(
+        matches=[
+            Matched(edge=e0, samples=[e0, e1]),
+            Matched(edge=e2, samples=[e2]),
+        ],
+        rounds=1,
+        priorities={0: 0, 2: 1, 1: 2},
+    )
+    return result, [e0, e1, e2]
+
+
+class TestMatchResult:
+    def test_matched_edges_and_ids(self, simple_result):
+        result, _ = simple_result
+        assert result.matched_ids == [0, 2]
+        assert [e.eid for e in result.matched_edges] == [0, 2]
+
+    def test_sample_of(self, simple_result):
+        result, _ = simple_result
+        assert [e.eid for e in result.sample_of(0)] == [0, 1]
+        assert result.sample_of(1) is None
+
+    def test_owner_map(self, simple_result):
+        result, _ = simple_result
+        assert result.owner_map() == {0: 0, 1: 0, 2: 2}
+
+    def test_total_sample_size(self, simple_result):
+        result, edges = simple_result
+        assert result.total_sample_size() == len(edges)
+
+    def test_canonical_is_order_insensitive(self, simple_result):
+        result, _ = simple_result
+        flipped = MatchResult(
+            matches=list(reversed(result.matches)),
+            rounds=result.rounds,
+            priorities=result.priorities,
+        )
+        assert result.canonical() == flipped.canonical()
+
+    def test_matched_price(self, simple_result):
+        result, _ = simple_result
+        assert result.matches[0].price == 2
+        assert result.matches[1].price == 1
+
+
+class TestLemma31Checker:
+    def test_accepts_valid(self, simple_result):
+        result, edges = simple_result
+        check_lemma_3_1(edges, result)
+
+    def test_rejects_uncovered_edge(self, simple_result):
+        result, edges = simple_result
+        edges = edges + [Edge(9, (8, 9))]  # free edge, not in any sample
+        with pytest.raises(AssertionError):
+            check_lemma_3_1(edges, result)
+
+    def test_rejects_double_membership(self):
+        e0, e1 = Edge(0, (1, 2)), Edge(1, (2, 3))
+        result = MatchResult(
+            matches=[
+                Matched(edge=e0, samples=[e0, e1]),
+                Matched(edge=e1, samples=[e1]),
+            ]
+        )
+        with pytest.raises(AssertionError):
+            check_lemma_3_1([e0, e1], result)
+
+    def test_rejects_non_incident_sample(self):
+        e0, e1 = Edge(0, (1, 2)), Edge(1, (7, 8))
+        result = MatchResult(matches=[Matched(edge=e0, samples=[e0, e1])])
+        with pytest.raises(AssertionError):
+            check_lemma_3_1([e0, e1], result)
+
+    def test_rejects_conflicting_matches(self):
+        e0, e1 = Edge(0, (1, 2)), Edge(1, (2, 3))
+        result = MatchResult(
+            matches=[
+                Matched(edge=e0, samples=[e0]),
+                Matched(edge=e1, samples=[e1]),
+            ]
+        )
+        with pytest.raises(AssertionError):
+            check_lemma_3_1([e0, e1], result)
+
+    def test_rejects_foreign_sample(self):
+        e0 = Edge(0, (1, 2))
+        ghost = Edge(42, (1, 9))
+        result = MatchResult(matches=[Matched(edge=e0, samples=[e0, ghost])])
+        with pytest.raises(AssertionError):
+            check_lemma_3_1([e0], result)

@@ -1,0 +1,116 @@
+"""Tests for sequential greedy maximal matching with sample spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph.edge import Edge
+from repro.parallel.ledger import Ledger
+from repro.static_matching.result import check_lemma_3_1
+from repro.static_matching.sequential_greedy import sequential_greedy_match
+
+from tests.conftest import edge_lists
+
+
+class TestBasics:
+    def test_empty(self):
+        result = sequential_greedy_match([], rng=np.random.default_rng(0))
+        assert result.matches == []
+
+    def test_single_edge(self):
+        result = sequential_greedy_match([Edge(0, (1, 2))], rng=np.random.default_rng(0))
+        assert result.matched_ids == [0]
+        assert [e.eid for e in result.matches[0].samples] == [0]
+
+    def test_two_disjoint_edges_both_matched(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (3, 4))]
+        result = sequential_greedy_match(edges, rng=np.random.default_rng(0))
+        assert sorted(result.matched_ids) == [0, 1]
+
+    def test_two_incident_edges_one_matched(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3))]
+        result = sequential_greedy_match(edges, rng=np.random.default_rng(0))
+        assert len(result.matches) == 1
+        assert len(result.matches[0].samples) == 2
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_greedy_match([Edge(0, (1, 2)), Edge(0, (3, 4))])
+
+
+class TestExplicitPriorities:
+    def test_priority_order_respected(self):
+        # path a-b-c: middle edge first -> only middle matched
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (3, 4))]
+        result = sequential_greedy_match(edges, priorities={1: 0, 0: 1, 2: 2})
+        assert result.matched_ids == [1]
+        assert {e.eid for e in result.matches[0].samples} == {0, 1, 2}
+
+    def test_ends_first(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (3, 4))]
+        result = sequential_greedy_match(edges, priorities={0: 0, 2: 1, 1: 2})
+        assert result.matched_ids == [0, 2]
+
+    def test_invalid_priorities_rejected(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3))]
+        with pytest.raises(ValueError):
+            sequential_greedy_match(edges, priorities={0: 0, 1: 5})
+
+    def test_match_order_follows_priorities(self):
+        edges = [Edge(0, (1, 2)), Edge(1, (3, 4)), Edge(2, (5, 6))]
+        result = sequential_greedy_match(edges, priorities={2: 0, 0: 1, 1: 2})
+        assert result.matched_ids == [2, 0, 1]
+
+
+class TestHyperedges:
+    def test_rank3_blocking(self):
+        edges = [Edge(0, (1, 2, 3)), Edge(1, (3, 4, 5)), Edge(2, (6, 7, 8))]
+        result = sequential_greedy_match(edges, priorities={0: 0, 1: 1, 2: 2})
+        assert result.matched_ids == [0, 2]
+        assert {e.eid for e in result.matches[0].samples} == {0, 1}
+
+    def test_singleton_edges(self):
+        edges = [Edge(0, (1,)), Edge(1, (1,)), Edge(2, (2,))]
+        result = sequential_greedy_match(edges, priorities={0: 0, 1: 1, 2: 2})
+        assert result.matched_ids == [0, 2]
+
+
+class TestLemma31Properties:
+    @given(edge_lists(max_rank=3, max_edges=25))
+    @settings(max_examples=60)
+    def test_property_lemma_3_1(self, edges):
+        result = sequential_greedy_match(edges, rng=np.random.default_rng(5))
+        check_lemma_3_1(edges, result)
+
+    @given(edge_lists(max_rank=4, max_edges=25))
+    @settings(max_examples=40)
+    def test_property_owner_map_total(self, edges):
+        result = sequential_greedy_match(edges, rng=np.random.default_rng(6))
+        owner = result.owner_map()
+        assert set(owner) == {e.eid for e in edges}
+        assert result.total_sample_size() == len(edges)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        edges = [Edge(i, (i % 7, (i * 3 + 1) % 7)) for i in range(15) if i % 7 != (i * 3 + 1) % 7]
+        a = sequential_greedy_match(edges, rng=np.random.default_rng(42))
+        b = sequential_greedy_match(edges, rng=np.random.default_rng(42))
+        assert a.canonical() == b.canonical()
+
+    def test_ledger_charged(self):
+        led = Ledger()
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3))]
+        sequential_greedy_match(edges, ledger=led, rng=np.random.default_rng(0))
+        assert led.work > 0
+
+
+class TestRandomness:
+    def test_matched_edge_varies_with_seed(self):
+        """On a triangle every edge should get matched for some seed."""
+        edges = [Edge(0, (1, 2)), Edge(1, (2, 3)), Edge(2, (1, 3))]
+        seen = set()
+        for seed in range(60):
+            r = sequential_greedy_match(edges, rng=np.random.default_rng(seed))
+            seen.update(r.matched_ids)
+        assert seen == {0, 1, 2}

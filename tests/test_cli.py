@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.generators import erdos_renyi_edges
+from repro.workloads.io import read_stream, write_edge_list
+
+
+class TestGen:
+    def test_gen_er(self, tmp_path, capsys):
+        out = str(tmp_path / "s.txt")
+        assert main(["gen", "--kind", "er", "--n", "20", "--m", "50",
+                     "--batch", "10", "--seed", "1", "--out", out]) == 0
+        stream = read_stream(out)
+        assert sum(b.size for b in stream) == 100  # 50 inserts + 50 deletes
+        assert "wrote" in capsys.readouterr().out
+
+    def test_gen_star(self, tmp_path):
+        out = str(tmp_path / "star.txt")
+        assert main(["gen", "--kind", "star", "--n", "30", "--batch", "5",
+                     "--out", out]) == 0
+        stream = read_stream(out)
+        inserts = [b for b in stream if b.kind == "insert"]
+        assert sum(b.size for b in inserts) == 29
+
+    def test_gen_hyper(self, tmp_path):
+        out = str(tmp_path / "h.txt")
+        assert main(["gen", "--kind", "hyper", "--n", "20", "--m", "40",
+                     "--rank", "3", "--batch", "8", "--out", out]) == 0
+        stream = read_stream(out)
+        assert all(e.cardinality == 3 for b in stream if b.kind == "insert"
+                   for e in b.edges)
+
+    def test_gen_window(self, tmp_path):
+        out = str(tmp_path / "w.txt")
+        assert main(["gen", "--kind", "er", "--n", "30", "--m", "100",
+                     "--batch", "20", "--window", "40", "--out", out]) == 0
+        kinds = [b.kind for b in read_stream(out)]
+        assert "delete" in kinds[:-1]  # interleaved, not just at the end
+
+    @pytest.mark.parametrize("adv", ["random", "fifo", "lifo", "vertex"])
+    def test_gen_adversaries(self, tmp_path, adv):
+        out = str(tmp_path / f"{adv}.txt")
+        assert main(["gen", "--kind", "er", "--n", "15", "--m", "30",
+                     "--batch", "10", "--adversary", adv, "--out", out]) == 0
+
+
+class TestRun:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        out = str(tmp_path / "s.txt")
+        main(["gen", "--kind", "er", "--n", "25", "--m", "80", "--batch", "20",
+              "--seed", "3", "--out", out])
+        return out
+
+    @pytest.mark.parametrize("algo", ["paper", "gt", "static", "naive", "random-mate", "bgs"])
+    def test_run_all_algorithms(self, stream_file, algo, capsys):
+        assert main(["run", "--stream", stream_file, "--algo", algo]) == 0
+        out = capsys.readouterr().out
+        assert "work/update" in out
+
+    def test_run_check_mode(self, stream_file, capsys):
+        assert main(["run", "--stream", stream_file, "--algo", "paper", "--check"]) == 0
+        assert "maximality verified" in capsys.readouterr().out
+
+    def test_run_prints_profile(self, stream_file, capsys):
+        main(["run", "--stream", stream_file, "--algo", "paper"])
+        assert "work profile" in capsys.readouterr().out
+
+
+class TestStatic:
+    def test_static(self, tmp_path, capsys):
+        path = str(tmp_path / "g.txt")
+        write_edge_list(path, erdos_renyi_edges(20, 60, np.random.default_rng(0)))
+        assert main(["static", "--edges", path, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "matching size" in out and "rounds" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algo_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--stream", "x", "--algo", "bogus"])

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion and produces its
+headline output.  Kept fast by running each in-process via runpy."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script.name} produced almost no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "social_network_stream",
+        "dynamic_set_cover",
+        "adversarial_robustness",
+        "hypergraph_scheduling",
+        "checkpoint_service",
+    } <= names
+
+
+def test_quickstart_shows_costs(capsys, monkeypatch):
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "work" in out and "matching" in out

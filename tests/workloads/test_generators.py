@@ -1,0 +1,117 @@
+"""Tests for the workload edge generators."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.workloads.generators import (
+    complete_graph_edges,
+    cycle_edges,
+    erdos_renyi_edges,
+    grid_edges,
+    path_edges,
+    preferential_attachment_edges,
+    random_hypergraph_edges,
+    set_cover_instance,
+    star_edges,
+)
+
+
+class TestErdosRenyi:
+    def test_count_and_rank(self, rng):
+        edges = erdos_renyi_edges(20, 50, rng)
+        assert len(edges) == 50
+        assert all(e.cardinality == 2 for e in edges)
+
+    def test_no_parallel_by_default(self, rng):
+        edges = erdos_renyi_edges(10, 45, rng)  # all possible pairs
+        assert len({e.vertices for e in edges}) == 45
+
+    def test_too_many_edges_rejected(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi_edges(5, 11, rng)
+
+    def test_allow_parallel(self, rng):
+        edges = erdos_renyi_edges(3, 20, rng, allow_parallel=True)
+        assert len(edges) == 20
+
+    def test_start_eid(self, rng):
+        edges = erdos_renyi_edges(10, 5, rng, start_eid=100)
+        assert [e.eid for e in edges] == [100, 101, 102, 103, 104]
+
+    def test_deterministic(self):
+        a = erdos_renyi_edges(20, 30, np.random.default_rng(5))
+        b = erdos_renyi_edges(20, 30, np.random.default_rng(5))
+        assert [e.vertices for e in a] == [e.vertices for e in b]
+
+
+class TestRandomHypergraph:
+    def test_uniform_rank(self, rng):
+        edges = random_hypergraph_edges(20, 40, 4, rng)
+        assert all(e.cardinality == 4 for e in edges)
+
+    def test_mixed_rank(self, rng):
+        edges = random_hypergraph_edges(20, 200, 4, rng, uniform=False)
+        cards = {e.cardinality for e in edges}
+        assert cards <= {2, 3, 4}
+        assert len(cards) > 1
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ValueError):
+            random_hypergraph_edges(5, 10, 6, rng)
+
+
+class TestFixedFamilies:
+    def test_path(self):
+        edges = path_edges(5)
+        assert len(edges) == 4
+        assert edges[0].vertices == (0, 1)
+
+    def test_cycle(self):
+        edges = cycle_edges(5)
+        assert len(edges) == 5
+        with pytest.raises(ValueError):
+            cycle_edges(2)
+
+    def test_grid(self):
+        edges = grid_edges(3, 4)
+        # 3*3 horizontal + 2*4 vertical = 17
+        assert len(edges) == 17
+        g = Hypergraph(edges)
+        assert g.num_vertices == 12
+
+    def test_star(self):
+        edges = star_edges(10)
+        assert len(edges) == 9
+        assert all(0 in e.vertices for e in edges)
+
+    def test_complete(self):
+        edges = complete_graph_edges(6)
+        assert len(edges) == 15
+        assert len({e.vertices for e in edges}) == 15
+
+
+class TestPreferentialAttachment:
+    def test_shape(self, rng):
+        edges = preferential_attachment_edges(50, 3, rng)
+        g = Hypergraph(edges)
+        assert g.num_vertices <= 50
+        assert len(edges) > 50  # ~ (n - attach) * attach
+
+    def test_skewed_degrees(self, rng):
+        edges = preferential_attachment_edges(200, 2, rng)
+        g = Hypergraph(edges)
+        degs = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degs[0] > 3 * degs[len(degs) // 2]
+
+
+class TestSetCoverInstance:
+    def test_shape(self, rng):
+        edges = set_cover_instance(10, 30, 3, rng)
+        assert len(edges) == 30
+        assert all(e.cardinality == 3 for e in edges)
+        assert all(max(e.vertices) < 10 for e in edges)
+
+    def test_invalid_frequency(self, rng):
+        with pytest.raises(ValueError):
+            set_cover_instance(3, 10, 5, rng)

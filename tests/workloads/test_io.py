@@ -1,0 +1,121 @@
+"""Tests for edge-list and update-stream file formats."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph.edge import Edge
+from repro.workloads.generators import erdos_renyi_edges, random_hypergraph_edges
+from repro.workloads.io import (
+    read_edge_list,
+    read_stream,
+    stream_from_string,
+    stream_to_string,
+    write_edge_list,
+    write_stream,
+)
+from repro.workloads.streams import UpdateBatch, insert_then_delete_stream
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, rng):
+        edges = random_hypergraph_edges(20, 30, 4, rng, uniform=False)
+        path = str(tmp_path / "g.txt")
+        write_edge_list(path, edges)
+        back = read_edge_list(path)
+        assert [e.vertices for e in back] == [e.vertices for e in edges]
+
+    def test_comments_and_blanks(self):
+        text = "# header\n\n0 1\n 2 3  # trailing\n"
+        edges = read_edge_list(io.StringIO(text))
+        assert [e.vertices for e in edges] == [(0, 1), (2, 3)]
+
+    def test_start_eid(self):
+        edges = read_edge_list(io.StringIO("0 1\n1 2\n"), start_eid=10)
+        assert [e.eid for e in edges] == [10, 11]
+
+    def test_bad_vertex_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_edge_list(io.StringIO("a b\n"))
+
+    def test_hyperedge_line(self):
+        edges = read_edge_list(io.StringIO("1 2 3 4\n"))
+        assert edges[0].cardinality == 4
+
+
+class TestStreamFormat:
+    def test_roundtrip_via_file(self, tmp_path, rng):
+        edges = erdos_renyi_edges(15, 40, rng)
+        stream = insert_then_delete_stream(edges, 12)
+        path = str(tmp_path / "s.txt")
+        write_stream(path, stream)
+        back = read_stream(path)
+        assert len(back) == len(stream)
+        for a, b in zip(back, stream):
+            assert a.kind == b.kind
+            if a.kind == "insert":
+                assert [e.eid for e in a.edges] == [e.eid for e in b.edges]
+                assert [e.vertices for e in a.edges] == [e.vertices for e in b.edges]
+            else:
+                assert a.eids == b.eids
+
+    def test_string_helpers(self, rng):
+        stream = insert_then_delete_stream(erdos_renyi_edges(10, 15, rng), 5)
+        text = stream_to_string(stream)
+        back = stream_from_string(text)
+        assert stream_to_string(back) == text
+
+    def test_empty_batches_preserved(self):
+        stream = [UpdateBatch.insert([]), UpdateBatch.delete([])]
+        back = stream_from_string(stream_to_string(stream))
+        assert [b.kind for b in back] == ["insert", "delete"]
+        assert back[0].size == 0 and back[1].size == 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            stream_from_string("* 1\n")
+
+    def test_bad_insert_item_rejected(self):
+        with pytest.raises(ValueError, match="bad insert item"):
+            stream_from_string("+ notanedge\n")
+
+    def test_vertexless_edge_rejected(self):
+        with pytest.raises(ValueError, match="no vertices"):
+            stream_from_string("+ 3:\n")
+
+    def test_bad_delete_id_rejected(self):
+        with pytest.raises(ValueError, match="bad edge id"):
+            stream_from_string("- x\n")
+
+    def test_comments_skipped(self):
+        back = stream_from_string("# note\n+ 0:1,2\n# another\n- 0\n")
+        assert len(back) == 2
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_property_stream_roundtrip(data):
+    n_batches = data.draw(st.integers(0, 6))
+    stream = []
+    next_eid = 0
+    live = []
+    for _ in range(n_batches):
+        if not live or data.draw(st.booleans()):
+            k = data.draw(st.integers(0, 5))
+            edges = []
+            for _ in range(k):
+                vs = data.draw(
+                    st.lists(st.integers(0, 9), min_size=1, max_size=3, unique=True)
+                )
+                edges.append(Edge(next_eid, vs))
+                next_eid += 1
+            stream.append(UpdateBatch.insert(edges))
+            live += [e.eid for e in edges]
+        else:
+            k = data.draw(st.integers(1, len(live)))
+            stream.append(UpdateBatch.delete(live[:k]))
+            live = live[k:]
+    text = stream_to_string(stream)
+    assert stream_to_string(stream_from_string(text)) == text

@@ -1,0 +1,49 @@
+"""Tests for the stream runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.workloads.generators import erdos_renyi_edges
+from repro.workloads.runner import run_stream, summarize
+from repro.workloads.streams import insert_then_delete_stream
+
+
+@pytest.fixture
+def small_stream(rng):
+    edges = erdos_renyi_edges(12, 40, rng)
+    return insert_then_delete_stream(edges, 10)
+
+
+class TestRunStream:
+    def test_record_per_batch(self, small_stream):
+        recs = run_stream(DynamicMatching(seed=0), small_stream)
+        assert len(recs) == len(small_stream)
+        assert all(r.work >= 0 for r in recs)
+
+    def test_check_mode(self, small_stream):
+        recs = run_stream(DynamicMatching(seed=0), small_stream, check=True)
+        assert recs[-1].live_edges == 0
+
+    def test_kinds_match(self, small_stream):
+        recs = run_stream(DynamicMatching(seed=0), small_stream)
+        assert [r.kind for r in recs] == [b.kind for b in small_stream]
+
+    def test_work_per_update(self, small_stream):
+        recs = run_stream(DynamicMatching(seed=0), small_stream)
+        for r in recs:
+            assert r.work_per_update == (r.work / r.size if r.size else 0.0)
+
+
+class TestSummarize:
+    def test_totals(self, small_stream):
+        recs = run_stream(DynamicMatching(seed=0), small_stream)
+        s = summarize(recs)
+        assert s["batches"] == len(small_stream)
+        assert s["updates"] == 80
+        assert s["total_work"] == pytest.approx(sum(r.work for r in recs))
+        assert s["max_depth"] == max(r.depth for r in recs)
+
+    def test_empty(self):
+        s = summarize([])
+        assert s["updates"] == 0 and s["work_per_update"] == 0.0

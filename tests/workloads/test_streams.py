@@ -1,0 +1,145 @@
+"""Tests for update streams and adversaries."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.edge import Edge
+from repro.workloads.adversary import (
+    FifoAdversary,
+    LifoAdversary,
+    RandomOrderAdversary,
+    VertexTargetingAdversary,
+)
+from repro.workloads.generators import erdos_renyi_edges, star_edges
+from repro.workloads.streams import (
+    UpdateBatch,
+    churn_stream,
+    insert_then_delete_stream,
+    sliding_window_stream,
+    total_updates,
+)
+
+
+def _replay_live_set(stream):
+    """Replay a stream and return the live edge-id set trajectory."""
+    live = set()
+    for b in stream:
+        if b.kind == "insert":
+            for e in b.edges:
+                assert e.eid not in live, "inserted a live id"
+                live.add(e.eid)
+        else:
+            for eid in b.eids:
+                assert eid in live, "deleted a non-live id"
+                live.discard(eid)
+    return live
+
+
+class TestUpdateBatch:
+    def test_insert_constructor(self):
+        b = UpdateBatch.insert([Edge(0, (1, 2))])
+        assert b.kind == "insert" and b.size == 1
+
+    def test_delete_constructor(self):
+        b = UpdateBatch.delete([5, 6])
+        assert b.kind == "delete" and b.size == 2
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            UpdateBatch(kind="upsert")
+
+    def test_mixed_payload_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateBatch(kind="insert", eids=(1,))
+        with pytest.raises(ValueError):
+            UpdateBatch(kind="delete", edges=(Edge(0, (1, 2)),))
+
+
+class TestInsertThenDelete:
+    def test_empty_to_empty(self, rng):
+        edges = erdos_renyi_edges(10, 30, rng)
+        stream = insert_then_delete_stream(edges, 7)
+        assert _replay_live_set(stream) == set()
+        assert total_updates(stream) == 60
+
+    def test_batch_sizes(self, rng):
+        edges = erdos_renyi_edges(10, 30, rng)
+        stream = insert_then_delete_stream(edges, 7)
+        sizes = [b.size for b in stream if b.kind == "insert"]
+        assert sizes == [7, 7, 7, 7, 2]
+
+    def test_respects_adversary_order(self, rng):
+        edges = erdos_renyi_edges(10, 20, rng)
+        stream = insert_then_delete_stream(edges, 100, FifoAdversary())
+        deletes = [b for b in stream if b.kind == "delete"]
+        assert list(deletes[0].eids) == [e.eid for e in edges]
+
+
+class TestSlidingWindow:
+    def test_window_respected_and_drains(self, rng):
+        edges = erdos_renyi_edges(20, 100, rng)
+        stream = sliding_window_stream(edges, window=30, batch_size=10)
+        live = set()
+        for b in stream:
+            if b.kind == "insert":
+                live.update(e.eid for e in b.edges)
+            else:
+                live.difference_update(b.eids)
+            assert len(live) <= 40  # window + one batch in flight
+        assert live == set()
+
+    def test_fifo_eviction(self, rng):
+        edges = erdos_renyi_edges(20, 50, rng)
+        stream = sliding_window_stream(edges, window=20, batch_size=10)
+        first_delete = next(b for b in stream if b.kind == "delete")
+        assert list(first_delete.eids) == [e.eid for e in edges[:10]]
+
+
+class TestChurn:
+    def test_empty_to_empty(self):
+        def factory(count, start_eid):
+            return [Edge(start_eid + i, (i % 9, (i + 1) % 9 + 9)) for i in range(count)]
+
+        stream = churn_stream(factory, initial=40, steps=8, batch_size=10,
+                              rng=np.random.default_rng(3))
+        assert _replay_live_set(stream) == set()
+
+    def test_live_count_roughly_constant(self):
+        def factory(count, start_eid):
+            return [Edge(start_eid + i, (i % 9, (i + 1) % 9 + 9)) for i in range(count)]
+
+        stream = churn_stream(factory, initial=40, steps=8, batch_size=10,
+                              rng=np.random.default_rng(3))
+        live = 0
+        peaks = []
+        for b in stream[: 1 + 2 * 8]:  # before the drain phase
+            live += b.size if b.kind == "insert" else -b.size
+            peaks.append(live)
+        assert min(peaks) >= 30 and max(peaks) <= 55
+
+
+class TestAdversaries:
+    def test_fifo(self):
+        edges = [Edge(i, (i, i + 1)) for i in range(5)]
+        assert FifoAdversary().deletion_order(edges) == [0, 1, 2, 3, 4]
+
+    def test_lifo(self):
+        edges = [Edge(i, (i, i + 1)) for i in range(5)]
+        assert LifoAdversary().deletion_order(edges) == [4, 3, 2, 1, 0]
+
+    def test_random_is_permutation(self):
+        edges = [Edge(i, (i, i + 1)) for i in range(20)]
+        order = RandomOrderAdversary(np.random.default_rng(1)).deletion_order(edges)
+        assert sorted(order) == list(range(20))
+
+    def test_vertex_targeting_clears_hub_first(self):
+        edges = star_edges(10) + [Edge(100, (50, 51))]
+        order = VertexTargetingAdversary(np.random.default_rng(0)).deletion_order(edges)
+        # all 9 star edges (touching hub 0, degree 9) come before the stray
+        assert set(order[:9]) == {e.eid for e in star_edges(10)}
+        assert order[-1] == 100
+
+    def test_vertex_targeting_is_permutation(self, rng):
+        edges = erdos_renyi_edges(15, 40, rng)
+        order = VertexTargetingAdversary(np.random.default_rng(2)).deletion_order(edges)
+        assert sorted(order) == sorted(e.eid for e in edges)
