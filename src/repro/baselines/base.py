@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.core.arraystore import FlatAdjacency
 from repro.hypergraph.edge import Edge, EdgeId, Vertex
-from repro.hypergraph.hypergraph import Hypergraph
 from repro.parallel.ledger import Ledger
 
 
@@ -24,7 +24,10 @@ class BaselineMatching:
             raise ValueError("rank must be >= 1")
         self.rank = rank
         self.ledger = ledger if ledger is not None else Ledger()
-        self.graph = Hypergraph()
+        # Same flat, slot-recycled backend discipline as the main
+        # algorithm's ArrayLeveledStructure, so baseline-vs-paper
+        # wall-clock comparisons measure algorithms, not containers.
+        self.graph = FlatAdjacency()
         self.matched: Set[EdgeId] = set()
         self.cover: Dict[Vertex, EdgeId] = {}  # p(v)
         self._updates = 0

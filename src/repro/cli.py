@@ -10,6 +10,12 @@ Subcommands
 ``static``
     Run the static parallel greedy matcher on an edge-list file.
 
+``--selftest``
+    Replay a canned workload through both structure backends, verifying
+    the Definition 4.1 invariants and an independently-checked matching
+    certificate after every batch, and cross-checking that the two
+    backends agree on costs and matching exactly.
+
 Examples
 --------
 ::
@@ -17,6 +23,7 @@ Examples
     python -m repro gen --kind er --n 100 --m 1000 --batch 100 --seed 1 --out s.txt
     python -m repro run --stream s.txt --algo paper --check
     python -m repro static --edges graph.txt --seed 2
+    python -m repro --selftest
 """
 
 from __future__ import annotations
@@ -117,6 +124,57 @@ def _cmd_static(args: argparse.Namespace) -> int:
     return 0
 
 
+def selftest() -> int:
+    """Certified replay of a canned workload on every backend.
+
+    Returns 0 when every batch passes invariants + certificate checks and
+    the backends agree bit-for-bit on costs and matching; raises on the
+    first violation (non-zero exit through the normal exception path).
+    """
+    from repro.core.certify import certify
+    from repro.core.dynamic_matching import BACKENDS
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    def canned_stream():
+        edges = erdos_renyi_edges(48, 320, np.random.default_rng(5))
+        return insert_then_delete_stream(
+            edges, 16, RandomOrderAdversary(np.random.default_rng(6))
+        )
+
+    readings = {}
+    for backend in sorted(BACKENDS):
+        dm = DynamicMatching(rank=2, seed=7, backend=backend)
+        mirror = Hypergraph()
+        batches = 0
+        for batch in canned_stream():
+            if batch.kind == "insert":
+                dm.insert_edges(list(batch.edges))
+                mirror.add_edges(list(batch.edges))
+            else:
+                dm.delete_edges(list(batch.eids))
+                mirror.remove_edges(list(batch.eids))
+            batches += 1
+            dm.check_invariants()
+            assert mirror.is_maximal_matching(dm.matched_ids()), (
+                f"[{backend}] matching not maximal after batch {batches}"
+            )
+            certify(dm).verify(mirror.edges())
+        readings[backend] = (
+            dm.ledger.work,
+            dm.ledger.depth,
+            tuple(sorted(dm.structure.matched)),
+        )
+        print(
+            f"selftest[{backend}]: {batches} batches certified   "
+            f"work={dm.ledger.work:.0f} depth={dm.ledger.depth:.0f}"
+        )
+    if len(set(readings.values())) != 1:
+        print(f"backend disagreement: {readings}")
+        return 1
+    print("selftest: all backends agree — OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -153,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if "--selftest" in argv:
+        return selftest()
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -1,0 +1,1259 @@
+"""Array-backed hot-path engine for the leveled matching structure.
+
+:class:`ArrayLeveledStructure` is a drop-in replacement for
+:class:`~repro.core.level_structure.LeveledStructure` that stores all
+per-edge state in flat, slot-indexed parallel arrays instead of one
+``EdgeRecord`` object per edge:
+
+* ``_slot`` maps edge id -> dense slot index (insertion-ordered, so edge
+  enumeration order is identical to the record-dict backend);
+* slots hold ``(edge, vertices, cardinality, type-code, owner, level,
+  settle_size, samples, cross)`` in parallel Python lists, recycled
+  through a free-list on unregister;
+* sample sets S(m) and cross sets C(m) are plain insertion-ordered dicts
+  plus an explicit simulated capacity (the grow/shrink accounting of
+  :class:`~repro.parallel.dictionary.BatchSet`, inlined);
+* the per-vertex per-level index P(v, l) keeps buckets as ``[dict, cap]``
+  pairs.
+
+**Cost parity is a hard requirement**: every operation charges the shared
+ledger *exactly* what the record-dict backend charges — same work, same
+depth, same tags, in the same frame structure — so a fixed seed produces
+bit-identical ledger totals on either backend (tier-1 locks this in via
+``tests/core/test_determinism.py``).  Where the old backend charged one
+ledger call per element inside a uniform-depth parallel loop, this backend
+issues a single :meth:`~repro.parallel.ledger.Ledger.charge_parallel`
+per batch, which is equivalent by construction.
+
+Two deliberate representation choices follow from parity, not speed:
+
+* sets are insertion-ordered dicts, never ``set`` — element extraction
+  order feeds the greedy matcher's priority assignment, so ordering is
+  part of observable determinism;
+* P(v, l) stays keyed per-vertex first (``{v: {level: bucket}}``): the
+  level-dict insertion order determines ``cross_edges_below`` output
+  order, which the old backend inherits from bucket creation history.
+
+White-box compatibility: tests (and :mod:`repro.core.snapshot` /
+:mod:`repro.core.diagnostics`) poke ``structure.recs``, ``rec.type``,
+``verts[v].p`` etc.; lightweight mutable proxy views recreate that
+surface on top of the arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.hypergraph.edge import Edge, EdgeId, Vertex
+from repro.parallel.ledger import Ledger, log2ceil
+from repro.core.level_structure import EdgeType, level_of
+
+# Type codes for the flat type array.
+_T_UNSETTLED = 0
+_T_MATCHED = 1
+_T_SAMPLED = 2
+_T_CROSS = 3
+_TYPE_OBJS = (EdgeType.UNSETTLED, EdgeType.MATCHED, EdgeType.SAMPLED, EdgeType.CROSS)
+_TYPE_CODE = {t: i for i, t in enumerate(_TYPE_OBJS)}
+
+# Capacity simulation constants — must match repro.parallel.dictionary.
+_MIN_CAP = 8
+_GROW_AT = 0.75
+_SHRINK_AT = 0.125
+
+
+class _SetProxy:
+    """BatchSet-compatible view over one slot's sample or cross dict.
+
+    Mutations charge the ledger exactly like ``BatchSet.insert_one`` /
+    ``delete_one`` / ``elements`` so white-box tests that poke
+    ``rec.samples`` / ``rec.cross`` see identical accounting.
+    """
+
+    __slots__ = ("_dicts", "_caps", "_i", "_ledger")
+
+    def __init__(self, dicts: list, caps: list, i: int, ledger: Ledger) -> None:
+        self._dicts = dicts
+        self._caps = caps
+        self._i = i
+        self._ledger = ledger
+
+    def __contains__(self, key: EdgeId) -> bool:
+        return key in self._dicts[self._i]
+
+    def __len__(self) -> int:
+        return len(self._dicts[self._i])
+
+    def __iter__(self) -> Iterator[EdgeId]:
+        return iter(self._dicts[self._i])
+
+    def __bool__(self) -> bool:
+        return bool(self._dicts[self._i])
+
+    @property
+    def capacity(self) -> int:
+        return self._caps[self._i]
+
+    def elements(self) -> List[EdgeId]:
+        d = self._dicts[self._i]
+        n = len(d)
+        self._ledger.charge(work=max(n, 1), depth=log2ceil(max(n, 2)), tag="dict_elements")
+        return list(d)
+
+    def insert_one(self, key: EdgeId) -> None:
+        d = self._dicts[self._i]
+        self._ledger.charge(
+            work=1, depth=log2ceil(len(d) + 1) if d else 1, tag="dict_batch"
+        )
+        d[key] = None
+        n = len(d)
+        cap = self._caps[self._i]
+        if n > cap * _GROW_AT:
+            while n > cap * _GROW_AT:
+                cap *= 2
+                self._ledger.charge(
+                    work=cap * _GROW_AT, depth=log2ceil(max(n, 2)), tag="dict_rehash"
+                )
+            self._caps[self._i] = cap
+
+    def delete_one(self, key: EdgeId) -> None:
+        d = self._dicts[self._i]
+        self._ledger.charge(
+            work=1, depth=log2ceil(len(d) + 1) if d else 1, tag="dict_batch"
+        )
+        d.pop(key, None)
+        n = len(d)
+        cap = self._caps[self._i]
+        if cap > _MIN_CAP and n < cap * _SHRINK_AT:
+            while cap > _MIN_CAP and n < cap * _SHRINK_AT:
+                cap //= 2
+                self._ledger.charge(
+                    work=max(n, 1), depth=log2ceil(max(n, 2)), tag="dict_rehash"
+                )
+            self._caps[self._i] = cap
+
+    def discard(self, key: EdgeId) -> None:
+        self.delete_one(key)
+
+
+class _RecProxy:
+    """EdgeRecord-compatible view over one slot of the parallel arrays."""
+
+    __slots__ = ("_s", "_i")
+
+    def __init__(self, store: "ArrayLeveledStructure", i: int) -> None:
+        self._s = store
+        self._i = i
+
+    @property
+    def edge(self) -> Edge:
+        return self._s._edge[self._i]
+
+    @property
+    def eid(self) -> EdgeId:
+        return self._s._edge[self._i].eid
+
+    @property
+    def type(self) -> EdgeType:
+        return _TYPE_OBJS[self._s._type[self._i]]
+
+    @type.setter
+    def type(self, value: EdgeType) -> None:
+        self._s._type[self._i] = _TYPE_CODE[value]
+
+    @property
+    def owner(self) -> Optional[EdgeId]:
+        return self._s._owner[self._i]
+
+    @owner.setter
+    def owner(self, value: Optional[EdgeId]) -> None:
+        self._s._owner[self._i] = value
+
+    @property
+    def level(self) -> int:
+        return self._s._level[self._i]
+
+    @level.setter
+    def level(self, value: int) -> None:
+        self._s._level[self._i] = value
+
+    @property
+    def settle_size(self) -> int:
+        return self._s._settle[self._i]
+
+    @settle_size.setter
+    def settle_size(self, value: int) -> None:
+        self._s._settle[self._i] = value
+
+    @property
+    def samples(self) -> Optional[_SetProxy]:
+        s = self._s
+        if s._samples[self._i] is None:
+            return None
+        return _SetProxy(s._samples, s._scap, self._i, s.ledger)
+
+    @property
+    def cross(self) -> Optional[_SetProxy]:
+        s = self._s
+        if s._cross[self._i] is None:
+            return None
+        return _SetProxy(s._cross, s._ccap, self._i, s.ledger)
+
+    def __repr__(self) -> str:
+        return f"EdgeRecord({self.edge!r}, type={self.type.value}, owner={self.owner})"
+
+
+class _RecsView:
+    """Read-mostly mapping view: edge id -> record proxy, insertion order."""
+
+    __slots__ = ("_s",)
+
+    def __init__(self, store: "ArrayLeveledStructure") -> None:
+        self._s = store
+
+    def __contains__(self, eid: EdgeId) -> bool:
+        return eid in self._s._slot
+
+    def __len__(self) -> int:
+        return len(self._s._slot)
+
+    def __iter__(self) -> Iterator[EdgeId]:
+        return iter(self._s._slot)
+
+    def __getitem__(self, eid: EdgeId) -> _RecProxy:
+        return _RecProxy(self._s, self._s._slot[eid])
+
+    def get(self, eid: EdgeId) -> Optional[_RecProxy]:
+        i = self._s._slot.get(eid)
+        return None if i is None else _RecProxy(self._s, i)
+
+    def keys(self) -> Iterator[EdgeId]:
+        return iter(self._s._slot)
+
+    def values(self) -> Iterator[_RecProxy]:
+        s = self._s
+        return (_RecProxy(s, i) for i in s._slot.values())
+
+    def items(self) -> Iterator[Tuple[EdgeId, _RecProxy]]:
+        s = self._s
+        return ((eid, _RecProxy(s, i)) for eid, i in s._slot.items())
+
+
+class _VertProxy:
+    """VertexRecord-compatible view: mutable ``p``, read-only ``P``."""
+
+    __slots__ = ("_s", "_v")
+
+    def __init__(self, store: "ArrayLeveledStructure", v: Vertex) -> None:
+        self._s = store
+        self._v = v
+
+    @property
+    def p(self) -> Optional[EdgeId]:
+        return self._s._p.get(self._v)
+
+    @p.setter
+    def p(self, value: Optional[EdgeId]) -> None:
+        self._s._p[self._v] = value
+
+    @property
+    def P(self) -> Dict[int, dict]:
+        buckets = self._s._P.get(self._v, {})
+        return {lvl: b[0] for lvl, b in buckets.items()}
+
+
+class _VertsView:
+    """Vertex -> vertex-record-proxy view."""
+
+    __slots__ = ("_s",)
+
+    def __init__(self, store: "ArrayLeveledStructure") -> None:
+        self._s = store
+
+    def __getitem__(self, v: Vertex) -> _VertProxy:
+        return _VertProxy(self._s, v)
+
+    def get(self, v: Vertex) -> _VertProxy:
+        return _VertProxy(self._s, v)
+
+
+class ArrayLeveledStructure:
+    """Flat-array implementation of the leveled matching structure.
+
+    Same constructor, same edit operations, same ledger charges as
+    :class:`~repro.core.level_structure.LeveledStructure`; see the module
+    docstring for the representation.  The batch entry points
+    (``register_batch``, ``free_flags``, ``heavy_flags``,
+    ``add_level0_batch``, ...) are the hot-path API consumed by
+    :class:`~repro.core.dynamic_matching.DynamicMatching`.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        ledger: Ledger,
+        alpha: int = 2,
+        heavy_factor: float = 4.0,
+    ) -> None:
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        self.rank = rank
+        self.ledger = ledger
+        # When the ledger is exactly the base class, the hot paths apply
+        # their (pre-accumulated) charges by direct field arithmetic —
+        # identical totals, no per-charge call overhead.  Subclasses
+        # (NullLedger, instrumented ledgers) keep the charge() protocol.
+        self._fast = type(ledger) is Ledger
+        self.alpha = alpha
+        self.heavy_factor = heavy_factor
+        # eid -> slot; dict insertion order == registration order, which the
+        # record-dict backend exposes through recs.values().
+        self._slot: Dict[EdgeId, int] = {}
+        self._free: List[int] = []
+        # Slot-parallel arrays.
+        self._edge: List[Optional[Edge]] = []
+        self._verts: List[Tuple[Vertex, ...]] = []
+        self._card: List[int] = []
+        self._type: List[int] = []
+        self._owner: List[Optional[EdgeId]] = []
+        self._level: List[int] = []
+        self._settle: List[int] = []
+        self._samples: List[Optional[Dict[EdgeId, None]]] = []
+        self._scap: List[int] = []
+        self._cross: List[Optional[Dict[EdgeId, None]]] = []
+        self._ccap: List[int] = []
+        # Vertex state.
+        self.matched: Set[EdgeId] = set()
+        self._p: Dict[Vertex, Optional[EdgeId]] = {}
+        self._P: Dict[Vertex, Dict[int, list]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Compatibility views
+    # ------------------------------------------------------------------ #
+    @property
+    def recs(self) -> _RecsView:
+        return _RecsView(self)
+
+    @property
+    def verts(self) -> _VertsView:
+        return _VertsView(self)
+
+    def rec(self, eid: EdgeId) -> _RecProxy:
+        return _RecProxy(self, self._slot[eid])
+
+    def __contains__(self, eid: EdgeId) -> bool:
+        return eid in self._slot
+
+    # ------------------------------------------------------------------ #
+    # Registry
+    # ------------------------------------------------------------------ #
+    def _alloc(self, edge: Edge) -> int:
+        eid = edge.eid
+        if eid in self._slot:
+            raise KeyError(f"edge {eid} already in structure")
+        card = edge.cardinality
+        if card > self.rank:
+            raise ValueError(
+                f"edge {eid} has cardinality {card} > rank bound {self.rank}"
+            )
+        if self._free:
+            i = self._free.pop()
+            self._edge[i] = edge
+            self._verts[i] = edge.vertices
+            self._card[i] = card
+            self._type[i] = _T_UNSETTLED
+            self._owner[i] = None
+            self._level[i] = -1
+            self._settle[i] = 0
+            self._samples[i] = None
+            self._cross[i] = None
+        else:
+            i = len(self._edge)
+            self._edge.append(edge)
+            self._verts.append(edge.vertices)
+            self._card.append(card)
+            self._type.append(_T_UNSETTLED)
+            self._owner.append(None)
+            self._level.append(-1)
+            self._settle.append(0)
+            self._samples.append(None)
+            self._scap.append(_MIN_CAP)
+            self._cross.append(None)
+            self._ccap.append(_MIN_CAP)
+        self._slot[eid] = i
+        return i
+
+    def register(self, edge: Edge) -> _RecProxy:
+        i = self._alloc(edge)
+        self.ledger.charge(work=edge.cardinality, depth=1, tag="register")
+        return _RecProxy(self, i)
+
+    def register_batch(self, edges: Sequence[Edge]) -> None:
+        total = 0
+        for e in edges:
+            self._alloc(e)
+            total += e.cardinality
+        self.ledger.charge_parallel(len(edges), work=total, depth=1, tag="register")
+
+    def unregister(self, eid: EdgeId) -> None:
+        i = self._slot.pop(eid)
+        card = self._card[i]
+        self._edge[i] = None
+        self._samples[i] = None
+        self._cross[i] = None
+        self._free.append(i)
+        self.ledger.charge(work=card, depth=1, tag="register")
+
+    def unregister_batch(self, eids: Sequence[EdgeId]) -> None:
+        total = 0
+        for eid in eids:
+            i = self._slot.pop(eid)
+            total += self._card[i]
+            self._edge[i] = None
+            self._samples[i] = None
+            self._cross[i] = None
+            self._free.append(i)
+        self.ledger.charge_parallel(len(eids), work=total, depth=1, tag="register")
+
+    # ------------------------------------------------------------------ #
+    # Point queries
+    # ------------------------------------------------------------------ #
+    def cover_of(self, v: Vertex) -> Optional[EdgeId]:
+        return self._p.get(v)
+
+    def type_of(self, eid: EdgeId) -> EdgeType:
+        return _TYPE_OBJS[self._type[self._slot[eid]]]
+
+    def owner_of(self, eid: EdgeId) -> Optional[EdgeId]:
+        return self._owner[self._slot[eid]]
+
+    def edge_of(self, eid: EdgeId) -> Edge:
+        return self._edge[self._slot[eid]]
+
+    def level_of_match(self, eid: EdgeId) -> int:
+        return self._level[self._slot[eid]]
+
+    def settle_size_of(self, eid: EdgeId) -> int:
+        return self._settle[self._slot[eid]]
+
+    def owner_pairs(self) -> Iterator[Tuple[EdgeId, Optional[EdgeId]]]:
+        """(edge id, owner id) for every registered edge — no proxies."""
+        owner = self._owner
+        return ((eid, owner[i]) for eid, i in self._slot.items())
+
+    def is_free_edge(self, edge: Edge) -> bool:
+        self.ledger.charge(work=edge.cardinality, depth=1, tag="free_check")
+        p = self._p
+        return all(p.get(v) is None for v in edge.vertices)
+
+    def free_flags(self, edges: Sequence[Edge]) -> List[bool]:
+        """Batched ``is_free_edge``: one parallel region, one charge."""
+        p = self._p
+        total = 0
+        flags: List[bool] = []
+        for e in edges:
+            total += e.cardinality
+            free = True
+            for v in e.vertices:
+                if p.get(v) is not None:
+                    free = False
+                    break
+            flags.append(free)
+        self.ledger.charge_parallel(len(edges), work=total, depth=1, tag="free_check")
+        return flags
+
+    # ------------------------------------------------------------------ #
+    # isHeavy (Fig. 2)
+    # ------------------------------------------------------------------ #
+    def is_heavy(self, rec: _RecProxy) -> bool:
+        i = self._slot[rec.eid]
+        cd = self._cross[i]
+        if cd is None:
+            raise ValueError(f"edge {rec.eid} is not matched")
+        threshold = self.heavy_factor * (self.rank**2) * (self.alpha ** self._level[i])
+        self.ledger.charge(work=1, depth=1, tag="is_heavy")
+        return len(cd) >= threshold
+
+    def heavy_flags(self, mids: Sequence[EdgeId]) -> List[bool]:
+        """Batched ``is_heavy``: one parallel region, one charge."""
+        base = self.heavy_factor * (self.rank**2)
+        alpha = self.alpha
+        slot = self._slot
+        cross = self._cross
+        level = self._level
+        flags: List[bool] = []
+        for mid in mids:
+            i = slot[mid]
+            cd = cross[i]
+            if cd is None:
+                raise ValueError(f"edge {mid} is not matched")
+            flags.append(len(cd) >= base * (alpha ** level[i]))
+        self.ledger.charge_parallel(len(mids), work=len(mids), depth=1, tag="is_heavy")
+        return flags
+
+    # ------------------------------------------------------------------ #
+    # Inlined set/bucket primitives (BatchSet charge model)
+    # ------------------------------------------------------------------ #
+    def _new_set(self, keys: Sequence[EdgeId]) -> Tuple[Dict[EdgeId, None], int]:
+        """Fresh sample/cross dict seeded with ``keys``; charges exactly
+        like ``BatchSet(ledger, keys)`` (nothing when empty)."""
+        d: Dict[EdgeId, None] = {}
+        cap = _MIN_CAP
+        k = len(keys)
+        if k:
+            self.ledger.charge(work=k, depth=log2ceil(max(k, 2)), tag="dict_batch")
+            for key in keys:
+                d[key] = None
+            n = len(d)
+            while n > cap * _GROW_AT:
+                cap *= 2
+                self.ledger.charge(
+                    work=cap * _GROW_AT, depth=log2ceil(max(n, 2)), tag="dict_rehash"
+                )
+        return d, cap
+
+    def _P_add(self, v: Vertex, level: int, eid: EdgeId) -> None:
+        led = self.ledger
+        Pv = self._P.get(v)
+        if Pv is None:
+            Pv = self._P[v] = {}
+        b = Pv.get(level)
+        if b is None:
+            Pv[level] = [{eid: None}, _MIN_CAP]
+            led.charge(work=1, depth=1, tag="dict_batch")
+            return
+        d = b[0]
+        led.charge(work=1, depth=log2ceil(len(d) + 1) if d else 1, tag="dict_batch")
+        d[eid] = None
+        n = len(d)
+        cap = b[1]
+        if n > cap * _GROW_AT:
+            while n > cap * _GROW_AT:
+                cap *= 2
+                led.charge(work=cap * _GROW_AT, depth=log2ceil(max(n, 2)), tag="dict_rehash")
+            b[1] = cap
+
+    def _P_discard(self, v: Vertex, level: int, eid: EdgeId) -> None:
+        Pv = self._P.get(v)
+        if Pv is None:
+            return
+        b = Pv.get(level)
+        if b is None:
+            return
+        led = self.ledger
+        d = b[0]
+        led.charge(work=1, depth=log2ceil(len(d) + 1) if d else 1, tag="dict_batch")
+        d.pop(eid, None)
+        n = len(d)
+        cap = b[1]
+        if cap > _MIN_CAP and n < cap * _SHRINK_AT:
+            while cap > _MIN_CAP and n < cap * _SHRINK_AT:
+                cap //= 2
+                led.charge(work=max(n, 1), depth=log2ceil(max(n, 2)), tag="dict_rehash")
+            b[1] = cap
+        if not d:
+            del Pv[level]
+
+    # ------------------------------------------------------------------ #
+    # The four structure edits (Fig. 2, left column)
+    # ------------------------------------------------------------------ #
+    def add_match(self, edge: Edge, samples: Sequence[Edge]) -> _RecProxy:
+        self.install_match(edge, samples)
+        return _RecProxy(self, self._slot[edge.eid])
+
+    def install_match(self, edge: Edge, samples: Sequence[Edge]) -> int:
+        """addMatch(m, S_e); returns the new match's level."""
+        eid = edge.eid
+        i = self._slot[eid]
+        if eid in self.matched:
+            raise ValueError(f"edge {eid} is already matched")
+        if not any(s.eid == eid for s in samples):
+            raise ValueError("a match must belong to its own sample space")
+        self.matched.add(eid)
+        k = len(samples)
+        self._samples[i], self._scap[i] = self._new_set([s.eid for s in samples])
+        self._cross[i] = {}
+        self._ccap[i] = _MIN_CAP
+        self._settle[i] = k
+        lvl = level_of(k, self.alpha)
+        self._level[i] = lvl
+        slot = self._slot
+        tarr = self._type
+        oarr = self._owner
+        for s in samples:
+            j = slot[s.eid]
+            tarr[j] = _T_SAMPLED
+            oarr[j] = eid
+        tarr[i] = _T_MATCHED
+        oarr[i] = eid
+        p = self._p
+        for v in edge.vertices:
+            p[v] = eid
+        self.ledger.charge(
+            work=k + edge.cardinality, depth=log2ceil(max(k, 2)), tag="add_match"
+        )
+        return lvl
+
+    def add_level0_batch(self, edges: Sequence[Edge]) -> None:
+        """Batched addMatch(e, {e}) for freshly matched level-0 edges.
+
+        Every branch of the old per-edge loop charged depth 1 for the
+        singleton sample-set build plus depth 1 for the match install, so
+        the whole region prices as two uniform batched charges.
+        """
+        n = len(edges)
+        if n == 0:
+            return
+        slot = self._slot
+        total = 0
+        for e in edges:
+            eid = e.eid
+            i = slot[eid]
+            if eid in self.matched:
+                raise ValueError(f"edge {eid} is already matched")
+            self.matched.add(eid)
+            self._samples[i] = {eid: None}
+            self._scap[i] = _MIN_CAP
+            self._cross[i] = {}
+            self._ccap[i] = _MIN_CAP
+            self._settle[i] = 1
+            self._level[i] = 0
+            self._type[i] = _T_MATCHED
+            self._owner[i] = eid
+            p = self._p
+            for v in e.vertices:
+                p[v] = eid
+            total += 1 + self._card[i]
+        self.ledger.charge_parallel(n, work=n, depth=1, tag="dict_batch")
+        self.ledger.charge_parallel(n, work=total, depth=1, tag="add_match")
+
+    def remove_match(self, eid: EdgeId) -> List[Edge]:
+        """removeMatch(m): detach a match, returning its owned cross edges."""
+        i = self._slot[eid]
+        if eid not in self.matched:
+            raise ValueError(f"edge {eid} is not matched")
+        self.matched.discard(eid)
+        cd = self._cross[i]
+        w_elems = 0.0
+        d_total = 0
+        if cd is not None:
+            n = len(cd)
+            w_elems = float(max(n, 1))
+            d_total = (n - 1).bit_length() if n > 1 else 1
+            owned = list(cd)
+        else:
+            owned = []
+        lvl = self._level[i]
+        out: List[Edge] = []
+        slot = self._slot
+        verts = self._verts
+        tarr = self._type
+        oarr = self._owner
+        edges = self._edge
+        cards = self._card
+        P = self._P
+        # The unlink loop is one parallel region: each branch pays its
+        # P-bucket discards plus a unit charge, the region contributes the
+        # max branch depth.
+        w_batch = 0.0
+        w_rehash = 0.0
+        w_rm = 0.0
+        max_bd = 0
+        for ceid in owned:
+            j = slot[ceid]
+            bd = 1
+            for v in verts[j]:
+                Pv = P.get(v)
+                if Pv is None:
+                    continue
+                b = Pv.get(lvl)
+                if b is None:
+                    continue
+                d = b[0]
+                nd = len(d)
+                w_batch += 1.0
+                bd += nd.bit_length() if nd >= 2 else 1
+                d.pop(ceid, None)
+                nd = len(d)
+                cap = b[1]
+                if cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                    ws = max(nd, 1)
+                    ds = (nd - 1).bit_length() if nd > 1 else 1
+                    while cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                        cap //= 2
+                        w_rehash += ws
+                        bd += ds
+                    b[1] = cap
+                if not d:
+                    del Pv[lvl]
+            tarr[j] = _T_UNSETTLED
+            oarr[j] = None
+            out.append(edges[j])
+            w_rm += cards[j]
+            if bd > max_bd:
+                max_bd = bd
+        d_total += max_bd
+        p = self._p
+        for v in verts[i]:
+            if p.get(v) == eid:
+                p[v] = None
+        self._samples[i] = None
+        self._cross[i] = None
+        self._level[i] = -1
+        self._settle[i] = 0
+        if tarr[i] == _T_MATCHED:
+            tarr[i] = _T_UNSETTLED
+            oarr[i] = None
+        w_rm += cards[i]
+        no = len(owned)
+        d_total += (no - 1).bit_length() if no > 1 else 1
+        led = self.ledger
+        if self._fast:
+            led.work += w_elems + w_batch + w_rehash + w_rm
+            led._stack[-1].depth += d_total
+            bt = led.by_tag
+            if w_elems:
+                bt["dict_elements"] = bt.get("dict_elements", 0.0) + w_elems
+            if w_batch:
+                bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+            if w_rehash:
+                bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+            bt["remove_match"] = bt.get("remove_match", 0.0) + w_rm
+        else:
+            if w_elems:
+                led.charge(work=w_elems, depth=0.0, tag="dict_elements")
+            if w_batch:
+                led.charge(work=w_batch, depth=0.0, tag="dict_batch")
+            if w_rehash:
+                led.charge(work=w_rehash, depth=0.0, tag="dict_rehash")
+            led.charge(work=w_rm, depth=d_total, tag="remove_match")
+        return out
+
+    def add_cross_edge(self, edge: Edge) -> None:
+        """addCrossEdge(e): attach e to the max-level incident match.
+
+        Charges are accumulated locally and applied once at the end; the
+        arithmetic is exact (all amounts are integer-valued), so the
+        totals match the per-operation charge sequence to the bit.
+        """
+        eid = edge.eid
+        slot = self._slot
+        i = slot[eid]
+        p = self._p
+        level = self._level
+        best: Optional[EdgeId] = None
+        best_lvl = -1
+        for v in edge.vertices:
+            pm = p.get(v)
+            if pm is not None:
+                l = level[slot[pm]]
+                if best is None or l > best_lvl:
+                    best = pm
+                    best_lvl = l
+        if best is None:
+            raise ValueError(f"cross edge {eid} has no incident match")
+        self._type[i] = _T_CROSS
+        self._owner[i] = best
+        bi = slot[best]
+        cd = self._cross[bi]
+        n = len(cd)
+        w_batch = 1.0
+        w_rehash = 0.0
+        d_total = (n.bit_length() if n >= 2 else 1)  # log2ceil(len+1), len>0
+        cd[eid] = None
+        n = len(cd)
+        cap = self._ccap[bi]
+        if n > cap * _GROW_AT:
+            dg = (n - 1).bit_length() if n > 1 else 1
+            while n > cap * _GROW_AT:
+                cap *= 2
+                w_rehash += cap * _GROW_AT
+                d_total += dg
+            self._ccap[bi] = cap
+        P = self._P
+        for v in edge.vertices:
+            Pv = P.get(v)
+            if Pv is None:
+                Pv = P[v] = {}
+            b = Pv.get(best_lvl)
+            w_batch += 1.0
+            if b is None:
+                Pv[best_lvl] = [{eid: None}, _MIN_CAP]
+                d_total += 1
+                continue
+            d = b[0]
+            nd = len(d)
+            d_total += nd.bit_length() if nd >= 2 else 1
+            d[eid] = None
+            nd = len(d)
+            cap = b[1]
+            if nd > cap * _GROW_AT:
+                dg = (nd - 1).bit_length() if nd > 1 else 1
+                while nd > cap * _GROW_AT:
+                    cap *= 2
+                    w_rehash += cap * _GROW_AT
+                    d_total += dg
+                b[1] = cap
+        card = self._card[i]
+        d_total += 1
+        led = self.ledger
+        if self._fast:
+            led.work += w_batch + w_rehash + card
+            led._stack[-1].depth += d_total
+            bt = led.by_tag
+            bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+            if w_rehash:
+                bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+            bt["add_cross_edge"] = bt.get("add_cross_edge", 0.0) + card
+        else:
+            led.charge(work=w_batch, depth=d_total, tag="dict_batch")
+            if w_rehash:
+                led.charge(work=w_rehash, depth=0.0, tag="dict_rehash")
+            led.charge(work=card, depth=0.0, tag="add_cross_edge")
+
+    def remove_cross_edge(self, edge: Edge) -> None:
+        """removeCrossEdge(e): detach a cross edge from owner and indexes."""
+        eid = edge.eid
+        slot = self._slot
+        i = slot[eid]
+        if self._type[i] != _T_CROSS:
+            raise ValueError(f"edge {eid} is not a cross edge")
+        oi = slot[self._owner[i]]
+        lvl = self._level[oi]
+        cd = self._cross[oi]
+        n = len(cd)
+        w_batch = 1.0
+        w_rehash = 0.0
+        d_total = (n.bit_length() if n >= 2 else 1)
+        cd.pop(eid, None)
+        n = len(cd)
+        cap = self._ccap[oi]
+        if cap > _MIN_CAP and n < cap * _SHRINK_AT:
+            ws = max(n, 1)
+            ds = (n - 1).bit_length() if n > 1 else 1
+            while cap > _MIN_CAP and n < cap * _SHRINK_AT:
+                cap //= 2
+                w_rehash += ws
+                d_total += ds
+            self._ccap[oi] = cap
+        P = self._P
+        for v in edge.vertices:
+            Pv = P.get(v)
+            if Pv is None:
+                continue
+            b = Pv.get(lvl)
+            if b is None:
+                continue
+            d = b[0]
+            nd = len(d)
+            w_batch += 1.0
+            d_total += nd.bit_length() if nd >= 2 else 1
+            d.pop(eid, None)
+            nd = len(d)
+            cap = b[1]
+            if cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                ws = max(nd, 1)
+                ds = (nd - 1).bit_length() if nd > 1 else 1
+                while cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                    cap //= 2
+                    w_rehash += ws
+                    d_total += ds
+                b[1] = cap
+            if not d:
+                del Pv[lvl]
+        self._type[i] = _T_UNSETTLED
+        self._owner[i] = None
+        card = self._card[i]
+        d_total += 1
+        led = self.ledger
+        if self._fast:
+            led.work += w_batch + w_rehash + card
+            led._stack[-1].depth += d_total
+            bt = led.by_tag
+            bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+            if w_rehash:
+                bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+            bt["remove_cross_edge"] = bt.get("remove_cross_edge", 0.0) + card
+        else:
+            led.charge(work=w_batch, depth=d_total, tag="dict_batch")
+            if w_rehash:
+                led.charge(work=w_rehash, depth=0.0, tag="dict_rehash")
+            led.charge(work=card, depth=0.0, tag="remove_cross_edge")
+
+    def detach_unmatched(self, eid: EdgeId) -> None:
+        """Detach an unmatched deleted edge (cross or sampled)."""
+        i = self._slot[eid]
+        t = self._type[i]
+        if t == _T_CROSS:
+            self.remove_cross_edge(self._edge[i])
+        elif t == _T_SAMPLED:
+            # Lazy: leave the owner's level alone, just shrink S.
+            self.sample_discard(self._owner[i], eid)
+            self._type[i] = _T_UNSETTLED
+            self._owner[i] = None
+        else:  # pragma: no cover — structure guarantees settled types
+            raise AssertionError(f"unsettled edge {eid} in structure")
+
+    # ------------------------------------------------------------------ #
+    # Sample-set helpers
+    # ------------------------------------------------------------------ #
+    def samples_of(self, mid: EdgeId) -> List[Edge]:
+        """S(m) extracted as edges (elements() charge, lookups free)."""
+        sd = self._samples[self._slot[mid]]
+        n = len(sd)
+        self.ledger.charge(work=max(n, 1), depth=log2ceil(max(n, 2)), tag="dict_elements")
+        slot = self._slot
+        edge = self._edge
+        return [edge[slot[sid]] for sid in sd]
+
+    def sample_discard(self, mid: EdgeId, eid: EdgeId) -> None:
+        """Delete ``eid`` from S(mid) — BatchSet.delete_one charges."""
+        i = self._slot[mid]
+        sd = self._samples[i]
+        n = len(sd)
+        d_total = n.bit_length() if n >= 2 else 1
+        w_rehash = 0.0
+        sd.pop(eid, None)
+        n = len(sd)
+        cap = self._scap[i]
+        if cap > _MIN_CAP and n < cap * _SHRINK_AT:
+            ws = max(n, 1)
+            ds = (n - 1).bit_length() if n > 1 else 1
+            while cap > _MIN_CAP and n < cap * _SHRINK_AT:
+                cap //= 2
+                w_rehash += ws
+                d_total += ds
+            self._scap[i] = cap
+        led = self.ledger
+        if self._fast:
+            led.work += 1.0 + w_rehash
+            led._stack[-1].depth += d_total
+            bt = led.by_tag
+            bt["dict_batch"] = bt.get("dict_batch", 0.0) + 1.0
+            if w_rehash:
+                bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+        else:
+            led.charge(work=1, depth=d_total, tag="dict_batch")
+            if w_rehash:
+                led.charge(work=w_rehash, depth=0.0, tag="dict_rehash")
+
+    # ------------------------------------------------------------------ #
+    # P(v, l) scan
+    # ------------------------------------------------------------------ #
+    def _level_index_add(self, v: Vertex, level: int, eid: EdgeId) -> None:
+        self._P_add(v, level, eid)
+
+    def _level_index_discard(self, v: Vertex, level: int, eid: EdgeId) -> None:
+        self._P_discard(v, level, eid)
+
+    def cross_edges_below(self, v: Vertex, level: int) -> List[EdgeId]:
+        led = self.ledger
+        out: List[EdgeId] = []
+        Pv = self._P.get(v)
+        if Pv:
+            for lvl, b in Pv.items():
+                if lvl < level:
+                    d = b[0]
+                    n = len(d)
+                    led.charge(work=max(n, 1), depth=log2ceil(max(n, 2)), tag="dict_elements")
+                    out.extend(d)
+        led.charge(work=max(len(out), 1), depth=log2ceil(max(len(out), 2)), tag="level_scan")
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def matched_ids(self) -> List[EdgeId]:
+        return sorted(self.matched)
+
+    def matching_edges(self) -> List[Edge]:
+        slot = self._slot
+        edge = self._edge
+        return [edge[slot[eid]] for eid in sorted(self.matched)]
+
+    def all_edges(self) -> List[Edge]:
+        edge = self._edge
+        return [edge[i] for i in self._slot.values()]
+
+    def num_edges(self) -> int:
+        return len(self._slot)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot restore (shared with LeveledStructure)
+    # ------------------------------------------------------------------ #
+    def restore_match(
+        self,
+        eid: EdgeId,
+        samples: Sequence[EdgeId],
+        cross: Sequence[EdgeId],
+        level: int,
+        settle_size: int,
+    ) -> None:
+        i = self._slot[eid]
+        self.matched.add(eid)
+        self._type[i] = _T_MATCHED
+        self._owner[i] = eid
+        self._samples[i], self._scap[i] = self._new_set(list(samples))
+        self._cross[i], self._ccap[i] = self._new_set(list(cross))
+        self._level[i] = level
+        self._settle[i] = settle_size
+        p = self._p
+        for v in self._verts[i]:
+            p[v] = eid
+
+    def restore_attached(self, eid: EdgeId, etype: EdgeType, owner: Optional[EdgeId]) -> None:
+        i = self._slot[eid]
+        if owner is None or owner not in self.matched:
+            raise ValueError(f"edge {eid}: owner {owner!r} is not a match")
+        self._owner[i] = owner
+        self._type[i] = _TYPE_CODE[etype]
+        oi = self._slot[owner]
+        if etype == EdgeType.CROSS:
+            if eid not in self._cross[oi]:
+                raise ValueError(f"cross edge {eid} missing from C({owner})")
+            lvl = self._level[oi]
+            for v in self._verts[i]:
+                self._P_add(v, lvl, eid)
+        elif etype == EdgeType.SAMPLED:
+            if eid not in self._samples[oi]:
+                raise ValueError(f"sampled edge {eid} missing from S({owner})")
+        else:
+            raise ValueError(f"edge {eid} has transient type {etype.value!r}")
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking (test-only; never charged to the ledger)
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Definition 4.1 plus structural consistency, over the arrays."""
+        slot = self._slot
+        for v, pm in self._p.items():
+            if pm is not None:
+                assert pm in self.matched, f"p({v})={pm} is not matched"
+                assert v in self._verts[slot[pm]], f"p({v}) not incident on {v}"
+        cover_count: Dict[Vertex, int] = {}
+        for mid in self.matched:
+            i = slot[mid]
+            assert self._type[i] == _T_MATCHED, (
+                f"match {mid} has type {_TYPE_OBJS[self._type[i]]}"
+            )
+            for v in self._verts[i]:
+                cover_count[v] = cover_count.get(v, 0) + 1
+                assert cover_count[v] == 1, f"vertex {v} covered by two matches"
+                assert self._p.get(v) == mid, f"p({v}) != covering match {mid}"
+
+        sample_owner: Dict[EdgeId, EdgeId] = {}
+        for mid in self.matched:
+            i = slot[mid]
+            assert self._level[i] == level_of(self._settle[i], self.alpha), (
+                f"match {mid}: level {self._level[i]} != level_of({self._settle[i]})"
+            )
+            sd = self._samples[i]
+            assert len(sd) <= self._settle[i], (
+                f"match {mid}: sample set grew after settling"
+            )
+            assert mid in sd, f"match {mid} missing from own sample space"
+            for sid in sd:
+                assert sid not in sample_owner, f"edge {sid} in two sample spaces"
+                sample_owner[sid] = mid
+                j = slot[sid]
+                assert self._owner[j] == mid, (
+                    f"sample {sid}: owner {self._owner[j]} != {mid}"
+                )
+                assert self._edge[j].intersects(self._edge[i]), (
+                    f"sample {sid} not incident on {mid}"
+                )
+                if sid != mid:
+                    assert self._type[j] == _T_SAMPLED, (
+                        f"sample {sid} has type {_TYPE_OBJS[self._type[j]]}"
+                    )
+
+        for eid, i in slot.items():
+            assert self._type[i] != _T_UNSETTLED, f"edge {eid} left unsettled"
+            if self._type[i] == _T_SAMPLED:
+                assert eid in sample_owner and sample_owner[eid] == self._owner[i], (
+                    f"sampled edge {eid} not in S({self._owner[i]})"
+                )
+            owner = self._owner[i]
+            assert owner is not None, f"edge {eid} has no owner"
+            assert owner in self.matched, f"edge {eid} owner {owner} not matched"
+            assert self._edge[i].intersects(self._edge[slot[owner]]) or owner == eid, (
+                f"edge {eid} not incident on its owner {owner}"
+            )
+            if self._type[i] == _T_CROSS:
+                oi = slot[owner]
+                assert eid in self._cross[oi], f"cross {eid} missing from C({owner})"
+                max_level = max(
+                    (
+                        self._level[slot[self._p[v]]]
+                        for v in self._verts[i]
+                        if self._p.get(v) is not None
+                    ),
+                    default=-1,
+                )
+                assert max_level >= 0, f"cross edge {eid} incident on no match"
+                assert self._level[oi] == max_level, (
+                    f"cross {eid}: owner level {self._level[oi]} != max incident {max_level}"
+                )
+                for v in self._verts[i]:
+                    Pv = self._P.get(v)
+                    bucket = Pv.get(self._level[oi]) if Pv else None
+                    assert bucket is not None and eid in bucket[0], (
+                        f"cross {eid} missing from P({v}, {self._level[oi]})"
+                    )
+
+        # P(v, l) soundness: no stale entries.
+        for v, Pv in self._P.items():
+            for lvl, b in Pv.items():
+                for eid in b[0]:
+                    i = slot.get(eid)
+                    assert i is not None, f"P({v},{lvl}) holds deleted edge {eid}"
+                    assert self._type[i] == _T_CROSS, (
+                        f"P({v},{lvl}) holds non-cross edge {eid}"
+                    )
+                    oi = slot[self._owner[i]]
+                    assert self._level[oi] == lvl, (
+                        f"P({v},{lvl}) holds edge {eid} owned at level {self._level[oi]}"
+                    )
+                    assert v in self._verts[i], f"P({v},{lvl}) holds non-incident {eid}"
+
+        # C(m) soundness.
+        for mid in self.matched:
+            oi = slot[mid]
+            for ceid in self._cross[oi]:
+                ci = slot.get(ceid)
+                assert ci is not None, f"C({mid}) holds deleted edge {ceid}"
+                assert self._type[ci] == _T_CROSS and self._owner[ci] == mid, (
+                    f"C({mid}) holds edge {ceid} with type "
+                    f"{_TYPE_OBJS[self._type[ci]]}, owner {self._owner[ci]}"
+                )
+
+
+class FlatAdjacency:
+    """Slot-indexed dynamic edge/incidence store for the baselines.
+
+    The baseline algorithms previously mirrored the graph in a
+    :class:`~repro.hypergraph.hypergraph.Hypergraph` (one dict entry +
+    incidence sets per edge).  This store keeps the same interface subset
+    on slot-recycled parallel arrays — the same backend discipline as
+    :class:`ArrayLeveledStructure` — so E8's baseline-vs-paper wall-clock
+    comparisons measure the algorithms, not two different container
+    stacks.
+    """
+
+    __slots__ = ("_slot", "_free", "_edge", "_verts", "_inc")
+
+    def __init__(self, edges: Sequence[Edge] = ()) -> None:
+        self._slot: Dict[EdgeId, int] = {}
+        self._free: List[int] = []
+        self._edge: List[Optional[Edge]] = []
+        self._verts: List[Tuple[Vertex, ...]] = []
+        self._inc: Dict[Vertex, Set[EdgeId]] = {}
+        for e in edges:
+            self.add_edge(e)
+
+    def add_edge(self, edge: Edge) -> None:
+        eid = edge.eid
+        if eid in self._slot:
+            raise KeyError(f"edge {eid} already present")
+        if self._free:
+            i = self._free.pop()
+            self._edge[i] = edge
+            self._verts[i] = edge.vertices
+        else:
+            i = len(self._edge)
+            self._edge.append(edge)
+            self._verts.append(edge.vertices)
+        self._slot[eid] = i
+        inc = self._inc
+        for v in edge.vertices:
+            s = inc.get(v)
+            if s is None:
+                inc[v] = {eid}
+            else:
+                s.add(eid)
+
+    def add_edges(self, edges: Sequence[Edge]) -> None:
+        for e in edges:
+            self.add_edge(e)
+
+    def remove_edge(self, eid: EdgeId) -> Edge:
+        i = self._slot.pop(eid)
+        edge = self._edge[i]
+        for v in self._verts[i]:
+            s = self._inc.get(v)
+            if s is not None:
+                s.discard(eid)
+                if not s:
+                    del self._inc[v]
+        self._edge[i] = None
+        self._free.append(i)
+        return edge
+
+    def remove_edges(self, eids: Sequence[EdgeId]) -> List[Edge]:
+        return [self.remove_edge(eid) for eid in eids]
+
+    def edge(self, eid: EdgeId) -> Edge:
+        return self._edge[self._slot[eid]]
+
+    def get(self, eid: EdgeId) -> Optional[Edge]:
+        i = self._slot.get(eid)
+        return None if i is None else self._edge[i]
+
+    def edges(self) -> List[Edge]:
+        edge = self._edge
+        return [edge[i] for i in self._slot.values()]
+
+    def edge_ids(self) -> List[EdgeId]:
+        return list(self._slot)
+
+    def incident_edge_ids(self, vertex: Vertex) -> Set[EdgeId]:
+        return self._inc.get(vertex, set())
+
+    def degree(self, vertex: Vertex) -> int:
+        return len(self._inc.get(vertex, ()))
+
+    def vertices(self) -> List[Vertex]:
+        return list(self._inc)
+
+    def __contains__(self, eid: EdgeId) -> bool:
+        return eid in self._slot
+
+    def __len__(self) -> int:
+        return len(self._slot)
+
+    def __iter__(self) -> Iterator[Edge]:
+        edge = self._edge
+        return (edge[i] for i in self._slot.values())
+
+    def num_edges(self) -> int:
+        return len(self._slot)
+
+    def total_cardinality(self) -> int:
+        verts = self._verts
+        return sum(len(verts[i]) for i in self._slot.values())
+
+    def is_matching(self, eids) -> bool:
+        used: Set[Vertex] = set()
+        for eid in eids:
+            i = self._slot.get(eid)
+            if i is None:
+                return False
+            for v in self._verts[i]:
+                if v in used:
+                    return False
+                used.add(v)
+        return True
+
+    def is_maximal_matching(self, eids) -> bool:
+        eids = set(eids)
+        if not self.is_matching(eids):
+            return False
+        used: Set[Vertex] = set()
+        for eid in eids:
+            used.update(self._verts[self._slot[eid]])
+        for eid, i in self._slot.items():
+            if eid in eids:
+                continue
+            if not any(v in used for v in self._verts[i]):
+                return False
+        return True

@@ -80,10 +80,10 @@ def certify(dm: DynamicMatching) -> MatchingCertificate:
     matched: List[EdgeId] = dm.matched_ids()
     matched_set = set(matched)
     witness: Dict[EdgeId, EdgeId] = {}
-    for eid, rec in dm.structure.recs.items():
+    for eid, owner in dm.structure.owner_pairs():
         if eid in matched_set:
             continue
-        if rec.owner is None:  # pragma: no cover — impossible between batches
+        if owner is None:  # pragma: no cover — impossible between batches
             raise RuntimeError(f"edge {eid} has no owner; structure corrupt")
-        witness[eid] = rec.owner
+        witness[eid] = owner
     return MatchingCertificate(matched=tuple(matched), witness=witness)

@@ -45,8 +45,16 @@ from repro.core.epochs import (
     EpochTracker,
     SettleRound,
 )
-from repro.core.level_structure import EdgeRecord, EdgeType, LeveledStructure
+from repro.core.arraystore import ArrayLeveledStructure
+from repro.core.level_structure import EdgeType, LeveledStructure
 from repro.static_matching.parallel_greedy import parallel_greedy_match
+
+#: Available structure backends.  "array" (default) is the flat-array
+#: hot-path engine; "dict" is the original record-dict implementation,
+#: kept as the behavioral oracle for differential tests.  Both charge the
+#: ledger identically; for a fixed seed they produce the same matching
+#: trajectory and the same work/depth totals.
+BACKENDS = {"array": ArrayLeveledStructure, "dict": LeveledStructure}
 
 
 class DynamicMatching:
@@ -65,6 +73,10 @@ class DynamicMatching:
         Heavy threshold constant (4 in the paper; E11 ablation).
     ledger:
         Externally supplied cost ledger (a fresh one by default).
+    backend:
+        Structure backend: "array" (flat-array hot-path engine, default)
+        or "dict" (the original record-dict oracle).  Identical behavior
+        and ledger totals; the array backend is simply faster.
 
     Notes
     -----
@@ -81,9 +93,17 @@ class DynamicMatching:
         alpha: int = 2,
         heavy_factor: float = 4.0,
         ledger: Optional[Ledger] = None,
+        backend: str = "array",
     ) -> None:
         self.ledger = ledger if ledger is not None else Ledger()
-        self.structure = LeveledStructure(
+        try:
+            structure_cls = BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
+            ) from None
+        self.backend = backend
+        self.structure = structure_cls(
             rank=rank, ledger=self.ledger, alpha=alpha, heavy_factor=heavy_factor
         )
         self.rng = rng if rng is not None else np.random.default_rng(seed)
@@ -113,7 +133,7 @@ class DynamicMatching:
         return eid in self.structure.matched
 
     def __contains__(self, eid: EdgeId) -> bool:
-        return eid in self.structure.recs
+        return eid in self.structure
 
     def __len__(self) -> int:
         return self.structure.num_edges()
@@ -149,7 +169,7 @@ class DynamicMatching:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate edge ids within the batch")
         for e in edges:
-            if e.eid in self.structure.recs:
+            if e.eid in self.structure:
                 raise KeyError(f"edge {e.eid} already present")
             if e.cardinality > self.structure.rank:
                 # validate the whole batch BEFORE registering anything, so a
@@ -162,7 +182,7 @@ class DynamicMatching:
         stats = BatchStats(kind="insert", batch_index=self.tracker.batch_index,
                            batch_size=len(edges))
         with self.ledger.measure() as span:
-            parallel_for(self.ledger, edges, self.structure.register)
+            self.structure.register_batch(edges)
             self._insert_existing(edges, stats)
         stats.work, stats.depth = span.cost.work, span.cost.depth
         self.batch_stats.append(stats)
@@ -178,37 +198,25 @@ class DynamicMatching:
         eids = list(eids)
         if len(set(eids)) != len(eids):
             raise ValueError("duplicate edge ids within the batch")
-        recs = [self.structure.rec(eid) for eid in eids]  # KeyError if absent
+        types = [self.structure.type_of(eid) for eid in eids]  # KeyError if absent
 
         stats = BatchStats(kind="delete", batch_index=self.tracker.batch_index,
                            batch_size=len(eids))
         with self.ledger.measure() as span:
-            matched = [r for r in recs if r.type == EdgeType.MATCHED]
-            unmatched = [r for r in recs if r.type != EdgeType.MATCHED]
+            matched = [eid for eid, t in zip(eids, types) if t == EdgeType.MATCHED]
+            unmatched = [eid for eid, t in zip(eids, types) if t != EdgeType.MATCHED]
 
             # Unmatched deletions: cheap, fully detach and forget.
-            def _drop_unmatched(rec: EdgeRecord) -> None:
-                if rec.type == EdgeType.CROSS:
-                    self.structure.remove_cross_edge(rec.edge)
-                elif rec.type == EdgeType.SAMPLED:
-                    # Lazy: leave the owner's level alone, just shrink S.
-                    self.structure.rec(rec.owner).samples.delete_one(rec.eid)
-                    rec.type = EdgeType.UNSETTLED
-                    rec.owner = None
-                else:  # pragma: no cover — structure guarantees settled types
-                    raise AssertionError(f"unsettled edge {rec.eid} in structure")
-
-            parallel_for(self.ledger, unmatched, _drop_unmatched)
-            parallel_for(self.ledger, unmatched, lambda r: self.structure.unregister(r.eid))
+            parallel_for(self.ledger, unmatched, self.structure.detach_unmatched)
+            self.structure.unregister_batch(unmatched)
 
             # Matched deletions: natural epoch deaths.  Remove each from its
             # own sample space so it is never reinserted.
-            def _detach_matched(rec: EdgeRecord) -> None:
-                rec.samples.delete_one(rec.eid)
-
-            parallel_for(self.ledger, matched, _detach_matched)
-            for rec in matched:
-                self.tracker.death(rec.eid, NATURAL)
+            parallel_for(
+                self.ledger, matched, lambda mid: self.structure.sample_discard(mid, mid)
+            )
+            for mid in matched:
+                self.tracker.death(mid, NATURAL)
             stats.natural_deaths += len(matched)
 
             pool = self._delete_matched_edges(matched, stats)
@@ -220,7 +228,7 @@ class DynamicMatching:
                 pool = self._random_settle(pool, stats)
             self._insert_existing(pool, stats)
 
-            parallel_for(self.ledger, matched, lambda r: self.structure.unregister(r.eid))
+            self.structure.unregister_batch(matched)
         stats.work, stats.depth = span.cost.work, span.cost.depth
         self.batch_stats.append(stats)
         self._updates_processed += len(eids)
@@ -246,7 +254,7 @@ class DynamicMatching:
         attach everything else as cross edges."""
         if not edges:
             return
-        free_flags = parallel_for(self.ledger, edges, self.structure.is_free_edge)
+        free_flags = self.structure.free_flags(edges)
         free = [e for e, f in zip(edges, free_flags) if f]
         self.ledger.charge(
             work=len(edges), depth=log2ceil(max(len(edges), 2)), tag="insert_filter"
@@ -255,11 +263,10 @@ class DynamicMatching:
         result = parallel_greedy_match(free, self.ledger, rng=self.rng)
         matched_ids: Set[EdgeId] = set(result.matched_ids)
 
-        def _add_level0(m_edge: Edge) -> None:
-            self.structure.add_match(m_edge, [m_edge])
+        new_matches = result.matched_edges
+        self.structure.add_level0_batch(new_matches)
+        for m_edge in new_matches:
             self.tracker.birth(m_edge.eid, level=0, sample_size=1)
-
-        parallel_for(self.ledger, result.matched_edges, _add_level0)
         stats.new_epochs += len(matched_ids)
 
         rest = [e for e in edges if e.eid not in matched_ids]
@@ -269,7 +276,7 @@ class DynamicMatching:
     # deleteMatchedEdges (Fig. 2)
     # ------------------------------------------------------------------ #
     def _delete_matched_edges(
-        self, match_recs: Sequence[EdgeRecord], stats: BatchStats
+        self, match_ids: Sequence[EdgeId], stats: BatchStats
     ) -> List[Edge]:
         """Convert samples to cross edges, rematch light matches' owned
         edges, and return the heavy matches' owned edges for settling.
@@ -277,36 +284,28 @@ class DynamicMatching:
         Epoch deaths are recorded by the caller (user deletions are
         natural; stolen/bloated are recorded in ``_random_settle``).
         """
-        if not match_recs:
+        if not match_ids:
             return []
 
         # Convert every surviving sample edge (including the match itself,
         # for induced deletions) into a cross edge.  The dying matches are
         # still present, so conversions may attach to them — those edges
         # are recovered below by remove_match.
-        sample_lists = parallel_for(
-            self.ledger,
-            match_recs,
-            lambda r: [self.structure.rec(sid).edge for sid in r.samples.elements()],
-        )
+        sample_lists = parallel_for(self.ledger, match_ids, self.structure.samples_of)
         sample_edges = [e for sub in sample_lists for e in sub]
         parallel_for(self.ledger, sample_edges, self.structure.add_cross_edge)
 
-        heavy_flags = parallel_for(self.ledger, match_recs, self.structure.is_heavy)
-        heavy = [r for r, f in zip(match_recs, heavy_flags) if f]
-        light = [r for r, f in zip(match_recs, heavy_flags) if not f]
+        heavy_flags = self.structure.heavy_flags(match_ids)
+        heavy = [mid for mid, f in zip(match_ids, heavy_flags) if f]
+        light = [mid for mid, f in zip(match_ids, heavy_flags) if not f]
         stats.heavy_matches += len(heavy)
         stats.light_matches += len(light)
 
-        light_lists = parallel_for(
-            self.ledger, light, lambda r: self.structure.remove_match(r.eid)
-        )
+        light_lists = parallel_for(self.ledger, light, self.structure.remove_match)
         light_edges = [e for sub in light_lists for e in sub]
         self._insert_existing(light_edges, stats)
 
-        heavy_lists = parallel_for(
-            self.ledger, heavy, lambda r: self.structure.remove_match(r.eid)
-        )
+        heavy_lists = parallel_for(self.ledger, heavy, self.structure.remove_match)
         return [e for sub in heavy_lists for e in sub]
 
     # ------------------------------------------------------------------ #
@@ -332,8 +331,8 @@ class DynamicMatching:
         )
 
         def _install(matched) -> None:
-            rec = self.structure.add_match(matched.edge, matched.samples)
-            self.tracker.birth(matched.edge.eid, rec.level, len(matched.samples))
+            lvl = self.structure.install_match(matched.edge, matched.samples)
+            self.tracker.birth(matched.edge.eid, lvl, len(matched.samples))
 
         parallel_for(self.ledger, result.matches, _install)
         rnd.new_matches = len(result.matches)
@@ -342,19 +341,19 @@ class DynamicMatching:
 
         self._adjust_cross_edges([m.edge for m in result.matches])
 
-        new_recs = [self.structure.rec(m.edge.eid) for m in result.matches]
-        heavy_flags = parallel_for(self.ledger, new_recs, self.structure.is_heavy)
-        bloated = [r for r, f in zip(new_recs, heavy_flags) if f]
-        stolen = [self.structure.rec(eid) for eid in sorted(stolen_ids)]
+        new_ids = [m.edge.eid for m in result.matches]
+        heavy_flags = self.structure.heavy_flags(new_ids)
+        bloated = [mid for mid, f in zip(new_ids, heavy_flags) if f]
+        stolen = sorted(stolen_ids)
 
-        for rec in stolen:
-            self.tracker.death(rec.eid, STOLEN)
+        for mid in stolen:
+            self.tracker.death(mid, STOLEN)
             rnd.stolen += 1
-            rnd.stolen_sample += rec.settle_size
-        for rec in bloated:
-            self.tracker.death(rec.eid, BLOATED)
+            rnd.stolen_sample += self.structure.settle_size_of(mid)
+        for mid in bloated:
+            self.tracker.death(mid, BLOATED)
             rnd.bloated += 1
-            rnd.bloated_sample += rec.settle_size
+            rnd.bloated_sample += self.structure.settle_size_of(mid)
         stats.induced_deaths += len(stolen) + len(bloated)
         stats.settle_rounds.append(rnd)
 
@@ -367,7 +366,7 @@ class DynamicMatching:
         """Re-own cross edges sitting below a new match's level
         (restores Invariant 4.1.4)."""
         def _scan(m_edge: Edge) -> List[EdgeId]:
-            level = self.structure.rec(m_edge.eid).level
+            level = self.structure.level_of_match(m_edge.eid)
             out: List[EdgeId] = []
             for v in m_edge.vertices:
                 out.extend(self.structure.cross_edges_below(v, level))
@@ -378,7 +377,7 @@ class DynamicMatching:
         for sub in scans:
             for ceid in sub:
                 if ceid not in collect:
-                    collect[ceid] = self.structure.rec(ceid).edge
+                    collect[ceid] = self.structure.edge_of(ceid)
         self.ledger.charge(
             work=sum(len(s) for s in scans),
             depth=log2ceil(max(sum(len(s) for s in scans), 2)),

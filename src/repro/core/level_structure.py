@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.hypergraph.edge import Edge, EdgeId, Vertex
 from repro.parallel.dictionary import BatchSet
-from repro.parallel.ledger import Ledger, log2ceil
+from repro.parallel.ledger import Ledger, log2ceil, parallel_for
 
 
 class EdgeType(Enum):
@@ -334,6 +334,118 @@ class LeveledStructure:
                 out.extend(bucket.elements())
         self.ledger.charge(work=max(len(out), 1), depth=log2ceil(max(len(out), 2)), tag="level_scan")
         return out
+
+    # ------------------------------------------------------------------ #
+    # Batch API (shared with ArrayLeveledStructure)
+    # ------------------------------------------------------------------ #
+    # The algorithm layer talks to the structure through these entry
+    # points so either backend can serve it.  Here they are thin wrappers
+    # over the per-element operations — one ledger frame per branch, the
+    # original charging — which makes this class the *oracle* the array
+    # backend's batched charges are tested against.
+    def __contains__(self, eid: EdgeId) -> bool:
+        return eid in self.recs
+
+    def register_batch(self, edges: Sequence[Edge]) -> None:
+        parallel_for(self.ledger, edges, self.register)
+
+    def unregister_batch(self, eids: Sequence[EdgeId]) -> None:
+        parallel_for(self.ledger, eids, self.unregister)
+
+    def free_flags(self, edges: Sequence[Edge]) -> List[bool]:
+        return parallel_for(self.ledger, edges, self.is_free_edge)
+
+    def heavy_flags(self, mids: Sequence[EdgeId]) -> List[bool]:
+        return parallel_for(self.ledger, mids, lambda mid: self.is_heavy(self.recs[mid]))
+
+    def type_of(self, eid: EdgeId) -> EdgeType:
+        return self.recs[eid].type
+
+    def owner_of(self, eid: EdgeId) -> Optional[EdgeId]:
+        return self.recs[eid].owner
+
+    def edge_of(self, eid: EdgeId) -> Edge:
+        return self.recs[eid].edge
+
+    def level_of_match(self, eid: EdgeId) -> int:
+        return self.recs[eid].level
+
+    def settle_size_of(self, eid: EdgeId) -> int:
+        return self.recs[eid].settle_size
+
+    def owner_pairs(self) -> Iterable:
+        """(edge id, owner id) for every registered edge."""
+        return ((eid, rec.owner) for eid, rec in self.recs.items())
+
+    def install_match(self, edge: Edge, samples: Sequence[Edge]) -> int:
+        """addMatch returning the new match's level (shared interface)."""
+        return self.add_match(edge, samples).level
+
+    def add_level0_batch(self, edges: Sequence[Edge]) -> None:
+        """addMatch(e, {e}) for every freshly matched level-0 edge."""
+        parallel_for(self.ledger, edges, lambda e: self.add_match(e, [e]))
+
+    def samples_of(self, mid: EdgeId) -> List[Edge]:
+        """S(m) extracted as edges (elements() charge, lookups free)."""
+        return [self.recs[sid].edge for sid in self.recs[mid].samples.elements()]
+
+    def sample_discard(self, mid: EdgeId, eid: EdgeId) -> None:
+        self.recs[mid].samples.delete_one(eid)
+
+    def detach_unmatched(self, eid: EdgeId) -> None:
+        """Detach an unmatched deleted edge (cross or sampled)."""
+        rec = self.recs[eid]
+        if rec.type == EdgeType.CROSS:
+            self.remove_cross_edge(rec.edge)
+        elif rec.type == EdgeType.SAMPLED:
+            # Lazy: leave the owner's level alone, just shrink S.
+            self.recs[rec.owner].samples.delete_one(eid)
+            rec.type = EdgeType.UNSETTLED
+            rec.owner = None
+        else:  # pragma: no cover — structure guarantees settled types
+            raise AssertionError(f"unsettled edge {eid} in structure")
+
+    # ------------------------------------------------------------------ #
+    # Snapshot restore (shared with ArrayLeveledStructure)
+    # ------------------------------------------------------------------ #
+    def restore_match(
+        self,
+        eid: EdgeId,
+        samples: Sequence[EdgeId],
+        cross: Sequence[EdgeId],
+        level: int,
+        settle_size: int,
+    ) -> None:
+        from repro.parallel.dictionary import BatchSet
+
+        rec = self.recs[eid]
+        self.matched.add(eid)
+        rec.type = EdgeType.MATCHED
+        rec.owner = eid
+        rec.samples = BatchSet(self.ledger, samples)
+        rec.cross = BatchSet(self.ledger, cross)
+        rec.level = level
+        rec.settle_size = settle_size
+        for v in rec.edge.vertices:
+            self.verts[v].p = eid
+
+    def restore_attached(self, eid: EdgeId, etype: EdgeType, owner: Optional[EdgeId]) -> None:
+        rec = self.recs[eid]
+        if owner is None or owner not in self.matched:
+            raise ValueError(f"edge {eid}: owner {owner!r} is not a match")
+        rec.owner = owner
+        rec.type = etype
+        if etype == EdgeType.CROSS:
+            owner_rec = self.recs[owner]
+            if eid not in owner_rec.cross:
+                raise ValueError(f"cross edge {eid} missing from C({owner})")
+            for v in rec.edge.vertices:
+                self._level_index_add(v, owner_rec.level, eid)
+        elif etype == EdgeType.SAMPLED:
+            if eid not in self.recs[owner].samples:
+                raise ValueError(f"sampled edge {eid} missing from S({owner})")
+        else:
+            raise ValueError(f"edge {eid} has transient type {etype.value!r}")
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -28,7 +28,6 @@ import numpy as np
 from repro.core.dynamic_matching import DynamicMatching
 from repro.core.level_structure import EdgeType
 from repro.hypergraph.edge import Edge
-from repro.parallel.dictionary import BatchSet
 from repro.parallel.ledger import Ledger
 
 FORMAT_VERSION = 1
@@ -65,11 +64,15 @@ def load_state(
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     ledger: Optional[Ledger] = None,
+    backend: str = "array",
 ) -> DynamicMatching:
     """Rebuild a :class:`DynamicMatching` from a ``save_state`` dict.
 
-    Raises ``ValueError`` on version mismatch or structural inconsistency
-    (the restored structure is invariant-checked before being returned).
+    ``backend`` selects the structure implementation ("array" or "dict");
+    snapshots are backend-neutral, so a checkpoint written by one backend
+    restores into either.  Raises ``ValueError`` on version mismatch or
+    structural inconsistency (the restored structure is invariant-checked
+    before being returned).
     """
     if state.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported snapshot version {state.get('version')!r}")
@@ -81,6 +84,7 @@ def load_state(
         alpha=state["alpha"],
         heavy_factor=state["heavy_factor"],
         ledger=ledger,
+        backend=backend,
     )
     s = dm.structure
 
@@ -92,41 +96,21 @@ def load_state(
     for entry in state["edges"]:
         if entry["type"] != EdgeType.MATCHED.value:
             continue
-        rec = s.rec(entry["eid"])
-        s.matched.add(rec.eid)
-        rec.type = EdgeType.MATCHED
-        rec.owner = rec.eid
-        rec.samples = BatchSet(s.ledger, entry["samples"])
-        rec.cross = BatchSet(s.ledger, entry["cross"])
-        rec.level = entry["level"]
-        rec.settle_size = entry["settle_size"]
-        for v in rec.edge.vertices:
-            s.verts[v].p = rec.eid
-        dm.tracker.birth(rec.eid, rec.level, rec.settle_size)
+        s.restore_match(
+            entry["eid"],
+            samples=entry["samples"],
+            cross=entry["cross"],
+            level=entry["level"],
+            settle_size=entry["settle_size"],
+        )
+        dm.tracker.birth(entry["eid"], entry["level"], entry["settle_size"])
 
     # Pass 3: wire sampled and cross edges (owners now exist).
     for entry in state["edges"]:
         etype = EdgeType(entry["type"])
         if etype == EdgeType.MATCHED:
             continue
-        rec = s.rec(entry["eid"])
-        owner = entry["owner"]
-        if owner is None or owner not in s.matched:
-            raise ValueError(f"edge {rec.eid}: owner {owner!r} is not a match")
-        rec.owner = owner
-        rec.type = etype
-        if etype == EdgeType.CROSS:
-            owner_rec = s.rec(owner)
-            owner_rec_level = owner_rec.level
-            if rec.eid not in owner_rec.cross:
-                raise ValueError(f"cross edge {rec.eid} missing from C({owner})")
-            for v in rec.edge.vertices:
-                s._level_index_add(v, owner_rec_level, rec.eid)
-        elif etype == EdgeType.SAMPLED:
-            if rec.eid not in s.rec(owner).samples:
-                raise ValueError(f"sampled edge {rec.eid} missing from S({owner})")
-        else:
-            raise ValueError(f"edge {rec.eid} has transient type {etype.value!r}")
+        s.restore_attached(entry["eid"], etype, entry["owner"])
 
     dm.check_invariants()
     return dm

@@ -99,14 +99,28 @@ class BatchSet(Generic[K]):
         return list(self._items.keys())
 
     # -- single-element conveniences ------------------------------------ #
+    # Charged exactly like a batch of one, but inlined: no list allocation
+    # and no loop for the pseudocode's per-element ``insert(S, x)`` calls.
     def insert_one(self, key: K) -> None:
-        self.insert_batch([key])
+        items = self._items
+        self._ledger.charge(
+            work=1, depth=log2ceil(len(items) + 1) if items else 1, tag="dict_batch"
+        )
+        items[key] = None
+        if len(items) > self._capacity * _GROW_AT:
+            self._resize_if_needed()
 
     def delete_one(self, key: K) -> None:
-        self.delete_batch([key])
+        items = self._items
+        self._ledger.charge(
+            work=1, depth=log2ceil(len(items) + 1) if items else 1, tag="dict_batch"
+        )
+        items.pop(key, None)
+        if self._capacity > _MIN_CAPACITY and len(items) < self._capacity * _SHRINK_AT:
+            self._resize_if_needed()
 
     def discard(self, key: K) -> None:
-        self.delete_batch([key])
+        self.delete_one(key)
 
     # -- free (uncharged) introspection ---------------------------------- #
     def __contains__(self, key: K) -> bool:

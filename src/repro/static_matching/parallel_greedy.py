@@ -24,92 +24,29 @@ minimum-priority adjacent root *of the round it dies in*, whereas the
 sequential pass assigns it to the match that kills it in priority order.
 Both assignments satisfy Lemma 3.1, and experiment E6 verifies the §3.1
 price bound empirically for both (see EXPERIMENTS.md, "Deviations").
+
+Implementation note: all per-edge state lives in flat lists indexed by the
+edge's position in the input (``pri_arr``, ``counter``, ``done``, ...), and
+the per-vertex incidence/aliveness structures hold indices rather than
+``Edge`` objects.  Uniform-depth regions (init, delete) are priced with
+:meth:`Ledger.charge_parallel`; only ``updateTop`` — whose ``findNext``
+branches charge variable depth — keeps a real parallel region.  The charge
+sequence is unchanged from the object-based version.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.hypergraph.edge import Edge, EdgeId, Vertex
-from repro.parallel.ledger import Ledger, NullLedger, log2ceil
+from repro.parallel.ledger import Ledger, NullLedger, log2ceil, parallel_for
 from repro.parallel.findnext import find_next
 from repro.parallel.semisort import group_by
 from repro.parallel.sorting import sort_by_priority
 from repro.static_matching.result import Matched, MatchResult
 from repro.static_matching.sequential_greedy import _assign_priorities
-
-
-class _State:
-    """Mutable per-run state: vertex lists, top pointers, counters, flags."""
-
-    __slots__ = (
-        "pri",
-        "vertex_edges",
-        "top",
-        "counter",
-        "done",
-        "neighbors",
-        "edge_by_id",
-    )
-
-    def __init__(self, edges: Sequence[Edge], pri: Dict[EdgeId, int], ledger: Ledger) -> None:
-        self.pri = pri
-        self.edge_by_id: Dict[EdgeId, Edge] = {e.eid: e for e in edges}
-        # edges(v): incident edges sorted by priority.  Per Fig. 1, radix
-        # sort E once globally by pi, then append to the per-vertex lists
-        # in that order — each list comes out sorted, O(m') total.
-        by_pri = sort_by_priority(ledger, list(edges), lambda e: pri[e.eid], len(edges))
-        self.vertex_edges: Dict[Vertex, List[Edge]] = {}
-        for e in by_pri:
-            for v in e.vertices:
-                self.vertex_edges.setdefault(v, []).append(e)
-        self.top: Dict[Vertex, int] = {v: 0 for v in self.vertex_edges}
-        self.counter: Dict[EdgeId, int] = {e.eid: 0 for e in edges}
-        self.done: Dict[EdgeId, bool] = {e.eid: False for e in edges}
-        # neighbors(v) "linked list": insertion-ordered dict of alive edges.
-        self.neighbors: Dict[Vertex, Dict[EdgeId, Edge]] = {
-            v: {e.eid: e for e in lst} for v, lst in self.vertex_edges.items()
-        }
-
-    def alive_neighbors(self, edge: Edge) -> List[Edge]:
-        """Remaining edges incident on ``edge`` (excluding itself)."""
-        seen: Set[EdgeId] = set()
-        out: List[Edge] = []
-        for v in edge.vertices:
-            for eid, e in self.neighbors.get(v, {}).items():
-                if eid != edge.eid and eid not in seen:
-                    seen.add(eid)
-                    out.append(e)
-        return out
-
-    def delete_edge(self, edge: Edge) -> None:
-        """Unlink a finished edge from every neighbour list (O(|e|))."""
-        for v in edge.vertices:
-            bucket = self.neighbors.get(v)
-            if bucket is not None:
-                bucket.pop(edge.eid, None)
-
-
-def _update_top(state: _State, v: Vertex, ledger: Ledger) -> Optional[Edge]:
-    """The paper's ``updateTop``: advance v's pointer past done edges,
-    increment the new top's counter, and return it if it became a root."""
-    lst = state.vertex_edges[v]
-    t = state.top[v]
-    if t >= len(lst) or not state.done[lst[t].eid]:
-        ledger.charge(work=1, depth=1, tag="update_top")
-        return None
-    t = find_next(ledger, t, len(lst), lambda j: not state.done[lst[j].eid])
-    state.top[v] = t
-    if t == len(lst):
-        return None
-    e_t = lst[t]
-    state.counter[e_t.eid] += 1
-    ledger.charge(work=1, depth=1, tag="update_top")
-    if state.counter[e_t.eid] == e_t.cardinality:
-        return e_t
-    return None
 
 
 def parallel_greedy_match(
@@ -133,20 +70,50 @@ def parallel_greedy_match(
         return MatchResult(matches=[], rounds=0, priorities={})
 
     pri = _assign_priorities(edges, ledger, rng, priorities)
-    state = _State(edges, pri, ledger)
 
-    m_prime = sum(e.cardinality for e in edges)
+    # Dense per-edge state, indexed by position in the input list.
+    pri_arr: List[int] = [pri[e.eid] for e in edges]
+    verts_arr: List[tuple] = [e.vertices for e in edges]
+    card_arr: List[int] = [e.cardinality for e in edges]
+
+    # edges(v): incident edge indices sorted by priority.  Per Fig. 1,
+    # radix sort E once globally by pi, then append to the per-vertex lists
+    # in that order — each list comes out sorted, O(m') total.
+    order = sort_by_priority(ledger, list(range(m)), lambda i: pri_arr[i], m)
+    vertex_edges: Dict[Vertex, List[int]] = {}
+    for i in order:
+        for v in verts_arr[i]:
+            vertex_edges.setdefault(v, []).append(i)
+    top: Dict[Vertex, int] = {v: 0 for v in vertex_edges}
+    counter: List[int] = [0] * m
+    done: List[bool] = [False] * m
+    # alive(v) "linked list": insertion-ordered dict of alive edge indices.
+    alive: Dict[Vertex, Dict[int, None]] = {
+        v: dict.fromkeys(lst) for v, lst in vertex_edges.items()
+    }
+
+    m_prime = sum(card_arr)
     # Distributing the sorted edges into per-vertex lists: O(m') work.
     ledger.charge(work=m_prime, depth=log2ceil(max(m, 2)), tag="par_sort")
 
     # Initial top counters and root set.
-    with ledger.parallel() as region:
-        for v, lst in state.vertex_edges.items():
-            with region.branch():
-                ledger.charge(work=1, depth=1, tag="par_init")
-                state.counter[lst[0].eid] += 1
-    roots: List[Edge] = [e for e in edges if state.counter[e.eid] == e.cardinality]
+    for lst in vertex_edges.values():
+        counter[lst[0]] += 1
+    nv = len(vertex_edges)
+    ledger.charge_parallel(nv, work=nv, depth=1, tag="par_init")
+    roots: List[int] = [i for i in range(m) if counter[i] == card_arr[i]]
     ledger.charge(work=m, depth=log2ceil(max(m, 2)), tag="par_init")
+
+    def alive_neighbors(i: int) -> List[int]:
+        """Remaining edges incident on edge ``i`` (excluding itself)."""
+        seen = {i}
+        out: List[int] = []
+        for v in verts_arr[i]:
+            for j in alive[v]:
+                if j not in seen:
+                    seen.add(j)
+                    out.append(j)
+        return out
 
     matches: List[Matched] = []
     rounds = 0
@@ -154,57 +121,73 @@ def parallel_greedy_match(
         rounds += 1
         # Deterministic processing order (priority) — matches are reported
         # in the same order regardless of root-set iteration order.
-        roots.sort(key=lambda e: pri[e.eid])
+        roots.sort(key=lambda i: pri_arr[i])
+
+        # One aliveness sweep per root, shared by the assignment and the
+        # removal phases below (no state changes in between).
+        nbrs: List[List[int]] = [alive_neighbors(w) for w in roots]
 
         # (n, w) pairs: every remaining edge adjacent to a root, plus the
         # root itself, keyed by the non-root edge n.
         pairs = []
-        for w in roots:
-            pairs.append((w.eid, w))
-            for n in state.alive_neighbors(w):
-                pairs.append((n.eid, w))
+        for w, nb in zip(roots, nbrs):
+            pairs.append((w, w))
+            for n in nb:
+                pairs.append((n, w))
         grouped = group_by(ledger, pairs)
 
         # Each edge n goes to the sample space of its min-priority adjacent
         # root (the root itself trivially maps to itself).
-        sample_of: Dict[EdgeId, List[Edge]] = {w.eid: [] for w in roots}
-        min_in = []
-        for n_eid, adj_roots in grouped:
-            best = min(adj_roots, key=lambda w: pri[w.eid])
-            min_in.append((best.eid, state.edge_by_id[n_eid]))
-        for w_eid, n_edge in min_in:
-            sample_of[w_eid].append(n_edge)
+        sample_of: Dict[int, List[int]] = {w: [] for w in roots}
+        for n_idx, adj_roots in grouped:
+            best = min(adj_roots, key=lambda w: pri_arr[w])
+            sample_of[best].append(n_idx)
         ledger.charge(work=len(pairs), depth=log2ceil(max(len(pairs), 2)), tag="par_assign")
 
         for w in roots:
-            samples = sorted(sample_of[w.eid], key=lambda e: (e.eid != w.eid, pri[e.eid]))
-            matches.append(Matched(edge=w, samples=samples))
+            samp = sorted(sample_of[w], key=lambda j: (j != w, pri_arr[j]))
+            matches.append(
+                Matched(edge=edges[w], samples=[edges[j] for j in samp])
+            )
 
         # finished = W ∪ N(W): mark done, unlink, gather touched vertices.
-        finished: Dict[EdgeId, Edge] = {}
-        for w in roots:
-            finished[w.eid] = w
-            for n in state.alive_neighbors(w):
-                finished[n.eid] = n
+        finished: Dict[int, None] = {}
+        for w, nb in zip(roots, nbrs):
+            finished[w] = None
+            for n in nb:
+                finished[n] = None
         touched: Dict[Vertex, None] = {}
-        with ledger.parallel() as region:
-            for e in finished.values():
-                with region.branch():
-                    ledger.charge(work=e.cardinality, depth=1, tag="par_delete")
-                    state.done[e.eid] = True
-                    for v in e.vertices:
-                        touched[v] = None
-        for e in finished.values():
-            state.delete_edge(e)
+        w_delete = 0
+        for i in finished:
+            done[i] = True
+            w_delete += card_arr[i]
+            for v in verts_arr[i]:
+                touched[v] = None
+        ledger.charge_parallel(len(finished), work=w_delete, depth=1, tag="par_delete")
+        for i in finished:
+            for v in verts_arr[i]:
+                alive[v].pop(i, None)
 
         # updateTop on every touched vertex; new roots surface here.
-        new_roots: List[Edge] = []
-        with ledger.parallel() as region:
-            for v in touched:
-                with region.branch():
-                    r = _update_top(state, v, ledger)
-                    if r is not None:
-                        new_roots.append(r)
+        new_roots: List[int] = []
+
+        def _update_top(v: Vertex) -> None:
+            lst = vertex_edges[v]
+            t = top[v]
+            if t >= len(lst) or not done[lst[t]]:
+                ledger.charge(work=1, depth=1, tag="update_top")
+                return
+            t = find_next(ledger, t, len(lst), lambda j: not done[lst[j]])
+            top[v] = t
+            if t == len(lst):
+                return
+            i_t = lst[t]
+            counter[i_t] += 1
+            ledger.charge(work=1, depth=1, tag="update_top")
+            if counter[i_t] == card_arr[i_t]:
+                new_roots.append(i_t)
+
+        parallel_for(ledger, touched, _update_top)
         roots = new_roots
 
     return MatchResult(matches=matches, rounds=rounds, priorities=pri)

@@ -48,6 +48,7 @@ def random_workout(
     max_batch: int = 12,
     matched_bias: float = 0.3,
     check_invariants: bool = True,
+    certify_after_each_batch: bool = False,
 ) -> WorkoutResult:
     """Drive random insert/delete batches and verify after every step.
 
@@ -64,6 +65,12 @@ def random_workout(
         the expensive path worth stressing.
     check_invariants:
         Also call ``algo.check_invariants()`` if the object has it.
+    certify_after_each_batch:
+        After every batch, produce a :func:`repro.core.certify.certify`
+        certificate and verify it against the mirror's edge list.  Only
+        meaningful for algorithms exposing the leveled ``structure``
+        (i.e. :class:`~repro.core.DynamicMatching`); stronger than the
+        maximality check because every witness pointer is audited.
 
     Raises ``AssertionError`` on the first violation.
     """
@@ -108,6 +115,10 @@ def random_workout(
         )
         if check_invariants and hasattr(algo, "check_invariants"):
             algo.check_invariants()
+        if certify_after_each_batch:
+            from repro.core.certify import certify
+
+            certify(algo).verify(mirror.edges())
 
     return result
 

@@ -1,0 +1,106 @@
+"""Determinism and cost-accounting regression tests.
+
+Two layers of protection for the array-backed hot-path engine:
+
+* **Run-to-run determinism** — the same seed and the same batch stream
+  must produce identical per-batch ledger readings (work, depth, rounds)
+  and the identical matching, twice in a row in the same process.
+
+* **Golden ledger parity** — ``tests/core/data/ledger_parity.json`` holds
+  per-batch (work, depth, rounds), final totals, per-tag work, and the
+  final matched set for three canned workloads, captured from the
+  original record-dict implementation *before* the array engine landed.
+  Both backends must reproduce the fixture to the bit.  Any change to
+  the array store or the batched charging API that alters cost
+  accounting — even by one unit — fails here with a per-batch diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_matching import BACKENDS, DynamicMatching
+from repro.workloads.adversary import LifoAdversary, RandomOrderAdversary
+from repro.workloads.generators import erdos_renyi_edges, random_hypergraph_edges
+from repro.workloads.streams import insert_then_delete_stream, sliding_window_stream
+
+FIXTURE = Path(__file__).parent / "data" / "ledger_parity.json"
+
+
+def _build(name: str, backend: str):
+    """The three fixture workloads; must match the capture script exactly."""
+    if name == "er_512_b32":
+        edges = erdos_renyi_edges(64, 512, np.random.default_rng(7))
+        stream = insert_then_delete_stream(
+            edges, 32, RandomOrderAdversary(np.random.default_rng(8))
+        )
+        dm = DynamicMatching(rank=2, seed=9, backend=backend)
+    elif name == "hyper_256_r3_b16":
+        edges = random_hypergraph_edges(48, 256, 3, np.random.default_rng(17))
+        stream = insert_then_delete_stream(edges, 16, LifoAdversary())
+        dm = DynamicMatching(rank=3, seed=19, backend=backend)
+    elif name == "window_600_b24":
+        edges = erdos_renyi_edges(80, 600, np.random.default_rng(27))
+        stream = sliding_window_stream(edges, window=120, batch_size=24)
+        dm = DynamicMatching(rank=2, seed=29, backend=backend)
+    else:  # pragma: no cover
+        raise KeyError(name)
+    return dm, stream
+
+
+def _replay(name: str, backend: str, check_invariants: bool = False):
+    """Run one workload; return (per-batch readings, dm)."""
+    dm, stream = _build(name, backend)
+    batches = []
+    for b in stream:
+        if b.kind == "insert":
+            stats = dm.insert_edges(list(b.edges))
+        else:
+            stats = dm.delete_edges(list(b.eids))
+        batches.append((b.kind, stats.work, stats.depth, stats.num_rounds))
+        if check_invariants:
+            dm.check_invariants()
+    return batches, dm
+
+
+def _fixture():
+    with open(FIXTURE) as fh:
+        return json.load(fh)["workloads"]
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_same_seed_same_stream_is_deterministic(backend):
+    """Two identical runs: identical ledger readings and matching."""
+    first, dm1 = _replay("er_512_b32", backend)
+    second, dm2 = _replay("er_512_b32", backend)
+    assert first == second
+    assert dm1.ledger.work == dm2.ledger.work
+    assert dm1.ledger.depth == dm2.ledger.depth
+    assert dm1.ledger.by_tag == dm2.ledger.by_tag
+    assert sorted(dm1.structure.matched) == sorted(dm2.structure.matched)
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("name", sorted(_fixture()))
+def test_ledger_parity_against_golden_fixture(backend, name):
+    """Both backends reproduce the pre-refactor golden costs exactly."""
+    expected = _fixture()[name]
+    batches, dm = _replay(name, backend, check_invariants=True)
+    got = [(k, w, d, r) for k, w, d, r in batches]
+    exp = [(e["kind"], e["work"], e["depth"], e["rounds"]) for e in expected["batches"]]
+    assert len(got) == len(exp)
+    for i, (g, e) in enumerate(zip(got, exp)):
+        assert g == e, f"{name}[{backend}] batch {i}: got {g}, fixture {e}"
+    assert dm.ledger.work == expected["total_work"]
+    assert dm.ledger.depth == expected["total_depth"]
+    assert dm.ledger.by_tag == expected["by_tag"]
+    assert sorted(dm.structure.matched) == expected["matched"]
+
+
+def test_backends_registry_is_closed():
+    """The fixture covers every registered backend (catch silent additions)."""
+    assert set(BACKENDS) == {"array", "dict"}

@@ -1,0 +1,97 @@
+"""Differential testing: the dynamic algorithm vs the static baselines.
+
+Each seeded trace replays one identical workload (same edges, same batch
+boundaries) through three independent implementations:
+
+* :class:`repro.core.DynamicMatching` on the array backend (the system
+  under test),
+* :class:`repro.baselines.StaticRecompute` (rerun the parallel greedy
+  matcher from scratch every batch), and
+* :func:`repro.static_matching.sequential_greedy_match` on the live edge
+  set (the sequential oracle).
+
+The matchings themselves may differ — each uses its own randomness — but
+on every batch boundary all three must agree on the *verdicts*: each
+matching is vertex-disjoint and maximal on the same live graph, and each
+implementation's own invariant checker passes.  A bug in the array
+engine that costs maximality (or corrupts the structure) breaks the
+agreement on the first offending batch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.baselines import StaticRecompute
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.static_matching.sequential_greedy import sequential_greedy_match
+
+N_TRACES = 200
+
+
+def _random_trace(seed: int):
+    """A short random batch script: list of ("insert", edges) / ("delete", k)."""
+    rng = np.random.default_rng(seed)
+    max_vertices = int(rng.integers(6, 14))
+    rank = int(rng.integers(2, 4))
+    steps = int(rng.integers(4, 10))
+    return rng, max_vertices, rank, steps
+
+
+def _run_trace(seed: int) -> None:
+    rng, max_vertices, rank, steps = _random_trace(seed)
+    dm = DynamicMatching(rank=rank, seed=seed + 1, backend="array")
+    sr = StaticRecompute(rank=rank, seed=seed + 2)
+    mirror = Hypergraph()
+    next_eid = 0
+
+    for _ in range(steps):
+        live = mirror.edge_ids()
+        if not live or rng.random() < 0.6:
+            k = int(rng.integers(1, 7))
+            batch: List[Edge] = []
+            for _ in range(k):
+                card = int(rng.integers(1, rank + 1))
+                vs = rng.choice(max_vertices, size=card, replace=False)
+                batch.append(Edge(next_eid, [int(v) for v in vs]))
+                next_eid += 1
+            dm.insert_edges(batch)
+            sr.insert_edges(batch)
+            mirror.add_edges(batch)
+        else:
+            k = int(rng.integers(1, min(len(live), 6) + 1))
+            idx = rng.choice(len(live), size=k, replace=False)
+            eids = [live[i] for i in idx]
+            dm.delete_edges(eids)
+            sr.delete_edges(eids)
+            mirror.remove_edges(eids)
+
+        # Maximality agreement: every implementation's matching must be
+        # maximal on the same live graph.
+        verdicts = {
+            "dynamic": mirror.is_maximal_matching(dm.matched_ids()),
+            "static_recompute": mirror.is_maximal_matching(sr.matched_ids()),
+        }
+        greedy = sequential_greedy_match(
+            mirror.edges(), rng=np.random.default_rng(seed + 3)
+        )
+        verdicts["sequential_greedy"] = mirror.is_maximal_matching(
+            greedy.matched_ids
+        )
+        assert all(verdicts.values()), f"maximality disagreement: {verdicts}"
+
+        # Invariant-checker verdicts must agree too (all clean).
+        dm.check_invariants()
+        sr.check_invariants()
+
+
+@pytest.mark.parametrize("chunk", range(10))
+def test_differential_traces(chunk):
+    """200 seeded traces, 20 per chunk, against both static baselines."""
+    for seed in range(chunk * (N_TRACES // 10), (chunk + 1) * (N_TRACES // 10)):
+        _run_trace(seed)

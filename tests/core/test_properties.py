@@ -1,0 +1,120 @@
+"""Property tests locking the array-backed engine to the matching contract.
+
+Hypothesis drives arbitrary insert/delete batch sequences; after every
+batch the matching must be vertex-disjoint, maximal against an
+independent plain-hypergraph mirror, and `repro.core.certify` must
+produce a certificate that verifies.  Everything runs against BOTH
+structure backends — the original record-dict oracle ("dict") and the
+flat-array hot-path engine ("array") — and a differential property pins
+the two to identical matchings *and* identical ledger totals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.certify import certify
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.testing import random_workout
+
+from tests.conftest import update_scripts
+
+BACKENDS = ("array", "dict")
+
+
+def _replay(script, backend: str, seed: int = 99, rank: int = 3):
+    """Apply a conftest update-script as batches; yield (dm, mirror) after
+    each batch.  Consecutive inserts coalesce into one batch; each delete
+    resolves its index against the currently-live edges."""
+    dm = DynamicMatching(rank=rank, seed=seed, backend=backend)
+    mirror = Hypergraph()
+    next_eid = 0
+    pending: List[Edge] = []
+
+    def flush():
+        nonlocal pending
+        if pending:
+            dm.insert_edges(pending)
+            mirror.add_edges(pending)
+            pending = []
+            return True
+        return False
+
+    for op, arg in script:
+        if op == "insert":
+            pending.append(Edge(next_eid, arg))
+            next_eid += 1
+        else:
+            flushed = flush()
+            if flushed:
+                yield dm, mirror
+            live = mirror.edge_ids()
+            if not live:
+                continue
+            eid = live[arg % len(live)]
+            dm.delete_edges([eid])
+            mirror.remove_edges([eid])
+            yield dm, mirror
+    if flush():
+        yield dm, mirror
+
+
+def _assert_matching_contract(dm: DynamicMatching, mirror: Hypergraph) -> None:
+    matched = dm.matched_ids()
+    # Vertex-disjoint.
+    used = set()
+    for eid in matched:
+        vs = mirror.edge(eid).vertices
+        assert not used.intersection(vs), "matched edges share a vertex"
+        used.update(vs)
+    # Maximal against the independent mirror.
+    assert mirror.is_maximal_matching(matched)
+    # Full Definition 4.1 invariants.
+    dm.check_invariants()
+    # Certificate round-trip: every witness audited edge-by-edge.
+    certify(dm).verify(mirror.edges())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=60, deadline=None)
+@given(script=update_scripts(max_vertices=10, max_rank=3, max_ops=40))
+def test_matching_contract_after_any_batch_sequence(backend, script):
+    for dm, mirror in _replay(script, backend):
+        _assert_matching_contract(dm, mirror)
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=update_scripts(max_vertices=9, max_rank=2, max_ops=36))
+def test_backends_agree_exactly(script):
+    """Same seed + same batches: the array engine must reproduce the dict
+    oracle bit-for-bit — matching, work, depth, and per-tag totals."""
+    runs = {}
+    for backend in BACKENDS:
+        trace: List[Tuple] = []
+        dm = None
+        for dm, _mirror in _replay(script, backend, seed=41):
+            trace.append((tuple(dm.matched_ids()), dm.ledger.work, dm.ledger.depth))
+        if dm is not None:
+            trace.append(("final", dict(dm.ledger.by_tag)))
+        runs[backend] = trace
+    assert runs["array"] == runs["dict"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_random_workout_with_certificates(backend, seed):
+    """The public fuzz harness, with per-batch certificates switched on."""
+    random_workout(
+        lambda: DynamicMatching(rank=2, seed=7, backend=backend),
+        seed=seed,
+        steps=12,
+        max_vertices=8,
+        certify_after_each_batch=True,
+    )

@@ -1,0 +1,56 @@
+"""Smoke-mode run of the hot-path benchmark harness.
+
+``REPRO_BENCH_SMOKE=1`` caps every sweep in ``benchmarks/bench_hotpath.py``
+to tiny sizes, so CI can exercise the full harness — workload generation,
+replay, ledger capture, JSON output, and the seed-vs-after comparison
+logic — in a couple of seconds without timing anything meaningful.
+Deselect with ``-m "not bench_smoke"`` if even that is too much.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH = REPO / "benchmarks" / "bench_hotpath.py"
+
+
+def _run(label: str, out: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, str(BENCH), "--label", label, "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+        timeout=300,
+    )
+
+
+@pytest.mark.bench_smoke
+def test_bench_hotpath_smoke(tmp_path):
+    out = tmp_path / "bench.json"
+
+    first = _run("seed", out)
+    assert first.returncode == 0, first.stderr
+
+    second = _run("array", out)
+    assert second.returncode == 0, second.stderr
+
+    data = json.loads(out.read_text())
+    for label in ("seed", "array"):
+        for exp in ("e1", "e5", "e9"):
+            assert data[label][exp], f"{label}/{exp} produced no rows"
+    # Both labels replay identical seeded workloads in the same codebase,
+    # so the comparison rows must report exact ledger parity.
+    for row in data["comparison"]["e1"]:
+        assert row["work_delta"] == 0
+        assert row["depth_delta"] == 0
