@@ -326,6 +326,9 @@ class ArrayLeveledStructure:
         self.matched: Set[EdgeId] = set()
         self._p: Dict[Vertex, Optional[EdgeId]] = {}
         self._P: Dict[Vertex, Dict[int, list]] = {}
+        # Fault-injection hook: when set, called with a phase name at the
+        # batch-granularity entry points (never charged to the ledger).
+        self.phase_hook = None
 
     # ------------------------------------------------------------------ #
     # Compatibility views
@@ -389,6 +392,8 @@ class ArrayLeveledStructure:
         return _RecProxy(self, i)
 
     def register_batch(self, edges: Sequence[Edge]) -> None:
+        if self.phase_hook is not None:
+            self.phase_hook("structure.register_batch")
         total = 0
         for e in edges:
             self._alloc(e)
@@ -405,6 +410,8 @@ class ArrayLeveledStructure:
         self.ledger.charge(work=card, depth=1, tag="register")
 
     def unregister_batch(self, eids: Sequence[EdgeId]) -> None:
+        if self.phase_hook is not None:
+            self.phase_hook("structure.unregister_batch")
         total = 0
         for eid in eids:
             i = self._slot.pop(eid)
@@ -988,6 +995,8 @@ class ArrayLeveledStructure:
         cross: Sequence[EdgeId],
         level: int,
         settle_size: int,
+        scap: Optional[int] = None,
+        ccap: Optional[int] = None,
     ) -> None:
         i = self._slot[eid]
         self.matched.add(eid)
@@ -995,6 +1004,12 @@ class ArrayLeveledStructure:
         self._owner[i] = eid
         self._samples[i], self._scap[i] = self._new_set(list(samples))
         self._cross[i], self._ccap[i] = self._new_set(list(cross))
+        # Shrink hysteresis makes capacity a history artifact; reinstate the
+        # captured values so future rehash charges match the original.
+        if scap is not None:
+            self._scap[i] = int(scap)
+        if ccap is not None:
+            self._ccap[i] = int(ccap)
         self._level[i] = level
         self._settle[i] = settle_size
         p = self._p
@@ -1019,6 +1034,25 @@ class ArrayLeveledStructure:
                 raise ValueError(f"sampled edge {eid} missing from S({owner})")
         else:
             raise ValueError(f"edge {eid} has transient type {etype.value!r}")
+
+    def level_index_data(self) -> List[list]:
+        """P(v, l) as ``[[v, [[level, [eids...], cap], ...]], ...]`` —
+        bucket membership in iteration order plus simulated capacities
+        (history artifacts that feed scan order and rehash charges)."""
+        out: List[list] = []
+        for v, Pv in self._P.items():
+            if Pv:
+                out.append([v, [[lvl, list(b[0]), b[1]] for lvl, b in Pv.items()]])
+        return out
+
+    def restore_level_index(self, index: Sequence[Sequence]) -> None:
+        """Overwrite P(v, l) wholesale from :meth:`level_index_data` output
+        (bucket order and capacities included)."""
+        self._P = {}
+        for v, levels in index:
+            self._P[v] = {
+                int(lvl): [dict.fromkeys(eids), int(cap)] for lvl, eids, cap in levels
+            }
 
     # ------------------------------------------------------------------ #
     # Invariant checking (test-only; never charged to the ledger)

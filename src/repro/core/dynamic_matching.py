@@ -110,6 +110,11 @@ class DynamicMatching:
         self.tracker = EpochTracker()
         self.batch_stats: List[BatchStats] = []
         self._updates_processed = 0
+        # Fault-injection hook: when set (via set_phase_hook), called with a
+        # phase name at the marked points inside batch operations.  Raising
+        # from the hook models a crash mid-batch; the instance must then be
+        # discarded (recovery goes through repro.durability).
+        self.phase_hook = None
 
     # ------------------------------------------------------------------ #
     # Public queries
@@ -151,6 +156,21 @@ class DynamicMatching:
         (reference/testing convenience; O(m'))."""
         return Hypergraph(self.structure.all_edges())
 
+    def set_phase_hook(self, hook) -> None:
+        """Install (or clear, with None) the fault-injection phase hook on
+        this instance *and* its structure backend.
+
+        The hook is called with a phase-name string at batch boundaries and
+        inside the phases of each batch operation.  It must not mutate the
+        structure; raising an exception simulates a mid-phase crash.
+        """
+        self.phase_hook = hook
+        self.structure.phase_hook = hook
+
+    def _phase(self, name: str) -> None:
+        if self.phase_hook is not None:
+            self.phase_hook(name)
+
     def check_invariants(self) -> None:
         """Definition 4.1 plus epoch-tracking consistency."""
         self.structure.check_invariants()
@@ -179,11 +199,14 @@ class DynamicMatching:
                     f"bound {self.structure.rank}"
                 )
 
+        self._phase("insert.begin")
         stats = BatchStats(kind="insert", batch_index=self.tracker.batch_index,
                            batch_size=len(edges))
         with self.ledger.measure() as span:
             self.structure.register_batch(edges)
+            self._phase("insert.registered")
             self._insert_existing(edges, stats)
+            self._phase("insert.settled")
         stats.work, stats.depth = span.cost.work, span.cost.depth
         self.batch_stats.append(stats)
         self._updates_processed += len(edges)
@@ -200,6 +223,7 @@ class DynamicMatching:
             raise ValueError("duplicate edge ids within the batch")
         types = [self.structure.type_of(eid) for eid in eids]  # KeyError if absent
 
+        self._phase("delete.begin")
         stats = BatchStats(kind="delete", batch_index=self.tracker.batch_index,
                            batch_size=len(eids))
         with self.ledger.measure() as span:
@@ -209,6 +233,7 @@ class DynamicMatching:
             # Unmatched deletions: cheap, fully detach and forget.
             parallel_for(self.ledger, unmatched, self.structure.detach_unmatched)
             self.structure.unregister_batch(unmatched)
+            self._phase("delete.detached")
 
             # Matched deletions: natural epoch deaths.  Remove each from its
             # own sample space so it is never reinserted.
@@ -220,13 +245,16 @@ class DynamicMatching:
             stats.natural_deaths += len(matched)
 
             pool = self._delete_matched_edges(matched, stats)
+            self._phase("delete.converted")
 
             # randomSettle rounds with the doubling termination rule.
             sampled_edges = 0
             while 2 * len(pool) > sampled_edges:
                 sampled_edges += len(pool)
                 pool = self._random_settle(pool, stats)
+                self._phase("delete.settle_round")
             self._insert_existing(pool, stats)
+            self._phase("delete.settled")
 
             self.structure.unregister_batch(matched)
         stats.work, stats.depth = span.cost.work, span.cost.depth

@@ -134,6 +134,9 @@ class LeveledStructure:
         self.recs: Dict[EdgeId, EdgeRecord] = {}
         self.verts: Dict[Vertex, VertexRecord] = {}
         self.matched: Set[EdgeId] = set()
+        # Fault-injection hook: when set, called with a phase name at the
+        # batch-granularity entry points (never charged to the ledger).
+        self.phase_hook = None
 
     # ------------------------------------------------------------------ #
     # Registry
@@ -347,9 +350,13 @@ class LeveledStructure:
         return eid in self.recs
 
     def register_batch(self, edges: Sequence[Edge]) -> None:
+        if self.phase_hook is not None:
+            self.phase_hook("structure.register_batch")
         parallel_for(self.ledger, edges, self.register)
 
     def unregister_batch(self, eids: Sequence[EdgeId]) -> None:
+        if self.phase_hook is not None:
+            self.phase_hook("structure.unregister_batch")
         parallel_for(self.ledger, eids, self.unregister)
 
     def free_flags(self, edges: Sequence[Edge]) -> List[bool]:
@@ -415,6 +422,8 @@ class LeveledStructure:
         cross: Sequence[EdgeId],
         level: int,
         settle_size: int,
+        scap: Optional[int] = None,
+        ccap: Optional[int] = None,
     ) -> None:
         from repro.parallel.dictionary import BatchSet
 
@@ -424,6 +433,14 @@ class LeveledStructure:
         rec.owner = eid
         rec.samples = BatchSet(self.ledger, samples)
         rec.cross = BatchSet(self.ledger, cross)
+        # Capacity is history, not content: the shrink hysteresis means a
+        # rebuilt set can sit at a smaller capacity than the original, which
+        # would skew future rehash charges.  Snapshots that captured the
+        # capacities reinstate them so the copy is behaviorally exact.
+        if scap is not None:
+            rec.samples._capacity = int(scap)
+        if ccap is not None:
+            rec.cross._capacity = int(ccap)
         rec.level = level
         rec.settle_size = settle_size
         for v in rec.edge.vertices:
@@ -446,6 +463,38 @@ class LeveledStructure:
                 raise ValueError(f"sampled edge {eid} missing from S({owner})")
         else:
             raise ValueError(f"edge {eid} has transient type {etype.value!r}")
+
+    def level_index_data(self) -> List[list]:
+        """P(v, l) as ``[[v, [[level, [eids...], cap], ...]], ...]``.
+
+        Captures bucket membership *in iteration order* plus the simulated
+        capacities — both are history artifacts that feed future behavior
+        (scan order and rehash charges) and cannot be rederived from the
+        edge records alone.
+        """
+        out: List[list] = []
+        for v, vr in self.verts.items():
+            if vr.P:
+                out.append(
+                    [v, [[lvl, list(b), b.capacity] for lvl, b in vr.P.items()]]
+                )
+        return out
+
+    def restore_level_index(self, index: Sequence[Sequence]) -> None:
+        """Overwrite P(v, l) wholesale from :meth:`level_index_data` output
+        (bucket order and capacities included)."""
+        from repro.parallel.dictionary import BatchSet
+
+        for vr in self.verts.values():
+            vr.P = {}
+        for v, levels in index:
+            vr = self.verts[v]
+            P: Dict[int, BatchSet] = {}
+            for lvl, eids, cap in levels:
+                b = BatchSet(self.ledger, eids)
+                b._capacity = int(cap)
+                P[int(lvl)] = b
+            vr.P = P
 
     # ------------------------------------------------------------------ #
     # Queries

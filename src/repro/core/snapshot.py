@@ -5,18 +5,27 @@ full Definition 4.1 state — edges, types, owners, sample/cross sets,
 levels, settle sizes, vertex covers — as a JSON-serializable dict;
 ``load_state`` rebuilds a working :class:`DynamicMatching` from it.
 
-Two deliberate exclusions:
+Version 2 snapshots make restore a **behaviorally exact state copy**: a
+restored instance fed the same batches as the original produces the same
+matching trajectory and the same per-batch ledger charges.  That requires
+capturing three things that are history, not content:
 
-* **RNG state** is not captured.  The restored instance takes a fresh
-  seed; against an oblivious adversary this is safe (the adversary never
-  saw the old seed either), and it avoids pickling generator internals
-  into checkpoints.
-* **History** (epoch tracker, batch stats, ledger totals) is reset: a
-  checkpoint captures state, not the telemetry of how it got there.
+* **RNG state** — the full bit-generator state, so the restored instance
+  continues the original's random stream.  (Version 1 deliberately
+  excluded it; the durability layer's replay certification needs it.)
+* **Set capacities** — the simulated hash-table capacities of S(m), C(m)
+  and the P(v, l) buckets.  Shrink hysteresis makes capacity depend on
+  history, and future rehash charges depend on capacity.
+* **P(v, l) iteration order** — bucket and level-dict ordering feed the
+  ``cross_edges_below`` scan order, which feeds greedy pool order.
 
-The round-trip invariant — restore produces a structure that passes
-``check_invariants`` and represents the same graph/matching — is tested
-property-style in ``tests/core/test_snapshot.py``.
+**History** (epoch tracker telemetry, batch stats, ledger totals) is still
+reset: a snapshot captures state, not the telemetry of how it got there.
+The durability layer (:mod:`repro.durability`) persists those separately
+in its checkpoints.
+
+Version 1 snapshots still load (with a fresh seed and rederived
+capacities); they are *not* exact copies.
 """
 
 from __future__ import annotations
@@ -30,7 +39,27 @@ from repro.core.level_structure import EdgeType
 from repro.hypergraph.edge import Edge
 from repro.parallel.ledger import Ledger
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Snapshot versions this module can load.
+SUPPORTED_VERSIONS = (1, 2)
+
+
+def rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """The generator's full bit-generator state (JSON-serializable)."""
+    return rng.bit_generator.state
+
+
+def rng_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    """Rebuild a generator that continues the captured random stream."""
+    name = state["bit_generator"]
+    try:
+        bitgen_cls = getattr(np.random, name)
+    except AttributeError:
+        raise ValueError(f"unknown bit generator {name!r}") from None
+    bg = bitgen_cls()
+    bg.state = state
+    return np.random.Generator(bg)
 
 
 def save_state(dm: DynamicMatching) -> Dict[str, Any]:
@@ -49,6 +78,8 @@ def save_state(dm: DynamicMatching) -> Dict[str, Any]:
             entry["cross"] = list(rec.cross)
             entry["level"] = rec.level
             entry["settle_size"] = rec.settle_size
+            entry["scap"] = rec.samples.capacity
+            entry["ccap"] = rec.cross.capacity
         edges.append(entry)
     return {
         "version": FORMAT_VERSION,
@@ -56,6 +87,8 @@ def save_state(dm: DynamicMatching) -> Dict[str, Any]:
         "alpha": s.alpha,
         "heavy_factor": s.heavy_factor,
         "edges": edges,
+        "P": s.level_index_data(),
+        "rng_state": rng_state(dm.rng),
     }
 
 
@@ -73,9 +106,18 @@ def load_state(
     restores into either.  Raises ``ValueError`` on version mismatch or
     structural inconsistency (the restored structure is invariant-checked
     before being returned).
+
+    Randomness: an explicit ``rng`` wins, then an explicit ``seed``, then
+    the snapshot's captured ``rng_state`` (version 2) — restoring the
+    captured state is what makes the copy continue the original's random
+    stream exactly.
     """
-    if state.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported snapshot version {state.get('version')!r}")
+    version = state.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported snapshot version {version!r}")
+
+    if rng is None and seed is None and state.get("rng_state") is not None:
+        rng = rng_from_state(state["rng_state"])
 
     dm = DynamicMatching(
         rank=state["rank"],
@@ -102,6 +144,8 @@ def load_state(
             cross=entry["cross"],
             level=entry["level"],
             settle_size=entry["settle_size"],
+            scap=entry.get("scap"),
+            ccap=entry.get("ccap"),
         )
         dm.tracker.birth(entry["eid"], entry["level"], entry["settle_size"])
 
@@ -111,6 +155,11 @@ def load_state(
         if etype == EdgeType.MATCHED:
             continue
         s.restore_attached(entry["eid"], etype, entry["owner"])
+
+    # Pass 4 (version 2): reinstate the captured P(v, l) index verbatim —
+    # pass 3 rebuilt its content, but not its iteration order/capacities.
+    if state.get("P") is not None:
+        s.restore_level_index(state["P"])
 
     dm.check_invariants()
     return dm

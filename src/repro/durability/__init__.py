@@ -1,0 +1,54 @@
+"""Crash-safe durability for the dynamic matching structure.
+
+A write-ahead update journal (:mod:`repro.durability.journal`), periodic
+full-state checkpoints (:mod:`repro.durability.checkpoint`), a serving
+loop manager (:mod:`repro.durability.manager`), and certified recovery
+(:mod:`repro.durability.recovery`).  See ``docs/durability.md``.
+"""
+
+from repro.durability.checkpoint import (
+    latest_valid_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    prune_checkpoints,
+    restore_from_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.journal import (
+    JOURNAL_FILE,
+    JournalData,
+    JournalError,
+    JournalWriter,
+    read_journal,
+)
+from repro.durability.manager import DurabilityManager, run_config
+from repro.durability.recovery import (
+    RecoveryCertificationError,
+    RecoveryError,
+    RecoveryResult,
+    certify_against_oracle,
+    recover,
+    replay_journal,
+)
+
+__all__ = [
+    "JOURNAL_FILE",
+    "JournalData",
+    "JournalError",
+    "JournalWriter",
+    "read_journal",
+    "latest_valid_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "prune_checkpoints",
+    "restore_from_checkpoint",
+    "write_checkpoint",
+    "DurabilityManager",
+    "run_config",
+    "RecoveryCertificationError",
+    "RecoveryError",
+    "RecoveryResult",
+    "certify_against_oracle",
+    "recover",
+    "replay_journal",
+]

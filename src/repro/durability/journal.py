@@ -1,0 +1,258 @@
+"""Write-ahead update journal: append-only, checksummed, batch-framed JSONL.
+
+The journal is the durability contract of the serving loop: every update
+batch is framed as one JSON line, checksummed, and **fsynced to disk
+before it is applied** to the in-memory structure.  After a crash the
+journal therefore contains every batch the structure may have (partially)
+absorbed, and replaying it from the last checkpoint reproduces the
+uninterrupted run exactly — provided the structure's randomness is part of
+the journal, which is why the header carries the full initial RNG state
+(the oblivious adversary fixed the stream without seeing it, so persisting
+it does not weaken the paper's guarantee; see docs/durability.md).
+
+File format (one record per line)::
+
+    {"kind": "header", "version": 1, "config": {...}, "rng_state": {...}, "crc": ...}
+    {"kind": "batch", "seq": 0, "op": "insert", "edges": [[eid, [v, ...]], ...], "crc": ...}
+    {"kind": "batch", "seq": 1, "op": "delete", "eids": [...], "crc": ...}
+
+``crc`` is the CRC-32 of the record's canonical JSON (sorted keys, no
+whitespace) with the ``crc`` field removed.  Readers are *tolerant by
+construction* against the crash/fault model:
+
+* **torn or truncated tail** — reading stops at the first line that fails
+  to parse or checksum; everything before it is trusted, everything after
+  discarded;
+* **duplicated batches** (at-least-once redelivery) — deduplicated by
+  sequence number, first occurrence wins;
+* **reordered batches** (segment concatenation) — re-sorted by sequence
+  number;
+* a **gap** in the sequence after dedup/sort truncates the journal at the
+  gap (records past a hole cannot be trusted to be the real stream).
+
+Corruption of the *header* is unrecoverable by the journal alone and
+raises :class:`JournalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hypergraph.edge import Edge
+from repro.workloads.streams import UpdateBatch
+
+JOURNAL_VERSION = 1
+
+#: File name of the journal inside a durability directory.
+JOURNAL_FILE = "journal.jsonl"
+
+
+class JournalError(ValueError):
+    """The journal is unusable (missing/corrupt header, bad version)."""
+
+
+# --------------------------------------------------------------------- #
+# Record framing
+# --------------------------------------------------------------------- #
+def _canonical(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def frame_record(record: Dict[str, Any]) -> str:
+    """Attach the checksum and render one journal line (no newline)."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    body["crc"] = zlib.crc32(_canonical(body))
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def parse_record(line: str) -> Optional[Dict[str, Any]]:
+    """Parse and checksum-verify one line; None if torn or corrupt."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        rec = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(rec, dict) or "crc" not in rec:
+        return None
+    claimed = rec["crc"]
+    body = {k: v for k, v in rec.items() if k != "crc"}
+    if zlib.crc32(_canonical(body)) != claimed:
+        return None
+    return rec
+
+
+def batch_to_record(seq: int, batch: UpdateBatch) -> Dict[str, Any]:
+    if batch.kind == "insert":
+        return {
+            "kind": "batch",
+            "seq": seq,
+            "op": "insert",
+            "edges": [[e.eid, list(e.vertices)] for e in batch.edges],
+        }
+    return {"kind": "batch", "seq": seq, "op": "delete", "eids": list(batch.eids)}
+
+
+def record_to_batch(rec: Dict[str, Any]) -> UpdateBatch:
+    if rec["op"] == "insert":
+        return UpdateBatch.insert([Edge(eid, vs) for eid, vs in rec["edges"]])
+    return UpdateBatch.delete(list(rec["eids"]))
+
+
+# --------------------------------------------------------------------- #
+# Writer
+# --------------------------------------------------------------------- #
+class JournalWriter:
+    """Append-only journal writer with write-ahead discipline.
+
+    ``append_batch`` frames, writes, flushes and (by default) fsyncs the
+    record before returning — the caller applies the batch only after the
+    call returns, so an applied batch is always recoverable.
+    """
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._fh = open(path, "a", encoding="utf-8")
+        self._next_seq = 0
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        config: Dict[str, Any],
+        rng_state: Dict[str, Any],
+        fsync: bool = True,
+    ) -> "JournalWriter":
+        """Start a fresh journal (refuses to clobber an existing one)."""
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            raise JournalError(f"journal already exists: {path}")
+        w = cls(path, fsync=fsync)
+        w._write_line(
+            frame_record(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "config": dict(config),
+                    "rng_state": rng_state,
+                }
+            )
+        )
+        return w
+
+    @classmethod
+    def resume(cls, path: str, next_seq: int, fsync: bool = True) -> "JournalWriter":
+        """Append to an existing journal, continuing at ``next_seq``."""
+        if not os.path.exists(path):
+            raise JournalError(f"no journal to resume at {path}")
+        w = cls(path, fsync=fsync)
+        w._next_seq = next_seq
+        return w
+
+    def _write_line(self, line: str) -> None:
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def append_batch(self, batch: UpdateBatch) -> int:
+        """Durably record one batch; returns its sequence number."""
+        seq = self._next_seq
+        self._write_line(frame_record(batch_to_record(seq, batch)))
+        self._next_seq = seq + 1
+        return seq
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# Reader
+# --------------------------------------------------------------------- #
+@dataclass
+class JournalData:
+    """The trusted content of a journal after fault-tolerant reading."""
+
+    header: Dict[str, Any]
+    batches: List[UpdateBatch]  # batches[i] has sequence number i
+    anomalies: List[str] = field(default_factory=list)
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return self.header["config"]
+
+    @property
+    def rng_state(self) -> Dict[str, Any]:
+        return self.header["rng_state"]
+
+
+def read_journal(path: str) -> JournalData:
+    """Read a journal, tolerating torn tails, duplicates, and reordering.
+
+    Returns the trusted prefix of batches (contiguous from sequence 0)
+    plus human-readable anomaly notes for everything that was repaired or
+    discarded.  Raises :class:`JournalError` when the header is missing or
+    corrupt — without it neither the config nor the RNG stream can be
+    reconstructed, so nothing in the file can be certified.
+    """
+    if not os.path.exists(path):
+        raise JournalError(f"no journal at {path}")
+    anomalies: List[str] = []
+    records: List[Tuple[int, Dict[str, Any]]] = []
+    header: Optional[Dict[str, Any]] = None
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, 1):
+            rec = parse_record(line)
+            if rec is None:
+                anomalies.append(f"torn/corrupt record at line {lineno}; tail discarded")
+                break
+            if lineno == 1:
+                if rec.get("kind") != "header":
+                    raise JournalError(f"{path}: first record is not a header")
+                if rec.get("version") != JOURNAL_VERSION:
+                    raise JournalError(
+                        f"{path}: unsupported journal version {rec.get('version')!r}"
+                    )
+                header = rec
+                continue
+            if rec.get("kind") != "batch" or not isinstance(rec.get("seq"), int):
+                anomalies.append(f"unexpected record kind at line {lineno}; tail discarded")
+                break
+            records.append((rec["seq"], rec))
+    if header is None:
+        raise JournalError(f"{path}: missing or corrupt header")
+
+    # Dedupe by sequence number (first occurrence wins), then sort.
+    by_seq: Dict[int, Dict[str, Any]] = {}
+    for seq, rec in records:
+        if seq in by_seq:
+            anomalies.append(f"duplicate batch seq={seq} dropped")
+        else:
+            by_seq[seq] = rec
+    # Reordering is repaired by sorting; a residual gap truncates the tail.
+    ordered = sorted(by_seq)
+    batches: List[UpdateBatch] = []
+    for expect, seq in enumerate(ordered):
+        if seq != expect:
+            anomalies.append(
+                f"sequence gap: expected seq={expect}, found seq={seq}; tail discarded"
+            )
+            break
+        batches.append(record_to_batch(by_seq[seq]))
+    return JournalData(header=header, batches=batches, anomalies=anomalies)

@@ -1,0 +1,139 @@
+"""DurabilityManager: the serving loop's one-stop durability handle.
+
+Ties the journal and checkpoints together behind two calls the runner
+makes per batch::
+
+    mgr.log_batch(batch)      # BEFORE applying: fsync the record
+    dm.insert_edges(...)      # apply
+    mgr.note_applied(dm)      # AFTER applying: maybe checkpoint
+
+``create`` starts a fresh durability directory for a pristine structure
+(journal header = initial config + initial RNG state); ``resume``
+continues an existing directory after :func:`repro.durability.recover`.
+Checkpoints are taken every ``checkpoint_every`` applied batches and old
+ones pruned down to ``keep``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.core.snapshot import rng_state
+from repro.durability.checkpoint import prune_checkpoints, write_checkpoint
+from repro.durability.journal import JOURNAL_FILE, JournalError, JournalWriter
+from repro.workloads.streams import UpdateBatch
+
+
+def run_config(dm: DynamicMatching) -> Dict[str, Any]:
+    """The construction parameters a journal header must persist."""
+    s = dm.structure
+    return {
+        "rank": s.rank,
+        "alpha": s.alpha,
+        "heavy_factor": s.heavy_factor,
+        "backend": dm.backend,
+    }
+
+
+class DurabilityManager:
+    """Owns one durability directory: a journal plus rolling checkpoints."""
+
+    def __init__(
+        self,
+        directory: str,
+        writer: JournalWriter,
+        applied: int,
+        checkpoint_every: int = 16,
+        keep: int = 2,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.directory = directory
+        self.writer = writer
+        self.applied = applied
+        self.checkpoint_every = checkpoint_every
+        self.keep = keep
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle
+    # ----------------------------------------------------------------- #
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        dm: DynamicMatching,
+        checkpoint_every: int = 16,
+        keep: int = 2,
+        fsync: bool = True,
+    ) -> "DurabilityManager":
+        """Start durable operation for a *pristine* structure.
+
+        The journal header captures the RNG state before any batch has
+        consumed randomness, so a from-scratch replay reproduces the run;
+        a structure that already absorbed updates cannot be journaled
+        from its beginning and is rejected.
+        """
+        if len(dm) != 0 or dm.num_updates != 0:
+            raise JournalError(
+                "DurabilityManager.create requires a pristine structure "
+                "(use recover() + resume() to continue an existing run)"
+            )
+        os.makedirs(directory, exist_ok=True)
+        writer = JournalWriter.create(
+            os.path.join(directory, JOURNAL_FILE),
+            config=run_config(dm),
+            rng_state=rng_state(dm.rng),
+            fsync=fsync,
+        )
+        return cls(directory, writer, applied=0,
+                   checkpoint_every=checkpoint_every, keep=keep)
+
+    @classmethod
+    def resume(
+        cls,
+        directory: str,
+        applied: int,
+        checkpoint_every: int = 16,
+        keep: int = 2,
+        fsync: bool = True,
+    ) -> "DurabilityManager":
+        """Continue journaling after recovery; ``applied`` is the number
+        of trusted batches the recovered structure already absorbed."""
+        writer = JournalWriter.resume(
+            os.path.join(directory, JOURNAL_FILE), next_seq=applied, fsync=fsync
+        )
+        return cls(directory, writer, applied=applied,
+                   checkpoint_every=checkpoint_every, keep=keep)
+
+    # ----------------------------------------------------------------- #
+    # Per-batch protocol
+    # ----------------------------------------------------------------- #
+    def log_batch(self, batch: UpdateBatch) -> int:
+        """Write-ahead: durably journal the batch before it is applied."""
+        return self.writer.append_batch(batch)
+
+    def note_applied(self, dm: DynamicMatching) -> Optional[str]:
+        """Record that the last journaled batch was applied; checkpoint
+        every ``checkpoint_every`` batches.  Returns the checkpoint path
+        when one was written."""
+        self.applied += 1
+        if self.applied % self.checkpoint_every != 0:
+            return None
+        return self.checkpoint_now(dm)
+
+    def checkpoint_now(self, dm: DynamicMatching) -> str:
+        """Write a checkpoint of ``dm`` at the current applied count."""
+        path = write_checkpoint(self.directory, dm, self.applied)
+        prune_checkpoints(self.directory, self.keep)
+        return path
+
+    def close(self) -> None:
+        self.writer.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

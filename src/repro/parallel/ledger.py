@@ -274,6 +274,28 @@ class Ledger:
         self.by_tag.clear()
         self._stack = [_Frame()]
 
+    def restore(
+        self,
+        work: float,
+        depth: float,
+        by_tag: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Reinstate previously captured totals (checkpoint recovery).
+
+        Replaces all counters with the given values, exactly as if the
+        charges that produced them had been replayed.  Must not be called
+        inside an open parallel region.
+        """
+        if work < 0 or depth < 0:
+            raise ValueError("restored work and depth must be non-negative")
+        if len(self._stack) != 1:
+            raise RuntimeError("cannot restore ledger inside an open parallel region")
+        self.work = float(work)
+        self.by_tag = {k: float(v) for k, v in (by_tag or {}).items()}
+        frame = _Frame()
+        frame.depth = float(depth)
+        self._stack = [frame]
+
 
 class NullLedger(Ledger):
     """A ledger that discards all charges.

@@ -1,0 +1,294 @@
+"""Fault injection for the durability layer.
+
+Two families of faults, matching the crash/corruption taxonomy in
+``docs/durability.md``:
+
+**Process crashes** — :class:`CrashInjector` hooks the phase-hook points
+inside :class:`~repro.core.DynamicMatching` (and both structure backends)
+and raises :class:`SimulatedCrash` at a chosen event count.  Because the
+journal record is fsynced *before* the apply begins, a crash at any phase
+— including mid-structure, between ``register_batch`` and settling —
+leaves a journal from which recovery reproduces the uninterrupted run.
+The crashed instance is garbage: tests discard it and recover from disk,
+exactly like a real process restart.
+
+**Storage faults** — byte- and line-level mutations of the on-disk
+artifacts: torn journal tails, duplicated and reordered batch records,
+corrupted checkpoint bytes.  Each mutator takes the durability directory
+plus a seeded generator and returns a note describing what it did.
+
+:func:`fuzz_recovery_trial` composes these into one seeded trial:
+run a random workload durably, inject one fault, recover with
+certification, and assert the recovered state matches the oracle.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.durability import (
+    JOURNAL_FILE,
+    DurabilityManager,
+    RecoveryResult,
+    recover,
+)
+from repro.durability.checkpoint import list_checkpoints
+from repro.hypergraph.edge import Edge
+from repro.workloads.streams import UpdateBatch
+
+#: The fault classes ``fuzz_recovery_trial`` understands.
+FAULT_CLASSES = ("crash", "torn_tail", "duplicate", "reorder", "corrupt_checkpoint")
+
+
+class SimulatedCrash(BaseException):
+    """Raised by :class:`CrashInjector` to model sudden process death.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    cleanup code in the system under test cannot swallow it — nothing
+    catches a power cut.
+    """
+
+
+class CrashInjector:
+    """A phase hook that raises :class:`SimulatedCrash` at event ``at``.
+
+    Install with ``dm.set_phase_hook(injector)``; every phase event
+    (``insert.begin``, ``structure.register_batch``,
+    ``delete.settle_round``, ...) increments a counter, and the ``at``-th
+    event raises.  ``events`` records the trace up to the crash, so tests
+    can assert *where* the crash landed.
+    """
+
+    def __init__(self, at: int) -> None:
+        if at < 1:
+            raise ValueError("crash event index is 1-based")
+        self.at = at
+        self.count = 0
+        self.events: List[str] = []
+        self.fired = False
+
+    def __call__(self, name: str) -> None:
+        self.count += 1
+        self.events.append(name)
+        if self.count == self.at:
+            self.fired = True
+            raise SimulatedCrash(f"simulated crash at phase event #{self.at}: {name}")
+
+
+# --------------------------------------------------------------------- #
+# Storage fault mutators
+# --------------------------------------------------------------------- #
+def _journal_path(directory: str) -> str:
+    return os.path.join(directory, JOURNAL_FILE)
+
+
+def _read_lines(directory: str) -> List[str]:
+    with open(_journal_path(directory), "r", encoding="utf-8") as fh:
+        return fh.read().splitlines()
+
+
+def _write_lines(directory: str, lines: List[str]) -> None:
+    with open(_journal_path(directory), "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + ("\n" if lines else ""))
+
+
+def tear_journal_tail(directory: str, rng: np.random.Generator) -> str:
+    """Truncate the journal mid-record, as an interrupted write would.
+
+    Never tears into the header line — a destroyed header is the
+    unrecoverable case, tested separately.
+    """
+    path = _journal_path(directory)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    header_end = data.index(b"\n") + 1
+    if len(data) <= header_end:
+        return "journal has no batches; nothing torn"
+    cut = int(rng.integers(header_end, len(data)))
+    with open(path, "wb") as fh:
+        fh.write(data[:cut])
+    return f"tore journal at byte {cut}/{len(data)}"
+
+
+def duplicate_journal_batch(directory: str, rng: np.random.Generator) -> str:
+    """Re-append a random already-written batch record (redelivery)."""
+    lines = _read_lines(directory)
+    if len(lines) < 2:
+        return "journal has no batches; nothing duplicated"
+    src = int(rng.integers(1, len(lines)))
+    dst = int(rng.integers(src, len(lines) + 1))
+    lines.insert(dst, lines[src])
+    _write_lines(directory, lines)
+    return f"duplicated journal line {src + 1} at position {dst + 1}"
+
+
+def reorder_journal_tail(directory: str, rng: np.random.Generator) -> str:
+    """Swap two batch records (out-of-order segment concatenation)."""
+    lines = _read_lines(directory)
+    if len(lines) < 3:
+        return "journal has fewer than two batches; nothing reordered"
+    i = int(rng.integers(1, len(lines) - 1))
+    j = int(rng.integers(i + 1, len(lines)))
+    lines[i], lines[j] = lines[j], lines[i]
+    _write_lines(directory, lines)
+    return f"swapped journal lines {i + 1} and {j + 1}"
+
+
+def corrupt_latest_checkpoint(directory: str, rng: np.random.Generator) -> str:
+    """Flip bytes in the newest checkpoint file (bit rot / partial write)."""
+    ckpts = list_checkpoints(directory)
+    if not ckpts:
+        return "no checkpoints; nothing corrupted"
+    _, path = ckpts[0]
+    with open(path, "rb") as fh:
+        data = bytearray(fh.read())
+    nflips = int(rng.integers(1, 9))
+    for _ in range(nflips):
+        pos = int(rng.integers(0, len(data)))
+        data[pos] ^= int(rng.integers(1, 256))
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+    return f"flipped {nflips} byte(s) in {os.path.basename(path)}"
+
+
+# --------------------------------------------------------------------- #
+# Seeded fuzz trial
+# --------------------------------------------------------------------- #
+def random_batches(
+    rng: np.random.Generator,
+    n_batches: int,
+    rank: int = 3,
+    n_vertices: int = 40,
+    max_insert: int = 4,
+    delete_prob: float = 0.35,
+    eid_start: int = 0,
+) -> List[UpdateBatch]:
+    """A random insert/delete batch script over fresh edge ids.
+
+    ``eid_start`` offsets the id space, so a second script can safely
+    continue a structure that still holds edges from a first one.
+    """
+    batches: List[UpdateBatch] = []
+    live: List[int] = []
+    next_eid = eid_start
+    for _ in range(n_batches):
+        if live and rng.random() < delete_prob:
+            k = int(rng.integers(1, min(len(live), 3) + 1))
+            idx = sorted(rng.choice(len(live), size=k, replace=False), reverse=True)
+            batches.append(UpdateBatch.delete([live[i] for i in idx]))
+            for i in idx:
+                live.pop(i)
+        else:
+            edges = []
+            for _ in range(int(rng.integers(1, max_insert + 1))):
+                vs = rng.choice(n_vertices, size=rank, replace=False).tolist()
+                edges.append(Edge(next_eid, vs))
+                live.append(next_eid)
+                next_eid += 1
+            batches.append(UpdateBatch.insert(edges))
+    return batches
+
+
+def _apply(dm: DynamicMatching, batch: UpdateBatch) -> None:
+    if batch.kind == "insert":
+        dm.insert_edges(list(batch.edges))
+    else:
+        dm.delete_edges(list(batch.eids))
+
+
+@dataclass
+class TrialOutcome:
+    """What one fuzz trial did and how recovery went."""
+
+    fault: str
+    note: str
+    logged: int  # batches durably journaled before the fault
+    applied_before_fault: int  # batches fully applied before the fault
+    result: RecoveryResult
+
+
+def run_durable_with_crash(
+    directory: str,
+    dm: DynamicMatching,
+    batches: List[UpdateBatch],
+    crash_at: Optional[int],
+    checkpoint_every: int = 4,
+    keep: int = 2,
+) -> Tuple[int, int, str]:
+    """Drive ``batches`` through a durable serving loop, optionally dying
+    at phase event ``crash_at``.  Returns (logged, applied, note); the
+    structure is unusable after a crash and must be recovered from disk.
+    """
+    injector = CrashInjector(crash_at) if crash_at is not None else None
+    if injector is not None:
+        dm.set_phase_hook(injector)
+    logged = applied = 0
+    note = "ran to completion"
+    with DurabilityManager.create(
+        directory, dm, checkpoint_every=checkpoint_every, keep=keep
+    ) as mgr:
+        try:
+            for batch in batches:
+                mgr.log_batch(batch)
+                logged += 1
+                _apply(dm, batch)
+                applied += 1
+                mgr.note_applied(dm)
+        except SimulatedCrash as crash:
+            note = str(crash)
+    return logged, applied, note
+
+
+def fuzz_recovery_trial(
+    directory: str,
+    seed: int,
+    fault: str,
+    n_batches: int = 24,
+    checkpoint_every: Optional[int] = None,
+    recover_backend: Optional[str] = None,
+) -> TrialOutcome:
+    """One seeded end-to-end trial: durable run, one fault, certified recovery.
+
+    ``fault`` is one of :data:`FAULT_CLASSES`.  Certification inside
+    :func:`repro.durability.recover` compares the recovered structure
+    against a from-scratch oracle replay — matching ids, live edges,
+    exact ledger totals, certificate, invariants — so a passing trial is
+    a proof of equivalence, not just the absence of an exception.
+    """
+    if fault not in FAULT_CLASSES:
+        raise ValueError(f"unknown fault class {fault!r}")
+    rng = np.random.default_rng(seed)
+    if checkpoint_every is None:
+        checkpoint_every = int(rng.integers(2, 5))
+    backend = "array" if rng.random() < 0.5 else "dict"
+    batches = random_batches(rng, n_batches)
+    dm = DynamicMatching(rank=3, seed=int(rng.integers(0, 2**31)), backend=backend)
+
+    crash_at = int(rng.integers(1, 160)) if fault == "crash" else None
+    logged, applied, note = run_durable_with_crash(
+        directory, dm, batches, crash_at, checkpoint_every=checkpoint_every
+    )
+    del dm  # crashed or finished; either way the disk is the truth now
+
+    if fault == "torn_tail":
+        note = tear_journal_tail(directory, rng)
+    elif fault == "duplicate":
+        note = duplicate_journal_batch(directory, rng)
+    elif fault == "reorder":
+        note = reorder_journal_tail(directory, rng)
+    elif fault == "corrupt_checkpoint":
+        note = corrupt_latest_checkpoint(directory, rng)
+
+    result = recover(directory, backend=recover_backend, do_certify=True)
+    return TrialOutcome(
+        fault=fault,
+        note=note,
+        logged=logged,
+        applied_before_fault=applied,
+        result=result,
+    )

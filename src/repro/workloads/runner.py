@@ -11,6 +11,11 @@ The runner measures per-batch ledger cost, optionally mirrors the stream
 into a plain :class:`~repro.hypergraph.hypergraph.Hypergraph` and checks
 maximality after every batch (slow; for tests), and returns one
 :class:`RunRecord` per batch.
+
+With ``durability`` set (a :class:`repro.durability.DurabilityManager`),
+the runner follows the write-ahead protocol: each batch is durably
+journaled *before* it is applied and acknowledged *after*, so a crash at
+any point is recoverable via :func:`repro.durability.recover`.
 """
 
 from __future__ import annotations
@@ -20,6 +25,15 @@ from typing import List, Optional, Sequence
 
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.workloads.streams import UpdateBatch
+
+
+def _dedupe_edges(edges):
+    """Drop later duplicates of an edge id within one batch."""
+    seen = {}
+    for e in edges:
+        if e.eid not in seen:
+            seen[e.eid] = e
+    return list(seen.values())
 
 
 @dataclass
@@ -42,25 +56,35 @@ def run_stream(
     algo,
     stream: Sequence[UpdateBatch],
     check: bool = False,
+    durability=None,
 ) -> List[RunRecord]:
     """Apply every batch in order; return per-batch records.
 
     With ``check=True`` a reference hypergraph mirrors the stream and the
     algorithm's matching is verified maximal after every batch (O(m') per
-    batch — test-sized streams only).
+    batch — test-sized streams only).  The mirror dedupes repeated edge
+    ids within a batch: the algorithms treat a duplicate as one logical
+    edge, and ``Hypergraph.add_edge`` would reject the second occurrence.
+
+    ``durability`` (a :class:`repro.durability.DurabilityManager`) turns
+    the loop into a write-ahead serving loop: journal, apply, acknowledge.
     """
     mirror = Hypergraph() if check else None
     records: List[RunRecord] = []
     for batch in stream:
+        if durability is not None:
+            durability.log_batch(batch)
         w0, d0 = algo.ledger.work, algo.ledger.depth
         if batch.kind == "insert":
             algo.insert_edges(list(batch.edges))
             if mirror is not None:
-                mirror.add_edges(batch.edges)
+                mirror.add_edges(_dedupe_edges(batch.edges))
         else:
             algo.delete_edges(list(batch.eids))
             if mirror is not None:
-                mirror.remove_edges(batch.eids)
+                mirror.remove_edges(dict.fromkeys(batch.eids))
+        if durability is not None:
+            durability.note_applied(algo)
         matched = algo.matched_ids()
         if mirror is not None:
             assert mirror.is_maximal_matching(matched), (

@@ -1,0 +1,128 @@
+"""Hypothesis stateful test: snapshot restore is a true state copy.
+
+A :class:`DynamicMatching` is driven through random insert/delete rules.
+At any point a ``checkpoint`` rule may snapshot it and restore the
+snapshot into BOTH backends (dict and array).  From then on every rule is
+applied to the original *and* every restored copy, and the invariant
+asserts they stay bit-identical — same matching, same live edges, same
+per-step ledger charges, same RNG stream.  That is the exactness the
+durability layer's certified recovery rests on: a version-2 snapshot is
+not "a structure with the same content" but "the same structure".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.core.snapshot import load_state, save_state
+from repro.hypergraph.edge import Edge
+
+
+class SnapshotCopyMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dm = DynamicMatching(rank=3, seed=777, backend="array")
+        self.copies = []  # (label, instance) restored from snapshots
+        self.next_eid = 0
+        self.live = []
+
+    def _everyone(self):
+        return [("original", self.dm)] + self.copies
+
+    @rule(data=st.data(), count=st.integers(1, 4))
+    def insert(self, data, count):
+        edges = []
+        for _ in range(count):
+            vs = data.draw(
+                st.lists(st.integers(0, 19), min_size=3, max_size=3, unique=True),
+                label="vertices",
+            )
+            edges.append(Edge(self.next_eid, vs))
+            self.live.append(self.next_eid)
+            self.next_eid += 1
+        for _, dm in self._everyone():
+            dm.insert_edges([Edge(e.eid, list(e.vertices)) for e in edges])
+
+    @rule(data=st.data())
+    def delete(self, data):
+        if not self.live:
+            return
+        k = data.draw(st.integers(1, min(3, len(self.live))), label="delete count")
+        idx = data.draw(
+            st.lists(st.integers(0, len(self.live) - 1), min_size=k, max_size=k,
+                     unique=True),
+            label="victims",
+        )
+        eids = [self.live[i] for i in idx]
+        for i in sorted(idx, reverse=True):
+            self.live.pop(i)
+        for _, dm in self._everyone():
+            dm.delete_edges(list(eids))
+
+    @rule()
+    def checkpoint(self):
+        # Snapshot the original and restore into both backends; the copies
+        # must then track the original forever.  Cap the herd at 4 so step
+        # cost stays bounded.
+        if len(self.copies) >= 4:
+            return
+        state = save_state(self.dm)
+        self.copies.append(("restored-array", load_state(state, backend="array")))
+        self.copies.append(("restored-dict", load_state(state, backend="dict")))
+
+    @invariant()
+    def copies_track_original(self):
+        want_matched = self.dm.matched_ids()
+        want_edges = {e.eid for e in self.dm.structure.all_edges()}
+        want_rng = self.dm.rng.bit_generator.state
+        for label, dm in self.copies:
+            assert dm.matched_ids() == want_matched, label
+            assert {e.eid for e in dm.structure.all_edges()} == want_edges, label
+            assert dm.rng.bit_generator.state == want_rng, (
+                f"{label}: RNG stream diverged"
+            )
+            dm.check_invariants()
+
+
+# A restored copy replays the identical charge sequence, so ledger deltas
+# must agree exactly once a copy exists; verified via a scripted run
+# (stateful invariants above cover structure; this covers costs).
+def test_restored_copy_charges_identically():
+    rng = np.random.default_rng(5)
+    dm = DynamicMatching(rank=3, seed=5, backend="array")
+    eid = 0
+    for _ in range(10):
+        edges = [
+            Edge(eid + j, rng.choice(25, size=3, replace=False).tolist())
+            for j in range(3)
+        ]
+        eid += 3
+        dm.insert_edges(edges)
+    copies = {
+        "array": load_state(save_state(dm), backend="array"),
+        "dict": load_state(save_state(dm), backend="dict"),
+    }
+    for step in range(8):
+        victims = dm.matched_ids()[:2]
+        fresh = [Edge(eid + j, rng.choice(25, size=3, replace=False).tolist())
+                 for j in range(2)]
+        eid += 2
+        charges = {}
+        for label, inst in [("original", dm)] + list(copies.items()):
+            w0, d0 = inst.ledger.work, inst.ledger.depth
+            if victims:
+                inst.delete_edges(list(victims))
+            inst.insert_edges([Edge(e.eid, list(e.vertices)) for e in fresh])
+            charges[label] = (inst.ledger.work - w0, inst.ledger.depth - d0)
+        assert charges["array"] == charges["original"], f"step {step}"
+        assert charges["dict"] == charges["original"], f"step {step}"
+
+
+TestSnapshotCopyStateful = SnapshotCopyMachine.TestCase
+TestSnapshotCopyStateful.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

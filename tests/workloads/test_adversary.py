@@ -1,0 +1,110 @@
+"""Tests for the oblivious deletion adversaries.
+
+Two properties matter for the paper's model: adversaries are
+*deterministic under a fixed seed* (an oblivious adversary is a fixed
+function of the update stream, so replays — including durability-layer
+recovery replays — see the identical stream), and they only ever
+reference edges that were actually handed to them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.edge import Edge
+from repro.workloads.adversary import (
+    ALL_ADVERSARIES,
+    FifoAdversary,
+    LifoAdversary,
+    RandomOrderAdversary,
+    VertexTargetingAdversary,
+)
+from repro.workloads.streams import insert_then_delete_stream
+
+
+def make_edges(n=40, n_vertices=15, rank=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Edge(i, rng.choice(n_vertices, size=rank, replace=False).tolist())
+        for i in range(n)
+    ]
+
+
+def build(cls, seed=123):
+    if cls in (RandomOrderAdversary, VertexTargetingAdversary):
+        return cls(np.random.default_rng(seed))
+    return cls()
+
+
+class TestDeterministicReplay:
+    @pytest.mark.parametrize("cls", ALL_ADVERSARIES)
+    def test_same_seed_same_order(self, cls):
+        edges = make_edges()
+        assert build(cls).deletion_order(edges) == build(cls).deletion_order(edges)
+
+    @pytest.mark.parametrize("cls", ALL_ADVERSARIES)
+    def test_stream_replay_is_identical(self, cls):
+        edges = make_edges(seed=7)
+        streams = [
+            insert_then_delete_stream(edges, 8, build(cls)) for _ in range(2)
+        ]
+        assert len(streams[0]) == len(streams[1])
+        for a, b in zip(*streams):
+            assert a.kind == b.kind
+            assert a.eids == b.eids
+            assert [e.eid for e in a.edges] == [e.eid for e in b.edges]
+
+    def test_random_order_varies_with_seed(self):
+        edges = make_edges(n=30)
+        orders = {
+            tuple(RandomOrderAdversary(np.random.default_rng(s)).deletion_order(edges))
+            for s in range(5)
+        }
+        assert len(orders) > 1, "seeded shuffles should differ across seeds"
+
+
+class TestNoPhantomEdges:
+    @pytest.mark.parametrize("cls", ALL_ADVERSARIES)
+    def test_order_is_permutation_of_given_edges(self, cls):
+        edges = make_edges(seed=11)
+        order = build(cls).deletion_order(edges)
+        assert sorted(order) == sorted(e.eid for e in edges)
+
+    @pytest.mark.parametrize("cls", ALL_ADVERSARIES)
+    def test_stream_never_deletes_uninserted(self, cls):
+        edges = make_edges(seed=13)
+        stream = insert_then_delete_stream(edges, 6, build(cls))
+        inserted, deleted = set(), []
+        for batch in stream:
+            if batch.kind == "insert":
+                inserted.update(e.eid for e in batch.edges)
+            else:
+                for eid in batch.eids:
+                    assert eid in inserted, f"deleted never-inserted edge {eid}"
+                    deleted.append(eid)
+        assert sorted(deleted) == sorted(e.eid for e in edges)
+        assert len(deleted) == len(set(deleted)), "edge deleted twice"
+
+    @pytest.mark.parametrize("cls", ALL_ADVERSARIES)
+    def test_empty_edge_list(self, cls):
+        assert build(cls).deletion_order([]) == []
+
+
+class TestOrderShapes:
+    def test_fifo_is_insertion_order(self):
+        edges = make_edges(n=10)
+        assert FifoAdversary().deletion_order(edges) == [e.eid for e in edges]
+
+    def test_lifo_is_reverse_insertion_order(self):
+        edges = make_edges(n=10)
+        assert LifoAdversary().deletion_order(edges) == [e.eid for e in reversed(edges)]
+
+    def test_vertex_targeting_clears_densest_vertex_first(self):
+        # star on vertex 0 plus one disjoint edge: the star edges (all
+        # touching the unique densest vertex) must come before the rest.
+        star = [Edge(i, [0, 100 + i]) for i in range(6)]
+        lone = [Edge(99, [200, 201])]
+        order = VertexTargetingAdversary(np.random.default_rng(0)).deletion_order(
+            star + lone
+        )
+        assert set(order[:6]) == {e.eid for e in star}
+        assert order[6] == 99
