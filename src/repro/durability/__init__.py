@@ -19,6 +19,7 @@ from repro.durability.journal import (
     JournalData,
     JournalError,
     JournalWriter,
+    compact_journal,
     read_journal,
 )
 from repro.durability.manager import DurabilityManager, run_config
@@ -36,6 +37,7 @@ __all__ = [
     "JournalData",
     "JournalError",
     "JournalWriter",
+    "compact_journal",
     "read_journal",
     "latest_valid_checkpoint",
     "list_checkpoints",

@@ -146,12 +146,37 @@ class JournalWriter:
         return w
 
     @classmethod
-    def resume(cls, path: str, next_seq: int, fsync: bool = True) -> "JournalWriter":
-        """Append to an existing journal, continuing at ``next_seq``."""
+    def resume(
+        cls, path: str, next_seq: Optional[int] = None, fsync: bool = True
+    ) -> "JournalWriter":
+        """Append to an existing journal after re-validating it end-to-end.
+
+        The file is re-read with the tolerant reader and, whenever any
+        damage was repaired in memory (torn tail, duplicates, reordering,
+        post-gap records) or the file does not end in a newline, it is
+        first **compacted** — atomically rewritten to exactly the trusted
+        content — so records appended afterwards can never land behind
+        corrupt bytes that a later read would discard along with them.
+
+        The writer continues at the trusted batch count.  ``next_seq`` is
+        optional and purely a cross-check: a caller-supplied value that
+        disagrees with the file indicates the caller recovered a different
+        state than what is on disk, and raises :class:`JournalError`
+        rather than writing duplicate or gapped sequence numbers.
+        """
         if not os.path.exists(path):
             raise JournalError(f"no journal to resume at {path}")
+        data = read_journal(path)
+        derived = len(data.batches)
+        if next_seq is not None and next_seq != derived:
+            raise JournalError(
+                f"resume at seq {next_seq} disagrees with journal {path}, "
+                f"which holds {derived} trusted batches"
+            )
+        if data.anomalies or not _ends_with_newline(path):
+            compact_journal(path, data)
         w = cls(path, fsync=fsync)
-        w._next_seq = next_seq
+        w._next_seq = derived
         return w
 
     def _write_line(self, line: str) -> None:
@@ -256,3 +281,36 @@ def read_journal(path: str) -> JournalData:
             break
         batches.append(record_to_batch(by_seq[seq]))
     return JournalData(header=header, batches=batches, anomalies=anomalies)
+
+
+def _ends_with_newline(path: str) -> bool:
+    with open(path, "rb") as fh:
+        fh.seek(0, os.SEEK_END)
+        if fh.tell() == 0:
+            return False
+        fh.seek(-1, os.SEEK_END)
+        return fh.read(1) == b"\n"
+
+
+def compact_journal(path: str, data: JournalData) -> None:
+    """Atomically rewrite a journal to exactly its trusted content.
+
+    Drops torn tails, duplicates, and post-gap records, and restores
+    physical sequence order, so the file parses cleanly end-to-end and is
+    safe to append to.  The rewrite goes through a temp file +
+    ``os.replace`` (plus a directory fsync) so a crash mid-compaction
+    leaves either the old or the new journal, never a mix.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(frame_record({k: v for k, v in data.header.items() if k != "crc"}) + "\n")
+        for seq, batch in enumerate(data.batches):
+            fh.write(frame_record(batch_to_record(seq, batch)) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dirfd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    try:
+        os.fsync(dirfd)
+    finally:
+        os.close(dirfd)

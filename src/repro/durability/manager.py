@@ -21,7 +21,11 @@ from typing import Any, Dict, Optional
 
 from repro.core.dynamic_matching import DynamicMatching
 from repro.core.snapshot import rng_state
-from repro.durability.checkpoint import prune_checkpoints, write_checkpoint
+from repro.durability.checkpoint import (
+    list_checkpoints,
+    prune_checkpoints,
+    write_checkpoint,
+)
 from repro.durability.journal import JOURNAL_FILE, JournalError, JournalWriter
 from repro.workloads.streams import UpdateBatch
 
@@ -81,6 +85,14 @@ class DurabilityManager:
                 "(use recover() + resume() to continue an existing run)"
             )
         os.makedirs(directory, exist_ok=True)
+        stale = list_checkpoints(directory)
+        if stale:
+            raise JournalError(
+                f"durability directory {directory} holds {len(stale)} checkpoint "
+                "file(s) from a previous run; a fresh journal next to stale "
+                "checkpoints could recover into an unrelated state — use a new "
+                "directory or delete the checkpoint-*.json files"
+            )
         writer = JournalWriter.create(
             os.path.join(directory, JOURNAL_FILE),
             config=run_config(dm),
@@ -100,7 +112,12 @@ class DurabilityManager:
         fsync: bool = True,
     ) -> "DurabilityManager":
         """Continue journaling after recovery; ``applied`` is the number
-        of trusted batches the recovered structure already absorbed."""
+        of trusted batches the recovered structure already absorbed.
+
+        The underlying :meth:`JournalWriter.resume` re-validates the file
+        end-to-end, compacts away any damaged tail before appending, and
+        raises :class:`JournalError` if ``applied`` disagrees with the
+        journal's trusted batch count."""
         writer = JournalWriter.resume(
             os.path.join(directory, JOURNAL_FILE), next_seq=applied, fsync=fsync
         )

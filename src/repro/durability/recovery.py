@@ -104,6 +104,15 @@ def recover(
     ``do_certify`` is False.  ``backend`` overrides the structure backend
     for the *recovered* instance (checkpoints and journals are
     backend-neutral); the oracle always uses the journal's own config.
+
+    Cost note: certification builds its oracle by replaying **every**
+    trusted batch from sequence 0 — it is O(full journal history) no
+    matter how recent the checkpoint, because the oracle is what proves
+    the checkpoint itself was honest.  Recovery without certification is
+    O(journal tail past the checkpoint).  For long-running services,
+    either bound the journal length (start a fresh durability directory
+    after a certified recovery) or pass ``do_certify=False`` and certify
+    offline.
     """
     journal = read_journal(os.path.join(directory, JOURNAL_FILE))
     anomalies = list(journal.anomalies)
@@ -144,6 +153,10 @@ def certify_against_oracle(result: RecoveryResult) -> Dict[str, Any]:
     matching ids, edge sets, ledger totals, the matching certificate, and
     the structure invariants.  Returns a report dict on success; raises
     :class:`RecoveryCertificationError` on the first disagreement.
+
+    This is O(full journal history): the oracle starts from the header's
+    initial RNG state and replays from sequence 0 regardless of which
+    checkpoint recovery used, since a checkpoint cannot vouch for itself.
     """
     dm = result.dm
     oracle = replay_journal(result.journal)

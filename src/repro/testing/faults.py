@@ -210,6 +210,7 @@ class TrialOutcome:
     logged: int  # batches durably journaled before the fault
     applied_before_fault: int  # batches fully applied before the fault
     result: RecoveryResult
+    resumed: Optional[RecoveryResult] = None  # second recovery, post-resume
 
 
 def run_durable_with_crash(
@@ -251,6 +252,7 @@ def fuzz_recovery_trial(
     n_batches: int = 24,
     checkpoint_every: Optional[int] = None,
     recover_backend: Optional[str] = None,
+    resume_batches: int = 0,
 ) -> TrialOutcome:
     """One seeded end-to-end trial: durable run, one fault, certified recovery.
 
@@ -259,6 +261,12 @@ def fuzz_recovery_trial(
     against a from-scratch oracle replay — matching ids, live edges,
     exact ledger totals, certificate, invariants — so a passing trial is
     a proof of equivalence, not just the absence of an exception.
+
+    With ``resume_batches > 0`` the trial continues past recovery: it
+    resumes the durability directory (which compacts any damaged journal
+    tail), durably serves that many more batches, and recovers a second
+    time into ``TrialOutcome.resumed`` — verifying that batches
+    acknowledged *after* a faulty restart survive the next crash too.
     """
     if fault not in FAULT_CLASSES:
         raise ValueError(f"unknown fault class {fault!r}")
@@ -285,10 +293,21 @@ def fuzz_recovery_trial(
         note = corrupt_latest_checkpoint(directory, rng)
 
     result = recover(directory, backend=recover_backend, do_certify=True)
-    return TrialOutcome(
+    outcome = TrialOutcome(
         fault=fault,
         note=note,
         logged=logged,
         applied_before_fault=applied,
         result=result,
     )
+    if resume_batches > 0:
+        extra = random_batches(rng, resume_batches, eid_start=1_000_000)
+        with DurabilityManager.resume(
+            directory, applied=result.applied, checkpoint_every=checkpoint_every
+        ) as mgr:
+            for batch in extra:
+                mgr.log_batch(batch)
+                _apply(result.dm, batch)
+                mgr.note_applied(result.dm)
+        outcome.resumed = recover(directory, backend=recover_backend, do_certify=True)
+    return outcome

@@ -65,6 +65,26 @@ def test_crash_injector_rejects_zero():
         CrashInjector(at=0)
 
 
+@pytest.mark.parametrize("fault", FAULT_CLASSES)
+def test_fuzz_resume_after_fault_keeps_new_batches(tmp_path, fault):
+    """Regression for the torn-tail resume hole: batches served after a
+    faulty restart must survive the *next* recovery, for every fault
+    class — resume compacts journal damage before appending."""
+    for trial in range(10):
+        directory = tmp_path / f"r-{fault}-{trial}"
+        directory.mkdir()
+        out = fuzz_recovery_trial(
+            str(directory),
+            seed=BASE + 40_000 + trial * 13 + FAULT_CLASSES.index(fault) * 500,
+            fault=fault,
+            resume_batches=4,
+        )
+        assert out.resumed is not None and out.resumed.certified
+        # every post-resume batch is durable and trusted on re-recovery
+        assert out.resumed.applied == out.result.applied + 4, (fault, trial, out.note)
+        assert out.resumed.journal.anomalies == [], (fault, trial, out.note)
+
+
 @pytest.mark.parametrize("fault", ["crash", "torn_tail"])
 def test_fuzz_cross_backend_recovery(tmp_path, fault):
     """A handful of trials recovering into the opposite backend."""

@@ -91,6 +91,67 @@ class TestWriter:
         with pytest.raises(JournalError):
             JournalWriter.resume(str(tmp_path / "missing.jsonl"), next_seq=0)
 
+    def test_resume_rejects_wrong_next_seq(self, tmp_path):
+        path = make_journal(tmp_path / "j.jsonl", 3)
+        for wrong in (0, 2, 4):
+            with pytest.raises(JournalError):
+                JournalWriter.resume(path, next_seq=wrong)
+
+    def test_resume_derives_next_seq(self, tmp_path):
+        path = make_journal(tmp_path / "j.jsonl", 3)
+        with JournalWriter.resume(path) as w:
+            assert w.next_seq == 3
+
+    def test_resume_compacts_torn_tail(self, tmp_path):
+        # Records appended after a torn tail must not be shadowed by it:
+        # resume rewrites the file to the trusted prefix first.
+        path = make_journal(tmp_path / "j.jsonl", 5)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-20])  # tear the last record
+        assert len(read_journal(path).batches) == 4
+        with JournalWriter.resume(path) as w:
+            assert w.next_seq == 4
+            w.append_batch(UpdateBatch.delete([0]))
+        out = read_journal(path)
+        assert len(out.batches) == 5
+        assert out.anomalies == []
+
+    def test_resume_compacts_missing_trailing_newline(self, tmp_path):
+        # A fully valid file whose last line lacks '\n' (e.g. the crash
+        # hit between write and newline flush) must not merge the next
+        # appended record into the previous line.
+        path = make_journal(tmp_path / "j.jsonl", 3)
+        data = open(path, "rb").read()
+        assert data.endswith(b"\n")
+        open(path, "wb").write(data[:-1])
+        with JournalWriter.resume(path) as w:
+            w.append_batch(UpdateBatch.delete([0]))
+        out = read_journal(path)
+        assert len(out.batches) == 4
+        assert out.anomalies == []
+
+    def test_resume_compacts_duplicates_and_reordering(self, tmp_path):
+        path = make_journal(tmp_path / "j.jsonl", 4)
+        lines = open(path).read().splitlines()
+        lines[1], lines[3] = lines[3], lines[1]
+        lines.append(lines[2])  # duplicate a batch record
+        open(path, "w").write("\n".join(lines) + "\n")
+        with JournalWriter.resume(path) as w:
+            assert w.next_seq == 4
+        out = read_journal(path)
+        assert len(out.batches) == 4
+        assert out.anomalies == []
+        # physical order restored: batch i really is sequence i
+        assert out.batches[0].kind == "insert" and out.batches[0].edges[0].eid == 0
+
+    def test_resume_leaves_clean_file_untouched(self, tmp_path):
+        path = make_journal(tmp_path / "j.jsonl", 3)
+        before = os.stat(path).st_ino, open(path, "rb").read()
+        with JournalWriter.resume(path):
+            pass
+        after = os.stat(path).st_ino, open(path, "rb").read()
+        assert before == after  # no rewrite when nothing needed repair
+
 
 class TestTolerantReader:
     def test_missing_file(self, tmp_path):

@@ -169,6 +169,52 @@ class TestManager:
         assert res2.applied == 8
         assert res2.certified
 
+    def test_resume_after_torn_tail_keeps_new_batches(self, tmp_path):
+        """Regression: batches acknowledged after a torn-tail recovery must
+        survive the *next* recovery — resume compacts the damage away
+        instead of appending behind it."""
+        import os
+
+        durable_run(tmp_path, seed=13, n_batches=6, checkpoint_every=100)
+        jpath = os.path.join(str(tmp_path), "journal.jsonl")
+        data = open(jpath, "rb").read()
+        open(jpath, "wb").write(data[:-15])  # crash mid-write of the last record
+
+        res = recover(str(tmp_path))
+        assert res.applied == 5
+        assert any("torn" in a for a in res.anomalies)
+
+        extra = random_batches(np.random.default_rng(2), 4, eid_start=10_000)
+        with DurabilityManager.resume(str(tmp_path), applied=res.applied) as mgr:
+            for batch in extra:
+                mgr.log_batch(batch)
+                apply_batch(res.dm, batch)
+                mgr.note_applied(res.dm)
+
+        res2 = recover(str(tmp_path))
+        assert res2.applied == 9  # every post-resume batch still durable
+        assert res2.certified
+        assert res2.journal.anomalies == []
+        assert res2.dm.matched_ids() == res.dm.matched_ids()
+        assert res2.dm.ledger.work == res.dm.ledger.work
+
+    def test_resume_rejects_wrong_applied(self, tmp_path):
+        durable_run(tmp_path, seed=14, n_batches=4)
+        with pytest.raises(JournalError):
+            DurabilityManager.resume(str(tmp_path), applied=2)
+
+    def test_create_refuses_stale_checkpoints(self, tmp_path):
+        """Regression: a fresh journal next to leftover checkpoint files
+        could recover into an unrelated run's state."""
+        import os
+
+        durable_run(tmp_path, seed=15, n_batches=8, checkpoint_every=4)
+        os.remove(os.path.join(str(tmp_path), "journal.jsonl"))
+        assert list_checkpoints(str(tmp_path))  # stale checkpoints remain
+        dm = DynamicMatching(rank=3, seed=0)
+        with pytest.raises(JournalError):
+            DurabilityManager.create(str(tmp_path), dm)
+
 
 class TestRunnerIntegration:
     def test_run_stream_durable_then_recover(self, tmp_path):
