@@ -4,6 +4,14 @@ Every charge in the library carries a tag (``greedy``, ``add_match``,
 ``dict_batch``, ...).  :func:`work_profile` rolls the per-tag counters up
 into the coarse phases of Fig. 2, giving the breakdown the §5 analysis
 reasons about (light vs heavy vs final work, data-structure overhead).
+
+The per-tag counters live in two equivalent places: the ledger's own
+``by_tag`` dict (ground truth) and — when the observability bridge is
+attached (:class:`repro.obs.LedgerBridge`) — the
+``repro_ledger_work_by_tag_total`` metric family, which mirrors every
+charge one-for-one.  :func:`work_profile` accepts either source, so a
+live service can compute the E13 phase attribution from a metrics scrape
+without touching the algorithm.
 """
 
 from __future__ import annotations
@@ -11,6 +19,9 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.parallel.ledger import Ledger
+
+#: Metric family the ledger bridge mirrors per-tag work into.
+WORK_BY_TAG_METRIC = "repro_ledger_work_by_tag_total"
 
 # tag -> coarse phase
 _PHASES: Dict[str, str] = {
@@ -51,14 +62,36 @@ _PHASES: Dict[str, str] = {
 }
 
 
-def work_profile(ledger: Ledger) -> List[Tuple[str, float, float]]:
-    """Roll up ``ledger.by_tag`` into phases.
+def tag_work(source) -> Dict[str, float]:
+    """Per-tag work from either accounting source.
+
+    ``source`` is a :class:`Ledger` (reads ``by_tag`` directly) or a
+    :class:`repro.obs.MetricsRegistry` (reads the mirrored
+    ``repro_ledger_work_by_tag_total`` family; empty dict when the
+    bridge never ran).  The bridge's ``"untagged"`` pseudo-tag is
+    excluded — it has no phase, matching ``by_tag`` semantics.
+    """
+    if isinstance(source, Ledger):
+        return dict(source.by_tag)
+    fam = source.get(WORK_BY_TAG_METRIC)
+    if fam is None:
+        return {}
+    return {
+        labels["tag"]: child.value
+        for labels, child in fam.samples()
+        if labels["tag"] != "untagged"
+    }
+
+
+def work_profile(source) -> List[Tuple[str, float, float]]:
+    """Roll up per-tag work (from a ledger or a metrics registry) into
+    phases.
 
     Returns ``[(phase, work, fraction)]`` sorted by work, descending.
     Unrecognized tags are grouped under "other".
     """
     phases: Dict[str, float] = {}
-    for tag, work in ledger.by_tag.items():
+    for tag, work in tag_work(source).items():
         phase = _PHASES.get(tag, "other")
         phases[phase] = phases.get(phase, 0.0) + work
     total = sum(phases.values())

@@ -5,39 +5,62 @@ metrics an operator would watch — work, depth, matching size, live edges,
 settle rounds — and renders them as aligned tables or ASCII sparklines
 (`examples/social_network_stream.py`-style scripts use it; so can any
 service embedding the structure).
+
+Since the observability subsystem landed (:mod:`repro.obs`), the batch
+spans the workload runner emits are the canonical source of these
+series: build a trace with :meth:`RunTrace.from_observer` (live, from
+the tracer's span ring) or :meth:`RunTrace.from_events` (offline, from a
+JSONL event log written by ``--events``), instead of re-recording the
+same numbers by hand.  :func:`trace_stream` remains as the standalone
+driver and now routes through the runner's observer machinery.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Glyph rendered for NaN points (a gap in the series, e.g. work/update
+#: on an empty batch).
+GAP_CHAR = "·"
 
 
 def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
     """Render a numeric series as a unicode sparkline.
 
     Values are min-max normalized; a constant series renders flat at the
-    lowest glyph.  ``width`` downsamples by bucket-averaging.
+    lowest glyph.  ``width`` downsamples by bucket-averaging.  NaN values
+    render as :data:`GAP_CHAR` gaps (and are ignored for normalization
+    and bucket averages); a bucket containing only NaNs is a gap.
     """
     vals = [float(v) for v in values]
     if not vals:
         return ""
     if width is not None and width > 0 and len(vals) > width:
         bucket = len(vals) / width
-        vals = [
-            sum(vals[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
-            / max(int((i + 1) * bucket) - int(i * bucket), 1)
-            for i in range(width)
-        ]
-    lo, hi = min(vals), max(vals)
-    if hi == lo:
-        return _SPARK_CHARS[0] * len(vals)
+        down: List[float] = []
+        for i in range(width):
+            lo_i = int(i * bucket)
+            hi_i = max(int((i + 1) * bucket), lo_i + 1)
+            chunk = [v for v in vals[lo_i:hi_i] if not math.isnan(v)]
+            down.append(sum(chunk) / len(chunk) if chunk else math.nan)
+        vals = down
+    finite = [v for v in vals if not math.isnan(v)]
+    if not finite:
+        return GAP_CHAR * len(vals)
+    lo, hi = min(finite), max(finite)
     out = []
     for v in vals:
-        idx = int((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
-        out.append(_SPARK_CHARS[idx])
+        if math.isnan(v):
+            out.append(GAP_CHAR)
+        elif hi == lo:
+            out.append(_SPARK_CHARS[0])
+        else:
+            idx = int((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
+            out.append(_SPARK_CHARS[idx])
     return "".join(out)
 
 
@@ -53,6 +76,11 @@ class TracePoint:
     matching_size: int
     live_edges: int
     settle_rounds: int = 0
+
+    @property
+    def work_per_update(self) -> float:
+        """Work per update; NaN for an empty batch (renders as a gap)."""
+        return self.work / self.size if self.size else math.nan
 
 
 @dataclass
@@ -83,8 +111,53 @@ class RunTrace:
         self.points.append(pt)
         return pt
 
+    # ------------------------------------------------------------------ #
+    # Building from the observability subsystem (one source of truth)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_span_attrs(cls, attr_dicts) -> "RunTrace":
+        trace = cls()
+        for i, attrs in enumerate(attr_dicts):
+            trace.points.append(
+                TracePoint(
+                    batch_index=int(attrs.get("index", i)),
+                    kind=str(attrs.get("kind", "?")),
+                    size=int(attrs.get("size", 0)),
+                    work=float(attrs.get("work", 0.0)),
+                    depth=float(attrs.get("depth", 0.0)),
+                    matching_size=int(attrs.get("matching_size", 0)),
+                    live_edges=int(attrs.get("live_edges", 0)),
+                    settle_rounds=int(attrs.get("settle_rounds", 0)),
+                )
+            )
+        return trace
+
+    @classmethod
+    def from_observer(cls, observer) -> "RunTrace":
+        """Build a trace from an Observer's finished ``batch`` spans
+        (the runner publishes one per batch, attrs carry the metrics)."""
+        return cls._from_span_attrs(
+            span.attrs for span in observer.tracer.finished_spans("batch")
+        )
+
+    @classmethod
+    def from_events(cls, path: str) -> "RunTrace":
+        """Build a trace from a JSONL event log (``--events FILE``).
+
+        Only finished ``batch`` spans contribute; torn or unfinished
+        records are skipped by the tolerant reader.
+        """
+        from repro.obs.exporters import iter_events
+
+        return cls._from_span_attrs(
+            rec.get("attrs", {})
+            for rec in iter_events(path)
+            if rec.get("type") == "span" and rec.get("name") == "batch"
+        )
+
     def series(self, metric: str) -> List[float]:
-        """Extract one metric's time series."""
+        """Extract one metric's time series (properties included, e.g.
+        ``work_per_update``)."""
         if not self.points:
             return []
         if not hasattr(self.points[0], metric):
@@ -106,9 +179,10 @@ class RunTrace:
             ("live_edges", "live edges"),
         ):
             s = self.series(metric)
+            finite = [v for v in s if not math.isnan(v)] or [math.nan]
             lines.append(
                 f"{label:>12}  {sparkline(s, width)}  "
-                f"min {min(s):g}  max {max(s):g}"
+                f"min {min(finite):g}  max {max(finite):g}"
             )
         return "\n".join(lines)
 
@@ -123,12 +197,17 @@ class RunTrace:
 
 
 def trace_stream(algo, stream) -> RunTrace:
-    """Apply a stream (as in run_stream) while recording a RunTrace."""
-    trace = RunTrace()
-    for batch in stream:
-        if batch.kind == "insert":
-            stats = algo.insert_edges(list(batch.edges))
-        else:
-            stats = algo.delete_edges(list(batch.eids))
-        trace.record_batch(algo, stats)
-    return trace
+    """Apply a stream (as in run_stream) while recording a RunTrace.
+
+    Routed through :func:`repro.workloads.runner.run_stream` with a
+    private :class:`repro.obs.Observer`, and the trace built from its
+    batch spans — the trace and the telemetry are the same numbers by
+    construction.  (A private observer keeps the trace scoped to this
+    stream; spans from other runs in the process never leak in.)
+    """
+    from repro.obs.observer import Observer
+    from repro.workloads.runner import run_stream
+
+    local = Observer()
+    run_stream(algo, stream, observer=local)
+    return RunTrace.from_observer(local)

@@ -15,6 +15,16 @@ Subcommands
     previous run from one (``--recover DIR``), certify it against an
     uninterrupted oracle replay, and optionally continue serving.
 
+Observability
+-------------
+``run`` and ``serve`` both publish live telemetry through
+:mod:`repro.obs`: ``--metrics-port PORT`` serves Prometheus text
+exposition at ``http://127.0.0.1:PORT/metrics`` for the duration of the
+command, and ``--events FILE`` appends every batch-lifecycle span to a
+JSONL event log for offline analysis (``repro.obs.read_events``,
+``RunTrace.from_events``).  See docs/observability.md for the metric
+catalog and span taxonomy.
+
 ``--selftest``
     Replay a canned workload through both structure backends, verifying
     the Definition 4.1 invariants and an independently-checked matching
@@ -100,18 +110,45 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _setup_observability(args: argparse.Namespace):
+    """Build the Observer (+ optional HTTP exposition and event log) the
+    ``run`` and ``serve`` commands share.  Returns (observer, teardown)."""
+    from repro.obs import Observer, start_metrics_server
+
+    obs = Observer(bridge=True)
+    server = None
+    if getattr(args, "metrics_port", None) is not None:
+        server = start_metrics_server(obs.registry, args.metrics_port)
+        print(f"metrics: http://127.0.0.1:{server.server_address[1]}/metrics")
+    if getattr(args, "events", None):
+        obs.open_event_log(args.events)
+
+    def teardown() -> None:
+        if server is not None:
+            server.shutdown()
+        obs.close()
+
+    return obs, teardown
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     stream = read_stream(args.stream)
     algo = ALGOS[args.algo](args.rank, args.seed)
-    records = run_stream(algo, stream, check=args.check)
+    obs, teardown = _setup_observability(args)
+    try:
+        records = run_stream(algo, stream, check=args.check, observer=obs)
+    finally:
+        teardown()
     s = summarize(records)
     print(f"algorithm: {args.algo}   batches: {s['batches']}   updates: {s['updates']}")
     print(f"work/update: {s['work_per_update']:.2f}   max batch depth: {s['max_depth']:.1f}")
     if args.check:
         print("maximality verified after every batch ✓")
+    # The profile reads the metrics registry (the ledger bridge mirrors
+    # every per-tag charge), exercising the same path a scraper sees.
     rows = [
         [phase, round(work), f"{frac * 100:.1f}%"]
-        for phase, work, frac in work_profile(algo.ledger)
+        for phase, work, frac in work_profile(obs.registry)
     ]
     if rows:
         print("\nwork profile:")
@@ -132,14 +169,22 @@ def _cmd_static(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.durability import DurabilityManager, recover
-
     if args.journal and args.recover:
         print("serve: pass either --journal (fresh run) or --recover, not both")
         return 2
     if not args.journal and not args.recover:
         print("serve: one of --journal or --recover is required")
         return 2
+
+    obs, teardown = _setup_observability(args)
+    try:
+        return _cmd_serve_observed(args, obs)
+    finally:
+        teardown()
+
+
+def _cmd_serve_observed(args: argparse.Namespace, obs) -> int:
+    from repro.durability import DurabilityManager, recover
 
     if args.journal:
         if not args.stream:
@@ -154,7 +199,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             keep=args.keep,
             fsync=not args.no_fsync,
         ) as mgr:
-            records = run_stream(dm, stream, check=args.check, durability=mgr)
+            records = run_stream(dm, stream, check=args.check, durability=mgr,
+                                 observer=obs)
             mgr.checkpoint_now(dm)
         s = summarize(records)
         print(f"served {s['batches']} batches ({s['updates']} updates) durably into {args.journal}")
@@ -186,7 +232,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             keep=args.keep,
             fsync=not args.no_fsync,
         ) as mgr:
-            records = run_stream(dm, stream, check=args.check, durability=mgr)
+            records = run_stream(dm, stream, check=args.check, durability=mgr,
+                                 observer=obs)
             mgr.checkpoint_now(dm)
         s = summarize(records)
         print(f"continued with {s['batches']} more batches ({s['updates']} updates)")
@@ -270,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--rank", type=int, default=2)
     r.add_argument("--seed", type=int, default=0)
     r.add_argument("--check", action="store_true", help="verify maximality per batch")
+    _add_obs_args(r)
     r.set_defaults(func=_cmd_run)
 
     s = sub.add_parser("static", help="static matching on an edge-list file")
@@ -291,9 +339,22 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--no-fsync", action="store_true",
                    help="skip fsync per record (faster, weaker crash guarantee)")
     v.add_argument("--check", action="store_true", help="verify maximality per batch")
+    _add_obs_args(v)
     v.set_defaults(func=_cmd_serve)
 
     return p
+
+
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus metrics on http://127.0.0.1:PORT/metrics "
+             "for the duration of the command (0 picks a free port)",
+    )
+    sub.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="append batch-lifecycle spans to FILE as JSONL",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -302,7 +302,10 @@ class ArrayLeveledStructure:
         # When the ledger is exactly the base class, the hot paths apply
         # their (pre-accumulated) charges by direct field arithmetic —
         # identical totals, no per-charge call overhead.  Subclasses
-        # (NullLedger, instrumented ledgers) keep the charge() protocol.
+        # (NullLedger, instrumented ledgers) keep the charge() protocol,
+        # and so does a base ledger while a charge observer is attached
+        # (checked per bulk operation): the observability bridge must see
+        # every charge, and both branches produce bit-identical totals.
         self._fast = type(ledger) is Ledger
         self.alpha = alpha
         self.heavy_factor = heavy_factor
@@ -715,7 +718,7 @@ class ArrayLeveledStructure:
         no = len(owned)
         d_total += (no - 1).bit_length() if no > 1 else 1
         led = self.ledger
-        if self._fast:
+        if self._fast and led._observer is None:
             led.work += w_elems + w_batch + w_rehash + w_rm
             led._stack[-1].depth += d_total
             bt = led.by_tag
@@ -804,7 +807,7 @@ class ArrayLeveledStructure:
         card = self._card[i]
         d_total += 1
         led = self.ledger
-        if self._fast:
+        if self._fast and led._observer is None:
             led.work += w_batch + w_rehash + card
             led._stack[-1].depth += d_total
             bt = led.by_tag
@@ -873,7 +876,7 @@ class ArrayLeveledStructure:
         card = self._card[i]
         d_total += 1
         led = self.ledger
-        if self._fast:
+        if self._fast and led._observer is None:
             led.work += w_batch + w_rehash + card
             led._stack[-1].depth += d_total
             bt = led.by_tag
@@ -932,7 +935,7 @@ class ArrayLeveledStructure:
                 d_total += ds
             self._scap[i] = cap
         led = self.ledger
-        if self._fast:
+        if self._fast and led._observer is None:
             led.work += 1.0 + w_rehash
             led._stack[-1].depth += d_total
             bt = led.by_tag

@@ -157,12 +157,17 @@ class DynamicMatching:
         return Hypergraph(self.structure.all_edges())
 
     def set_phase_hook(self, hook) -> None:
-        """Install (or clear, with None) the fault-injection phase hook on
-        this instance *and* its structure backend.
+        """Install (or clear, with None) the phase hook on this instance
+        *and* its structure backend.
 
         The hook is called with a phase-name string at batch boundaries and
         inside the phases of each batch operation.  It must not mutate the
-        structure; raising an exception simulates a mid-phase crash.
+        structure; raising an exception simulates a mid-phase crash (the
+        fault-injection use, :class:`repro.testing.faults.CrashInjector`).
+        Observability (:meth:`repro.obs.Observer.attach_matching`) chains
+        onto whatever hook is installed rather than replacing it, so
+        tracing and fault injection coexist; only one hook is *stored*
+        at a time, and a later ``set_phase_hook`` replaces the chain.
         """
         self.phase_hook = hook
         self.structure.phase_hook = hook

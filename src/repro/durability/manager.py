@@ -59,6 +59,17 @@ class DurabilityManager:
         self.applied = applied
         self.checkpoint_every = checkpoint_every
         self.keep = keep
+        # Observation hook, mirroring DynamicMatching.phase_hook: called
+        # with a phase name at the durability lifecycle points
+        # ("durability.log_batch", "durability.note_applied",
+        # "durability.checkpoint").  repro.obs chains onto it for
+        # journal/checkpoint metrics and span events; fault injectors can
+        # use it to crash inside the durability protocol itself.
+        self.phase_hook = None
+
+    def _phase(self, name: str) -> None:
+        if self.phase_hook is not None:
+            self.phase_hook(name)
 
     # ----------------------------------------------------------------- #
     # Lifecycle
@@ -129,13 +140,16 @@ class DurabilityManager:
     # ----------------------------------------------------------------- #
     def log_batch(self, batch: UpdateBatch) -> int:
         """Write-ahead: durably journal the batch before it is applied."""
-        return self.writer.append_batch(batch)
+        seq = self.writer.append_batch(batch)
+        self._phase("durability.log_batch")
+        return seq
 
     def note_applied(self, dm: DynamicMatching) -> Optional[str]:
         """Record that the last journaled batch was applied; checkpoint
         every ``checkpoint_every`` batches.  Returns the checkpoint path
         when one was written."""
         self.applied += 1
+        self._phase("durability.note_applied")
         if self.applied % self.checkpoint_every != 0:
             return None
         return self.checkpoint_now(dm)
@@ -144,6 +158,7 @@ class DurabilityManager:
         """Write a checkpoint of ``dm`` at the current applied count."""
         path = write_checkpoint(self.directory, dm, self.applied)
         prune_checkpoints(self.directory, self.keep)
+        self._phase("durability.checkpoint")
         return path
 
     def close(self) -> None:

@@ -1,0 +1,72 @@
+"""Ledger bridge: mirror per-tag work/depth charges into metrics.
+
+The cost ledger (:class:`repro.parallel.ledger.Ledger`) is the paper's
+accounting ground truth; the bridge taps its observer hook
+(:meth:`Ledger.set_observer`) and mirrors every charge into registry
+counters **after** the ledger has already updated its own totals — the
+bridge can observe, never perturb.  Attaching/detaching the bridge
+therefore leaves ledger work/depth and ``by_tag`` bit-identical
+(tests/obs/test_differential.py pins this).
+
+Depth semantics: the ledger composes depth as max-over-branches inside
+parallel regions, which a flat counter cannot reproduce.  The bridge
+therefore mirrors the *raw depth charges* per tag (useful for spotting a
+phase that suddenly starts charging depth) and leaves the composed
+total to the ``repro_ledger_depth_total`` gauge the observer samples at
+batch boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.ledger import Ledger
+
+UNTAGGED = "untagged"
+
+
+class LedgerBridge:
+    """Mirrors ledger charges into ``repro_ledger_*`` metrics."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.work_by_tag = registry.counter(
+            "repro_ledger_work_by_tag_total",
+            "Ledger work charged, by accounting tag",
+            ("tag",),
+        )
+        self.depth_by_tag = registry.counter(
+            "repro_ledger_depth_charges_by_tag_total",
+            "Raw (uncomposed) ledger depth charged, by accounting tag",
+            ("tag",),
+        )
+        self.charges = registry.counter(
+            "repro_ledger_charges_total", "Number of ledger charge calls"
+        )
+        self._children = {}  # tag -> (work counter, depth counter)
+
+    # The hot callback: one dict lookup per charge in the common case.
+    def on_charge(self, work: float, depth: float, tag: Optional[str]) -> None:
+        key = tag if tag is not None else UNTAGGED
+        pair = self._children.get(key)
+        if pair is None:
+            pair = (
+                self.work_by_tag.labels(tag=key),
+                self.depth_by_tag.labels(tag=key),
+            )
+            self._children[key] = pair
+        if work:
+            pair[0].inc(work)
+        if depth:
+            pair[1].inc(depth)
+        self.charges.inc()
+
+    def attach(self, ledger: Ledger) -> Callable[[], None]:
+        """Start mirroring ``ledger``; returns a zero-arg detach."""
+        ledger.set_observer(self.on_charge)
+
+        def detach() -> None:
+            ledger.set_observer(None)
+
+        return detach

@@ -1,0 +1,249 @@
+"""Exporters: Prometheus text exposition (+ HTTP server) and a JSONL
+event log for offline analysis.
+
+Both exporters read the same sources of truth — the
+:class:`~repro.obs.registry.MetricsRegistry` and the
+:class:`~repro.obs.tracing.Tracer` — and never feed anything back into
+the algorithms, preserving the zero-perturbation contract.
+
+The JSONL log is crash-tolerant by the same line-framing discipline as
+the durability journal: one self-contained JSON object per line, flushed
+per line, and a reader (:func:`read_events`) that skips any line that
+fails to parse — a torn tail discards at most the record being written
+when the process died.  Span *starts* are logged as ``span_open``
+records and finishes as ``span`` records, so a crash mid-batch still
+leaves the open span's identity on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any, Dict, FrozenSet, IO, Iterator, List, Optional, Tuple
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.tracing import Span
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    f = float(v)
+    return repr(int(f)) if f == int(f) and abs(f) < 1e17 else repr(f)
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    for fam in registry.families():
+        lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for labels, child in fam.samples():
+            if fam.kind == "histogram":
+                assert isinstance(child, Histogram)
+                for le, cum in child.cumulative():
+                    b = dict(labels)
+                    b["le"] = _fmt_value(le)
+                    lines.append(
+                        f"{fam.name}_bucket{_labels_text(b)} {cum}"
+                    )
+                lines.append(
+                    f"{fam.name}_sum{_labels_text(labels)} {_fmt_value(child.sum)}"
+                )
+                lines.append(
+                    f"{fam.name}_count{_labels_text(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{fam.name}{_labels_text(labels)} {_fmt_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+_SampleKey = Tuple[str, FrozenSet[Tuple[str, str]]]
+
+
+def parse_prometheus_text(text: str) -> Dict[_SampleKey, float]:
+    """Parse exposition text back into ``{(name, labelset): value}``.
+
+    Covers the subset :func:`render_prometheus` emits (which is what the
+    round-trip property tests exercise); it is not a full scrape parser.
+    """
+    out: Dict[_SampleKey, float] = {}
+    # exposition lines are "\n"-separated; splitlines() would also break
+    # on a raw "\r" inside a label value, which the format leaves unescaped
+    for line in text.split("\n"):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labeltext, valuetext = rest.rsplit("}", 1)
+            labels: Dict[str, str] = {}
+            # split on '","' boundaries while honouring escapes
+            i = 0
+            while i < len(labeltext):
+                eq = labeltext.index("=", i)
+                key = labeltext[i:eq]
+                assert labeltext[eq + 1] == '"'
+                j = eq + 2
+                buf: List[str] = []
+                while labeltext[j] != '"':
+                    if labeltext[j] == "\\":
+                        nxt = labeltext[j + 1]
+                        buf.append({"n": "\n", "\\": "\\", '"': '"'}[nxt])
+                        j += 2
+                    else:
+                        buf.append(labeltext[j])
+                        j += 1
+                labels[key] = "".join(buf)
+                i = j + 1
+                if i < len(labeltext) and labeltext[i] == ",":
+                    i += 1
+            value = valuetext.strip()
+        else:
+            name, value = line.split(None, 1)
+            labels = {}
+        out[(name, frozenset(labels.items()))] = float(value)
+    return out
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # set by start_metrics_server
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        if self.path.split("?")[0] not in ("/", "/metrics"):
+            self.send_error(404)
+            return
+        body = render_prometheus(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # silence stderr
+        pass
+
+
+def start_metrics_server(
+    registry: MetricsRegistry, port: int = 0, host: str = "127.0.0.1"
+) -> HTTPServer:
+    """Serve ``/metrics`` in a daemon thread; returns the live server.
+
+    ``server.server_address[1]`` is the bound port (useful with
+    ``port=0``); call ``server.shutdown()`` to stop.
+    """
+    handler = type("Handler", (_MetricsHandler,), {"registry": registry})
+    server = HTTPServer((host, port), handler)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics", daemon=True
+    )
+    thread.start()
+    return server
+
+
+# --------------------------------------------------------------------- #
+# JSONL event log
+# --------------------------------------------------------------------- #
+class JsonlEventLog:
+    """Append-only JSONL sink for spans (one self-contained line each).
+
+    Attach to a tracer with :meth:`attach`; every span start writes a
+    ``span_open`` record and every finish a ``span`` record.  Lines are
+    flushed as written (no fsync — this is telemetry, not the journal),
+    so after a crash at most the final line is torn, and
+    :func:`read_events` skips it.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "a", encoding="utf-8")
+        self.written = 0
+
+    def write(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError("event log is closed")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.written += 1
+
+    # tracer sinks
+    def on_start(self, span: Span) -> None:
+        rec = span.to_record("span_open")
+        del rec["dur"], rec["events"]  # not known / not final at start
+        self.write(rec)
+
+    def on_finish(self, span: Span) -> None:
+        self.write(span.to_record("span"))
+
+    def attach(self, tracer) -> "JsonlEventLog":
+        tracer.add_start_sink(self.on_start)
+        tracer.add_finish_sink(self.on_finish)
+        return self
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Parse an event log line by line, skipping torn/corrupt lines."""
+    return list(iter_events(path))
+
+
+def iter_events(path: str) -> Iterator[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(rec, dict):
+                yield rec
+
+
+def open_spans(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Spans that opened but never finished (crash forensics): the
+    ``span_open`` records with no matching ``span`` record."""
+    finished = {e["span_id"] for e in events if e.get("type") == "span"}
+    return [
+        e for e in events
+        if e.get("type") == "span_open" and e["span_id"] not in finished
+    ]

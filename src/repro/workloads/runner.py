@@ -16,10 +16,18 @@ With ``durability`` set (a :class:`repro.durability.DurabilityManager`),
 the runner follows the write-ahead protocol: each batch is durably
 journaled *before* it is applied and acknowledged *after*, so a crash at
 any point is recoverable via :func:`repro.durability.recover`.
+
+Observability: every batch is wrapped in a ``batch`` span and published
+to an :class:`repro.obs.Observer` — by default the process-wide one
+(:func:`repro.obs.default_observer`), so live telemetry needs no setup.
+Pass ``observer=False`` to disable observation entirely, or a specific
+observer to publish into its registry/tracer.  Observation never touches
+the ledger: records, matchings, and totals are identical either way.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -57,6 +65,7 @@ def run_stream(
     stream: Sequence[UpdateBatch],
     check: bool = False,
     durability=None,
+    observer=None,
 ) -> List[RunRecord]:
     """Apply every batch in order; return per-batch records.
 
@@ -68,38 +77,86 @@ def run_stream(
 
     ``durability`` (a :class:`repro.durability.DurabilityManager`) turns
     the loop into a write-ahead serving loop: journal, apply, acknowledge.
+
+    ``observer`` selects where batch spans and metrics go: ``None``
+    (default) publishes to :func:`repro.obs.default_observer`, ``False``
+    disables observation, anything else is used as the observer.
     """
+    if observer is None:
+        from repro.obs.observer import default_observer
+
+        obs = default_observer()
+    elif observer is False:
+        obs = None
+    else:
+        obs = observer
+
+    detachers = []
+    if obs is not None:
+        if hasattr(algo, "set_phase_hook"):
+            detachers.append(obs.attach_matching(algo))
+        if durability is not None and hasattr(durability, "phase_hook"):
+            detachers.append(obs.attach_durability(durability))
+    tracer = obs.tracer if obs is not None else None
+
     mirror = Hypergraph() if check else None
     records: List[RunRecord] = []
-    for batch in stream:
-        if durability is not None:
-            durability.log_batch(batch)
-        w0, d0 = algo.ledger.work, algo.ledger.depth
-        if batch.kind == "insert":
-            algo.insert_edges(list(batch.edges))
-            if mirror is not None:
-                mirror.add_edges(_dedupe_edges(batch.edges))
-        else:
-            algo.delete_edges(list(batch.eids))
-            if mirror is not None:
-                mirror.remove_edges(dict.fromkeys(batch.eids))
-        if durability is not None:
-            durability.note_applied(algo)
-        matched = algo.matched_ids()
-        if mirror is not None:
-            assert mirror.is_maximal_matching(matched), (
-                f"matching not maximal after {batch.kind} batch of {batch.size}"
+    try:
+        for index, batch in enumerate(stream):
+            span_cm = (
+                obs.batch_span(batch.kind, batch.size, index)
+                if obs is not None else nullcontext()
             )
-        records.append(
-            RunRecord(
-                kind=batch.kind,
-                size=batch.size,
-                work=algo.ledger.work - w0,
-                depth=algo.ledger.depth - d0,
-                matching_size=len(matched),
-                live_edges=len(mirror) if mirror is not None else len(algo),
-            )
-        )
+            with span_cm as span:
+                if durability is not None:
+                    with tracer.span("journal.append") if tracer else nullcontext():
+                        durability.log_batch(batch)
+                w0, d0 = algo.ledger.work, algo.ledger.depth
+                with tracer.span("apply") if tracer else nullcontext():
+                    if batch.kind == "insert":
+                        stats = algo.insert_edges(list(batch.edges))
+                        if mirror is not None:
+                            mirror.add_edges(_dedupe_edges(batch.edges))
+                    else:
+                        stats = algo.delete_edges(list(batch.eids))
+                        if mirror is not None:
+                            mirror.remove_edges(dict.fromkeys(batch.eids))
+                if durability is not None:
+                    ckpt_cm = tracer.span("checkpoint") if tracer else nullcontext()
+                    with ckpt_cm as ckpt_span:
+                        path = durability.note_applied(algo)
+                        if ckpt_span is not None:
+                            ckpt_span.set(written=path is not None)
+                matched = algo.matched_ids()
+                if mirror is not None:
+                    assert mirror.is_maximal_matching(matched), (
+                        f"matching not maximal after {batch.kind} batch of {batch.size}"
+                    )
+                record = RunRecord(
+                    kind=batch.kind,
+                    size=batch.size,
+                    work=algo.ledger.work - w0,
+                    depth=algo.ledger.depth - d0,
+                    matching_size=len(matched),
+                    live_edges=len(mirror) if mirror is not None else len(algo),
+                )
+                records.append(record)
+                if obs is not None:
+                    obs.finish_batch(
+                        span,
+                        kind=record.kind,
+                        size=record.size,
+                        work=record.work,
+                        depth=record.depth,
+                        matching_size=record.matching_size,
+                        live_edges=record.live_edges,
+                        settle_rounds=getattr(stats, "num_rounds", 0) or 0,
+                        ledger_work=algo.ledger.work,
+                        ledger_depth=algo.ledger.depth,
+                    )
+    finally:
+        for detach in detachers:
+            detach()
     return records
 
 

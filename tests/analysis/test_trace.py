@@ -1,9 +1,11 @@
 """Tests for run traces and sparklines."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.analysis.trace import RunTrace, sparkline, trace_stream
+from repro.analysis.trace import GAP_CHAR, RunTrace, TracePoint, sparkline, trace_stream
 from repro.core.dynamic_matching import DynamicMatching
 from repro.workloads.generators import erdos_renyi_edges
 from repro.workloads.streams import insert_then_delete_stream
@@ -29,6 +31,48 @@ class TestSparkline:
 
     def test_width_larger_than_series(self):
         assert len(sparkline([1, 2], width=50)) == 2
+
+    def test_nan_renders_as_gap(self):
+        # regression: used to raise ValueError normalizing over NaN
+        assert sparkline([1.0, math.nan, 3.0]) == "▁" + GAP_CHAR + "█"
+
+    def test_all_nan_series(self):
+        assert sparkline([math.nan] * 4) == GAP_CHAR * 4
+
+    def test_nan_ignored_when_downsampling(self):
+        vals = [1.0, math.nan] * 10  # every bucket mixes a NaN in
+        s = sparkline(vals, width=5)
+        assert len(s) == 5 and GAP_CHAR not in s  # averages skip the NaNs
+
+    def test_all_nan_bucket_is_gap(self):
+        vals = [1.0, 2.0, math.nan, math.nan, 3.0, 4.0]
+        s = sparkline(vals, width=3)
+        assert s[1] == GAP_CHAR
+
+    def test_nan_constant_finite_mix(self):
+        s = sparkline([5.0, math.nan, 5.0])
+        assert s == "▁" + GAP_CHAR + "▁"
+
+
+class TestTracePoint:
+    def test_work_per_update_nan_on_empty_batch(self):
+        pt = TracePoint(
+            batch_index=0, kind="insert", size=0, work=0.0, depth=0.0,
+            matching_size=0, live_edges=0,
+        )
+        assert math.isnan(pt.work_per_update)
+
+    def test_empty_batch_series_renders(self):
+        trace = RunTrace()
+        for i, size in enumerate((4, 0, 4)):
+            trace.points.append(
+                TracePoint(
+                    batch_index=i, kind="insert", size=size, work=float(size),
+                    depth=1.0, matching_size=1, live_edges=1,
+                )
+            )
+        s = sparkline(trace.series("work_per_update"))
+        assert s[1] == GAP_CHAR  # the empty batch is a gap, not a crash
 
 
 class TestRunTrace:

@@ -1,0 +1,132 @@
+"""Unit tests for the metrics registry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import MetricError, MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, reg):
+        c = reg.counter("c_total", "a counter")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_increment_rejected(self, reg):
+        c = reg.counter("c_total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+        assert c.value() == 0.0
+
+    def test_non_finite_rejected(self, reg):
+        c = reg.counter("c_total")
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(MetricError):
+                c.inc(bad)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12.0
+
+    def test_can_go_negative(self, reg):
+        g = reg.gauge("g")
+        g.dec(4)
+        assert g.value() == -4.0
+
+
+class TestHistogram:
+    def test_bucketing(self, reg):
+        h = reg.histogram("h", buckets=(1.0, 10.0, 100.0)).labels()
+        for v in (0.5, 1.0, 5.0, 50.0, 500.0):
+            h.observe(v)
+        # boundaries are inclusive upper bounds
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(556.5)
+        cum = h.cumulative()
+        assert cum == [(1.0, 2), (10.0, 3), (100.0, 4), (math.inf, 5)]
+
+    def test_bad_buckets_rejected(self, reg):
+        with pytest.raises(MetricError):
+            reg.histogram("h1", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            reg.histogram("h2", buckets=())
+        with pytest.raises(MetricError):
+            reg.histogram("h3", buckets=(1.0, math.inf))
+
+    def test_nan_observation_rejected(self, reg):
+        h = reg.histogram("h", buckets=(1.0,))
+        with pytest.raises(MetricError):
+            h.observe(math.nan)
+
+
+class TestLabels:
+    def test_label_sets_isolated(self, reg):
+        c = reg.counter("ops_total", "ops", ("kind",))
+        c.labels(kind="insert").inc(3)
+        c.labels(kind="delete").inc(7)
+        assert c.value(kind="insert") == 3.0
+        assert c.value(kind="delete") == 7.0
+        assert c.value(kind="other") == 0.0
+
+    def test_label_mismatch_rejected(self, reg):
+        c = reg.counter("ops_total", "ops", ("kind",))
+        with pytest.raises(MetricError):
+            c.labels()
+        with pytest.raises(MetricError):
+            c.labels(kind="x", extra="y")
+        with pytest.raises(MetricError):
+            c.inc()  # labeled family has no default child
+
+    def test_invalid_names_rejected(self, reg):
+        with pytest.raises(MetricError):
+            reg.counter("2bad")
+        with pytest.raises(MetricError):
+            reg.counter("ok_total", labelnames=("bad-label",))
+        with pytest.raises(MetricError):
+            reg.counter("ok2_total", labelnames=("__reserved",))
+        with pytest.raises(MetricError):
+            reg.counter("ok3_total", labelnames=("a", "a"))
+
+
+class TestRegistry:
+    def test_reregistration_idempotent(self, reg):
+        a = reg.counter("x_total", "help", ("k",))
+        b = reg.counter("x_total", "other help", ("k",))
+        assert a is b
+
+    def test_schema_mismatch_rejected(self, reg):
+        reg.counter("x_total", labelnames=("k",))
+        with pytest.raises(MetricError):
+            reg.gauge("x_total")
+        with pytest.raises(MetricError):
+            reg.counter("x_total", labelnames=("other",))
+
+    def test_families_sorted(self, reg):
+        reg.counter("b_total")
+        reg.gauge("a")
+        assert [f.name for f in reg.families()] == ["a", "b_total"]
+
+    def test_as_dict_snapshot(self, reg):
+        reg.counter("c_total", labelnames=("k",)).labels(k="v").inc(2)
+        reg.gauge("g").set(1)
+        snap = reg.as_dict()
+        assert snap["c_total"] == {"k=v": 2.0}
+        assert snap["g"] == {"": 1.0}

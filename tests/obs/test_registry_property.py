@@ -1,0 +1,128 @@
+"""Hypothesis property tests for the metrics registry.
+
+Four contracts: counter monotonicity, histogram bucket/count/sum
+consistency, label-set isolation, and Prometheus exposition round-trip.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, parse_prometheus_text, render_prometheus
+
+pytestmark = pytest.mark.obs
+
+finite_nonneg = st.floats(
+    min_value=0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+finite = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(finite_nonneg, max_size=50))
+def test_counter_monotonic(increments):
+    reg = MetricsRegistry()
+    c = reg.counter("c_total")
+    seen = [c.value()]
+    for amt in increments:
+        c.inc(amt)
+        seen.append(c.value())
+    assert all(b >= a for a, b in zip(seen, seen[1:]))
+    assert seen[-1] == pytest.approx(sum(increments), abs=1e-6)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False),
+        max_size=60,
+    ),
+    st.lists(
+        st.floats(min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=8, unique=True,
+    ),
+)
+def test_histogram_consistency(observations, raw_bounds):
+    bounds = sorted(raw_bounds)
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=bounds).labels()
+    for v in observations:
+        h.observe(v)
+    # count and sum agree with the raw observations
+    assert h.count == len(observations)
+    assert h.sum == pytest.approx(sum(observations), rel=1e-9, abs=1e-9)
+    # per-bucket counts match an independent recomputation
+    expected_counts = [0] * (len(bounds) + 1)
+    for v in observations:
+        idx = next((i for i, b in enumerate(bounds) if v <= b), len(bounds))
+        expected_counts[idx] += 1
+    assert h.counts == expected_counts
+    # cumulative form is non-decreasing and ends at the total count
+    cum = h.cumulative()
+    values = [c for _, c in cum]
+    assert values == sorted(values)
+    assert values[-1] == len(observations)
+    assert cum[-1][0] == math.inf
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.lists(finite_nonneg, max_size=10),
+        max_size=4,
+    )
+)
+def test_label_set_isolation(per_label):
+    reg = MetricsRegistry()
+    fam = reg.counter("ops_total", "ops", ("tag",))
+    # interleave increments across label sets round-robin
+    schedule = [
+        (label, amt) for label, amts in sorted(per_label.items()) for amt in amts
+    ]
+    for label, amt in schedule:
+        fam.labels(tag=label).inc(amt)
+    for label, amts in per_label.items():
+        assert fam.value(tag=label) == pytest.approx(sum(amts), abs=1e-6)
+    assert fam.value(tag="never_touched") == 0.0
+
+
+label_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_categories=("Cs",), max_codepoint=0x2FF
+    ),
+    max_size=12,
+)
+
+
+@given(
+    counters=st.dictionaries(label_values, finite_nonneg, max_size=5),
+    gauge_value=finite,
+    observations=st.lists(finite_nonneg, max_size=20),
+)
+@settings(max_examples=60)
+def test_prometheus_round_trip(counters, gauge_value, observations):
+    reg = MetricsRegistry()
+    fam = reg.counter("repro_rt_total", "round trip", ("tag",))
+    for tag, amt in counters.items():
+        fam.labels(tag=tag).inc(amt)
+    reg.gauge("repro_rt_gauge", "a gauge").set(gauge_value)
+    h = reg.histogram("repro_rt_hist", buckets=(1.0, 10.0)).labels()
+    for v in observations:
+        h.observe(v)
+
+    parsed = parse_prometheus_text(render_prometheus(reg))
+
+    for tag, amt in counters.items():
+        key = ("repro_rt_total", frozenset([("tag", tag)]))
+        assert parsed[key] == pytest.approx(amt, abs=1e-9)
+    assert parsed[("repro_rt_gauge", frozenset())] == pytest.approx(gauge_value)
+    assert parsed[("repro_rt_hist_count", frozenset())] == len(observations)
+    assert parsed[("repro_rt_hist_sum", frozenset())] == pytest.approx(
+        sum(observations), rel=1e-9, abs=1e-9
+    )
+    inf_key = ("repro_rt_hist_bucket", frozenset([("le", "+Inf")]))
+    assert parsed[inf_key] == len(observations)

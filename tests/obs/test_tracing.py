@@ -1,0 +1,149 @@
+"""Tracer unit tests plus batch-lifecycle span integration via the runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMatching
+from repro.durability import DurabilityManager
+from repro.obs import Observer, Tracer, default_observer, reset_default_observer
+from repro.testing.faults import random_batches
+from repro.workloads import FifoAdversary, erdos_renyi_edges, insert_then_delete_stream
+from repro.workloads.runner import run_stream
+
+pytestmark = pytest.mark.obs
+
+
+class TestTracer:
+    def test_nesting_and_parents(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        names = [s.name for s in tr.finished]
+        assert names == ["inner", "outer"]  # children close first
+
+    def test_events_attach_to_open_span(self):
+        tr = Tracer()
+        with tr.span("batch") as sp:
+            tr.event("insert.begin")
+            tr.event("insert.registered")
+        assert [name for name, _t in sp.events] == [
+            "insert.begin",
+            "insert.registered",
+        ]
+        assert all(t >= 0.0 for _name, t in sp.events)
+        tr.event("orphan")  # no open span: dropped, not an error
+        assert all(
+            "orphan" not in [name for name, _t in s.events] for s in tr.finished
+        )
+
+    def test_attrs_and_error_flag(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("batch", kind="insert") as sp:
+                sp.set(size=4)
+                raise RuntimeError("boom")
+        (done,) = tr.finished
+        assert done.attrs["kind"] == "insert"
+        assert done.attrs["size"] == 4
+        assert done.attrs["error"] == "RuntimeError"
+
+    def test_durations_non_negative(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        assert tr.finished[0].dur >= 0.0
+
+    def test_finished_ring_bounded(self):
+        tr = Tracer(keep=4)
+        for i in range(10):
+            with tr.span(f"s{i}"):
+                pass
+        assert len(tr.finished) == 4
+        assert [s.name for s in tr.finished] == ["s6", "s7", "s8", "s9"]
+
+    def test_finished_spans_filters_by_name(self):
+        tr = Tracer()
+        with tr.span("batch"):
+            pass
+        with tr.span("checkpoint"):
+            pass
+        with tr.span("batch"):
+            pass
+        assert len(tr.finished_spans("batch")) == 2
+
+
+def _stream(seed=13, n=30, m=90, batch_size=10):
+    edges = erdos_renyi_edges(n, m, rng=np.random.default_rng(seed))
+    return insert_then_delete_stream(edges, batch_size, adversary=FifoAdversary())
+
+
+class TestRunnerSpans:
+    def test_private_observer_batch_spans(self):
+        obs = Observer()
+        dm = DynamicMatching(rank=2, seed=1, backend="array")
+        stream = _stream()
+        records = run_stream(dm, stream, observer=obs)
+        batches = obs.tracer.finished_spans("batch")
+        assert len(batches) == len(stream) == len(records)
+        for i, sp in enumerate(batches):
+            assert sp.attrs["index"] == i
+            assert sp.attrs["kind"] in ("insert", "delete")
+            assert sp.attrs["work"] >= 0.0
+        # nested lifecycle spans were emitted under each batch, and the
+        # algorithm's phase hooks surfaced as events on the innermost
+        # (apply) span
+        applies = obs.tracer.finished_spans("apply")
+        assert len(applies) == len(stream)
+        for sp, batch in zip(applies, stream):
+            names = [name for name, _t in sp.events]
+            assert f"{batch.kind}.begin" in names
+
+    def test_default_observer_used_when_unspecified(self):
+        reset_default_observer()
+        try:
+            dm = DynamicMatching(rank=2, seed=2, backend="array")
+            run_stream(dm, _stream(seed=2))
+            obs = default_observer()
+            assert obs.tracer.finished_spans("batch")
+            assert obs.registry.get("repro_batches_total") is not None
+        finally:
+            reset_default_observer()
+
+    def test_observer_false_emits_nothing(self):
+        reset_default_observer()
+        try:
+            dm = DynamicMatching(rank=2, seed=3, backend="array")
+            run_stream(dm, _stream(seed=3), observer=False)
+            assert not default_observer().tracer.finished
+        finally:
+            reset_default_observer()
+
+    def test_detach_restores_phase_hook(self):
+        dm = DynamicMatching(rank=2, seed=4, backend="array")
+        marks = []
+        dm.set_phase_hook(marks.append)
+        prev_hook = dm.phase_hook
+        run_stream(dm, _stream(seed=4), observer=Observer())
+        assert dm.phase_hook is prev_hook  # runner detached its observer
+        assert marks  # and the pre-existing hook kept firing throughout
+
+    def test_durability_spans(self, tmp_path):
+        obs = Observer()
+        rng = np.random.default_rng(5)
+        batches = random_batches(rng, 8)
+        dm = DynamicMatching(rank=3, seed=5, backend="array")
+        with DurabilityManager.create(str(tmp_path), dm, checkpoint_every=3) as mgr:
+            run_stream(dm, batches, durability=mgr, observer=obs)
+        assert len(obs.tracer.finished_spans("journal.append")) == len(batches)
+        assert len(obs.tracer.finished_spans("checkpoint")) == len(batches)
+        written = [
+            sp.attrs.get("written") for sp in obs.tracer.finished_spans("checkpoint")
+        ]
+        assert any(written)  # checkpoint_every=3 over 8 batches wrote at least one
+        assert obs.registry.get("repro_journal_batches_total").value() == len(batches)
+        assert obs.registry.get("repro_checkpoints_total").value() == sum(
+            1 for w in written if w
+        )
