@@ -29,5 +29,8 @@ def run_updates(algo, stream) -> dict:
         "updates": total_updates,
         "work_per_update": (algo.ledger.work - w0) / max(total_updates, 1),
         "max_depth": max(per_batch_depth, default=0.0),
+        # Exact depth of the whole run (batches are sequential): what
+        # Brent-bound comparisons should use, not mean * batch-count.
+        "total_depth": sum(per_batch_depth),
         "mean_depth": sum(per_batch_depth) / max(len(per_batch_depth), 1),
     }

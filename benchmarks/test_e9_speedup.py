@@ -29,9 +29,9 @@ def _batch_cost(batch_size: int, seed: int) -> Cost:
     )
     dm = DynamicMatching(rank=2, seed=seed + 2)
     s = run_updates(dm, stream)
-    # aggregate cost: total work, sum of per-batch depths (batches are
-    # sequentially dependent)
-    return Cost(s["work"], s["mean_depth"] * (2 * M / batch_size))
+    # aggregate cost: total work, exact sum of per-batch depths (batches
+    # are sequentially dependent)
+    return Cost(s["work"], s["total_depth"])
 
 
 def test_e9_speedup_grows_with_batch_size(benchmark, report):

@@ -77,6 +77,11 @@ class DynamicMatching:
         Structure backend: "array" (flat-array hot-path engine, default)
         or "dict" (the original record-dict oracle).  Identical behavior
         and ledger totals; the array backend is simply faster.
+    engine:
+        Optional :class:`repro.parallel.engine.Engine` — runs the greedy
+        matcher's round sweeps on the real worker pool (settle phases of
+        large batches).  Matchings, ledger totals, and certificates stay
+        bit-identical to serial execution.
 
     Notes
     -----
@@ -94,8 +99,10 @@ class DynamicMatching:
         heavy_factor: float = 4.0,
         ledger: Optional[Ledger] = None,
         backend: str = "array",
+        engine=None,
     ) -> None:
         self.ledger = ledger if ledger is not None else Ledger()
+        self.engine = engine
         try:
             structure_cls = BACKENDS[backend]
         except KeyError:
@@ -293,7 +300,9 @@ class DynamicMatching:
             work=len(edges), depth=log2ceil(max(len(edges), 2)), tag="insert_filter"
         )
 
-        result = parallel_greedy_match(free, self.ledger, rng=self.rng)
+        result = parallel_greedy_match(
+            free, self.ledger, rng=self.rng, engine=self.engine
+        )
         matched_ids: Set[EdgeId] = set(result.matched_ids)
 
         new_matches = result.matched_edges
@@ -348,7 +357,9 @@ class DynamicMatching:
         """One settle round: rematch the pool with fresh random samples."""
         rnd = SettleRound(input_edges=len(pool))
 
-        result = parallel_greedy_match(pool, self.ledger, rng=self.rng)
+        result = parallel_greedy_match(
+            pool, self.ledger, rng=self.rng, engine=self.engine
+        )
 
         # Existing matches incident on the new ones must be deleted (stolen).
         stolen_ids: Set[EdgeId] = set()

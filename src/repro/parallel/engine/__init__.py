@@ -1,0 +1,45 @@
+"""Real-multicore round execution engine.
+
+The simulated fork-join machine (:mod:`repro.parallel.ledger`) prices
+every round; this package actually *runs* the big ones on a persistent
+shared-memory worker pool, scheduled by those same ledger costs.  See
+``docs/parallelism.md`` for the design and the determinism contract.
+
+Public API::
+
+    from repro.parallel.engine import Engine, EngineConfig
+
+    with Engine(EngineConfig(mode="shm", workers=4)) as engine:
+        result = parallel_greedy_match(edges, ledger, engine=engine)
+"""
+
+from repro.parallel.engine.core import (
+    MODES,
+    Arena,
+    Engine,
+    EngineConfig,
+    MatcherSession,
+)
+from repro.parallel.engine.kernels import KERNELS, register_kernel
+from repro.parallel.engine.pool import EngineError, PersistentPool, WorkerCrashError
+from repro.parallel.engine.scheduler import LedgerCalibratedScheduler, SchedulerConfig
+from repro.parallel.engine.shm import Segment, WorkerCache, attach, make_segment
+
+__all__ = [
+    "MODES",
+    "Arena",
+    "Engine",
+    "EngineConfig",
+    "EngineError",
+    "KERNELS",
+    "LedgerCalibratedScheduler",
+    "MatcherSession",
+    "PersistentPool",
+    "SchedulerConfig",
+    "Segment",
+    "WorkerCache",
+    "WorkerCrashError",
+    "attach",
+    "make_segment",
+    "register_kernel",
+]

@@ -1,0 +1,471 @@
+"""The execution engine: pool + arenas + scheduler + instrumentation.
+
+:class:`Engine` is the one object the rest of the codebase talks to.  It
+owns a lazily-started :class:`~repro.parallel.engine.pool.PersistentPool`
+(workers fork once per engine lifetime), publishes array state through
+:class:`Arena` segments (shared memory or pickled bytes, per
+``EngineConfig.mode``), and consults a
+:class:`~repro.parallel.engine.scheduler.LedgerCalibratedScheduler` per
+round so that only rounds whose simulated ledger cost clears the
+calibrated cutoff are fanned out.
+
+Correctness contract (enforced by tests/parallel/test_engine_differential.py):
+the engine never changes *what* is computed, only *where*.  Workers run
+pure kernels over read-only views; every mutation and every ledger charge
+happens in the master in the exact order of the serial path; chunk results
+merge positionally.  Matchings, ledger totals, and certificates are
+therefore bit-identical to serial execution at any worker count.
+
+If a worker ever dies, the engine marks itself degraded, recomputes the
+affected round serially, and stops parallelizing — a crash can cost
+speed, never correctness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.parallel.engine.kernels import KERNELS
+from repro.parallel.engine.pool import EngineError, PersistentPool, WorkerCrashError
+from repro.parallel.engine.scheduler import LedgerCalibratedScheduler, SchedulerConfig
+from repro.parallel.engine.shm import Segment, make_segment
+from repro.parallel.pool_exec import chunk_ranges, default_workers
+
+#: Engine modes: how work is executed and how arrays reach the workers.
+MODES = ("serial", "pool", "shm")
+
+
+@dataclass
+class EngineConfig:
+    """Engine tunables.
+
+    ``mode``
+        ``"serial"`` — engine disabled (sessions are never opened);
+        ``"pool"``  — persistent workers, arrays shipped as pickled bytes
+        (re-shipped when mutated);
+        ``"shm"``   — persistent workers over shared-memory segments
+        (mutations are visible in place; rounds ship index ranges only).
+    ``workers``
+        Worker processes; 0 picks :func:`default_workers`.  With 1 worker
+        no processes are spawned: rounds run in-master through the same
+        vectorized kernels (the engine's serial floor).
+    ``min_session_edges``
+        Sessions are only opened for inputs with at least this many
+        edges — below it, the CSR build + segment publish cost cannot
+        be recovered (measured breakeven on the E1 dynamic workload is
+        between 2k and 4k edges per matcher call).
+    """
+
+    mode: str = "shm"
+    workers: int = 0
+    min_session_edges: int = 4096
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown engine mode {self.mode!r}; expected {MODES}")
+        if self.workers == 0:
+            self.workers = default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1 (or 0 for auto)")
+
+
+class Arena:
+    """A named set of array segments published to the pool as one unit."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.id = next(Arena._ids)
+        self.segments: Dict[str, Segment] = {}
+        engine._arenas[self.id] = self
+
+    def publish(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Publish one array; returns the master's working view (the
+        shm-backed view in shm mode — mutate *that* for workers to see)."""
+        seg = make_segment(name, array, use_shm=self.engine.use_shm)
+        old = self.segments.get(name)
+        if old is not None:
+            old.close()
+        self.segments[name] = seg
+        self.engine._ship(self.id, seg)
+        return seg.array
+
+    def republish(self, name: str) -> None:
+        """Re-ship a mutated array (no-op in shm mode: workers share it)."""
+        seg = self.segments[name]
+        if seg.shm is not None:
+            return
+        self.engine._ship(self.id, seg)
+
+    def close(self) -> None:
+        self.engine._arenas.pop(self.id, None)
+        if self.engine.pool is not None and not self.engine.pool.broken:
+            self.engine.pool.drop_arena(self.id)
+        for seg in self.segments.values():
+            seg.close()
+        self.segments.clear()
+
+
+class Engine:
+    """Real-multicore executor for the round-synchronous algorithms."""
+
+    def __init__(self, config: Optional[EngineConfig] = None, observer=None) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.scheduler = LedgerCalibratedScheduler(
+            self.config.workers, self.config.scheduler
+        )
+        self.pool: Optional[PersistentPool] = None
+        self._arenas: Dict[int, Arena] = {}
+        self._degraded = False
+        self._closed = False
+        self.stats = {
+            "rounds_serial": 0,
+            "rounds_parallel": 0,
+            "tasks": 0,
+            "bytes_shipped": 0,
+            "sessions": 0,
+            "fallbacks": 0,
+        }
+        self._tracer = None
+        self._metrics = None
+        if observer is not None:
+            self.attach_observer(observer)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def enabled(self) -> bool:
+        """True when sessions may be opened (mode is not serial)."""
+        return self.config.mode != "serial" and not self._closed
+
+    @property
+    def use_shm(self) -> bool:
+        return self.config.mode == "shm"
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def can_parallelize(self) -> bool:
+        return (
+            self.enabled and self.config.workers >= 2 and not self._degraded
+        )
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def attach_observer(self, observer) -> None:
+        """Register the ``repro_engine_*`` metric catalog on an
+        :class:`repro.obs.Observer` (idempotent) and emit ``engine.round``
+        spans through its tracer."""
+        reg = observer.registry
+        self._metrics = {
+            "workers": reg.gauge(
+                "repro_engine_workers", "Worker processes in the engine pool"
+            ),
+            "rounds": reg.counter(
+                "repro_engine_rounds_total",
+                "Rounds executed by the engine", ("mode",),
+            ),
+            "tasks": reg.counter(
+                "repro_engine_tasks_total", "Kernel tasks dispatched to workers"
+            ),
+            "bytes": reg.counter(
+                "repro_engine_bytes_shipped_total",
+                "Bytes crossing the process boundary (publishes + results)",
+            ),
+            "imbalance": reg.gauge(
+                "repro_engine_last_imbalance",
+                "Last parallel round's max/mean chunk output ratio",
+            ),
+            "fallbacks": reg.counter(
+                "repro_engine_fallbacks_total",
+                "Rounds recomputed serially after a worker failure",
+            ),
+        }
+        self._metrics["workers"].set(self.config.workers)
+        self._tracer = observer.tracer
+
+    def _count_bytes(self, n: int) -> None:
+        self.stats["bytes_shipped"] += n
+        if self._metrics is not None:
+            self._metrics["bytes"].inc(n)
+
+    def _note_fallback(self) -> None:
+        """A worker failed: stop parallelizing, run everything in-master."""
+        self._degraded = True
+        self.stats["fallbacks"] += 1
+        if self._metrics is not None:
+            self._metrics["fallbacks"].inc()
+
+    def _ship(self, arena_id: int, seg: Segment) -> None:
+        """Best-effort publish to the pool: a dead pool degrades the
+        engine to serial instead of failing the computation."""
+        if self.pool is None:
+            return
+        try:
+            self._count_bytes(self.pool.publish(arena_id, seg))
+        except WorkerCrashError:
+            self._note_fallback()
+
+    def _note_round(self, mode: str, chunks: int, n_items: int, imbalance: float) -> None:
+        self.stats["rounds_serial" if mode == "serial" else "rounds_parallel"] += 1
+        if self._metrics is not None:
+            self._metrics["rounds"].labels(mode=mode).inc()
+            if mode == "parallel":
+                self._metrics["imbalance"].set(imbalance)
+        if self._tracer is not None:
+            self._tracer.event("engine.round")
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> Optional[PersistentPool]:
+        if not self.can_parallelize:
+            return None
+        if self.pool is None:
+            self.pool = PersistentPool(self.config.workers)
+            # Replay arenas published before the pool spun up (the pool
+            # is lazy: workers fork on the first round worth fanning out).
+            for arena in self._arenas.values():
+                for seg in arena.segments.values():
+                    self._ship(arena.id, seg)
+        return self.pool
+
+    def calibrate(self) -> Optional[dict]:
+        """Measure the real task round-trip and master kernel throughput,
+        then retune the scheduler (returns the measurements, or None when
+        the engine cannot parallelize)."""
+        import time
+
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        pool.ping()  # warm up
+        t0 = time.perf_counter()
+        reps = 5
+        for _ in range(reps):
+            pool.ping()
+        roundtrip = (time.perf_counter() - t0) / (reps * pool.workers)
+
+        # Master throughput on a synthetic gather (~64k work units).
+        rng = np.random.default_rng(0)
+        m, nv, deg = 8192, 1024, 8
+        ce = rng.integers(0, m, size=nv * deg, dtype=np.int64)
+        off = np.arange(0, nv * deg + 1, deg, dtype=np.int64)
+        ev = rng.integers(0, nv, size=(m, 2), dtype=np.int64)
+        arrays = {
+            "csr_off": off, "csr_edge": ce, "ev": ev,
+            "done": np.zeros(m, np.uint8),
+            "roots": np.arange(0, m, 2, dtype=np.int64),
+        }
+        work_units = int(m / 2 + deg * 2 * (m / 2))
+        t0 = time.perf_counter()
+        KERNELS["gather_roots"](arrays, {"start": 0, "stop": m // 2, "m": m})
+        per_unit = (time.perf_counter() - t0) / max(work_units, 1)
+        self.scheduler.apply_calibration(roundtrip, per_unit)
+        return {
+            "roundtrip_seconds": roundtrip,
+            "seconds_per_work_unit": per_unit,
+            "task_overhead_work": self.scheduler.config.task_overhead_work,
+            "cutoff_work": self.scheduler.config.cutoff_work,
+        }
+
+    def run_chunked(
+        self,
+        kernel: str,
+        arena: Arena,
+        n_items: int,
+        chunks: int,
+        extra_args: dict,
+    ) -> List:
+        """Dispatch ``chunks`` range-tasks over ``[0, n_items)`` and return
+        per-chunk results in order."""
+        pool = self._ensure_pool()
+        if pool is None:
+            raise EngineError("engine cannot parallelize")
+        ranges = chunk_ranges(n_items, chunks)
+        tasks = [
+            (kernel, arena.id, {**extra_args, "start": s, "stop": e})
+            for s, e in ranges
+        ]
+        results = pool.run_tasks(tasks)
+        self.stats["tasks"] += len(tasks)
+        if self._metrics is not None:
+            self._metrics["tasks"].inc(len(tasks))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def open_matcher_session(
+        self,
+        vertex_edges: Dict,
+        verts_arr: Sequence[tuple],
+        m: int,
+    ) -> Optional["MatcherSession"]:
+        """A per-call session for the greedy matcher, or None when the
+        input is too small (or the engine is disabled) to bother."""
+        if not self.enabled or m < self.config.min_session_edges or m == 0:
+            return None
+        self.stats["sessions"] += 1
+        return MatcherSession(self, vertex_edges, verts_arr, m)
+
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Stop the workers.  The engine object stays usable as a serial
+        engine (sessions keep running in-master)."""
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+        self._closed = False
+        self._degraded = True
+
+    def close(self) -> None:
+        """Shut down and disable entirely (no more sessions)."""
+        self.shutdown()
+        self._closed = True
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class MatcherSession:
+    """Engine-side round state for one ``parallel_greedy_match`` call.
+
+    Publishes the CSR incidence (priority-ordered), the per-edge dense
+    vertex table, the mutable ``done`` flags, and a root-index scratch
+    buffer; then serves :meth:`gather` once per round.  The scheduler
+    sees each round's simulated cost (the same O(sum of root degrees)
+    the ledger charges for the sweep) and picks serial in-master
+    execution or a fan-out across the pool.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        vertex_edges: Dict,
+        verts_arr: Sequence[tuple],
+        m: int,
+    ) -> None:
+        self.engine = engine
+        self.m = m
+        vid = {v: i for i, v in enumerate(vertex_edges)}
+        nv = len(vid)
+        lengths = [len(lst) for lst in vertex_edges.values()]
+        csr_off = np.zeros(nv + 1, dtype=np.int64)
+        np.cumsum(lengths, out=csr_off[1:])
+        csr_edge = np.fromiter(
+            (i for lst in vertex_edges.values() for i in lst),
+            dtype=np.int64, count=int(csr_off[-1]),
+        )
+        r = max((len(vs) for vs in verts_arr), default=1)
+        ev = np.full((m, r), -1, dtype=np.int64)
+        for i, vs in enumerate(verts_arr):
+            for j, v in enumerate(vs):
+                ev[i, j] = vid[v]
+
+        self.arena = Arena(engine)
+        # Immutable topology (published once per session).
+        self._csr_off = self.arena.publish("csr_off", csr_off)
+        self._csr_edge = self.arena.publish("csr_edge", csr_edge)
+        self._ev = self.arena.publish("ev", ev)
+        # Mutable round state: master writes, workers read.
+        self.done = self.arena.publish("done", np.zeros(m, dtype=np.uint8))
+        self._roots_buf = self.arena.publish(
+            "roots", np.zeros(m, dtype=np.int64)
+        )
+        # Simulated sweep cost per root: 1 + sum of its vertices' degrees
+        # (the same magnitude the ledger's par_assign/par_delete charges).
+        deg = csr_off[1:] - csr_off[:-1]
+        self._deg_e = 1 + np.where(ev >= 0, deg[ev], 0).sum(axis=1)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def mark_done(self, finished) -> None:
+        """Flip ``done`` for a batch of edge indices (between rounds)."""
+        idx = np.fromiter(finished, dtype=np.int64, count=len(finished))
+        self.done[idx] = 1
+
+    def _arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "csr_off": self._csr_off,
+            "csr_edge": self._csr_edge,
+            "ev": self._ev,
+            "done": self.done,
+            "roots": self._roots_buf,
+        }
+
+    def gather(self, roots: Sequence[int]) -> List[List[int]]:
+        """Alive-neighbor lists for this round's roots, in root order —
+        bit-identical to the serial alive-list sweep."""
+        k = len(roots)
+        if k == 0:
+            return []
+        engine = self.engine
+        roots_np = np.asarray(roots, dtype=np.int64)
+        work_est = float(self._deg_e[roots_np].sum())
+        depth_est = float(max(work_est / max(k, 1), 1.0))  # one branch's sweep
+        chunks = (
+            engine.scheduler.decide(work_est, depth_est, k)
+            if engine.can_parallelize else 1
+        )
+        if chunks > 1:
+            try:
+                flat, cnts = self._gather_parallel(roots_np, chunks)
+                engine._note_round("parallel", chunks, k, self._last_imbalance)
+                return _split(flat, cnts)
+            except WorkerCrashError:
+                engine._note_fallback()
+        self._roots_buf[:k] = roots_np
+        flat, cnts = KERNELS["gather_roots"](
+            self._arrays(), {"start": 0, "stop": k, "m": self.m}
+        )
+        engine._note_round("serial", 1, k, 1.0)
+        return _split(flat, cnts)
+
+    def _gather_parallel(self, roots_np: np.ndarray, chunks: int):
+        k = len(roots_np)
+        self._roots_buf[:k] = roots_np
+        self.arena.republish("roots")   # bytes mode only; shm is in place
+        self.arena.republish("done")
+        results = self.engine.run_chunked(
+            "gather_roots", self.arena, k, chunks, {"m": self.m}
+        )
+        sizes = [len(flat) for flat, _ in results]
+        self.engine._count_bytes(sum(s * 8 for s in sizes))
+        mean = sum(sizes) / max(len(sizes), 1)
+        self._last_imbalance = max(sizes) / mean if mean > 0 else 1.0
+        flat = np.concatenate([f for f, _ in results])
+        cnts = np.concatenate([c for _, c in results])
+        return flat, cnts
+
+    _last_imbalance = 1.0
+
+    def close(self) -> None:
+        if not self._closed:
+            self.arena.close()
+            self._closed = True
+
+
+def _split(flat: np.ndarray, cnts: np.ndarray) -> List[List[int]]:
+    """Cut the flat neighbor array back into per-root Python lists."""
+    out: List[List[int]] = []
+    pos = 0
+    fl = flat.tolist()
+    for c in cnts.tolist():
+        out.append(fl[pos:pos + c])
+        pos += c
+    return out

@@ -1,0 +1,230 @@
+"""Persistent shared-memory worker pool.
+
+Workers are forked **once per pool lifetime** and then fed tasks over
+per-worker duplex pipes — no per-batch ``ProcessPoolExecutor`` spawn
+cost, no re-pickling of the big arrays (those cross the boundary once,
+via :mod:`repro.parallel.engine.shm` segments).
+
+Protocol (master -> worker, one FIFO pipe per worker):
+
+``("publish", arena_id, descriptor)``
+    Attach/replace one array segment in the worker's cache.  Pipes are
+    FIFO, so a task sent after a publish is guaranteed to see it — no
+    acknowledgement round-trip needed.
+``("task", task_id, kernel_name, arena_id, args)``
+    Run a registered kernel; reply ``("ok", task_id, result)`` or
+    ``("err", task_id, message, traceback_text)``.
+``("drop", arena_id)``
+    Forget an arena (close shm attachments).
+``("stop",)``
+    Clean shutdown.
+
+Determinism: :meth:`PersistentPool.run_tasks` assigns task ``i`` to
+worker ``i % p`` and returns results in task order regardless of
+completion order, so callers can merge chunk results positionally.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import traceback
+from multiprocessing.connection import wait as conn_wait
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.parallel.engine.kernels import KERNELS
+from repro.parallel.engine.shm import Segment, WorkerCache
+
+
+class EngineError(RuntimeError):
+    """A task failed inside a worker (carries the remote traceback)."""
+
+
+class WorkerCrashError(EngineError):
+    """A worker died mid-flight; the pool can no longer be trusted."""
+
+
+def _worker_main(conn) -> None:
+    cache = WorkerCache()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            if op == "task":
+                _, task_id, kernel_name, arena_id, args = msg
+                try:
+                    fn = KERNELS[kernel_name]
+                    arrays = cache.arrays(arena_id) if arena_id is not None else {}
+                    result = fn(arrays, args)
+                    conn.send(("ok", task_id, result))
+                except BaseException as exc:  # noqa: BLE001 — report, don't die
+                    conn.send(
+                        ("err", task_id, f"{type(exc).__name__}: {exc}",
+                         traceback.format_exc())
+                    )
+            elif op == "publish":
+                _, arena_id, descriptor = msg
+                try:
+                    cache.publish(arena_id, descriptor)
+                except Exception:
+                    # The master may already have dropped + unlinked this
+                    # segment (a session can publish and close without
+                    # ever dispatching a task; pipes are FIFO, so the
+                    # publish is consumed after the block is gone).  Any
+                    # genuine use of the missing segment surfaces as a
+                    # loud per-task KeyError instead.
+                    pass
+            elif op == "drop":
+                cache.drop_arena(msg[1])
+            elif op == "stop":
+                break
+    finally:
+        cache.close()
+        conn.close()
+
+
+def _pick_context() -> mp.context.BaseContext:
+    """Prefer fork (cheap, instant start); fall back to the default."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else None)
+
+
+class PersistentPool:
+    """A fixed set of long-lived kernel workers."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        ctx = _pick_context()
+        self._conns = []
+        self._procs = []
+        self._task_ids = itertools.count()
+        self._broken = False
+        for _ in range(workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def worker_pids(self) -> List[int]:
+        return [p.pid for p in self._procs]
+
+    # ------------------------------------------------------------------ #
+    def broadcast(self, msg: tuple) -> None:
+        """Send one control message (publish/drop) to every worker."""
+        if self._broken:
+            raise WorkerCrashError("pool is broken")
+        try:
+            for conn in self._conns:
+                conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            self._broken = True
+            raise WorkerCrashError(f"worker pipe failed: {exc}") from exc
+
+    def publish(self, arena_id: int, segment: Segment) -> int:
+        """Ship one segment to every worker; returns bytes transported."""
+        descriptor = segment.descriptor()
+        self.broadcast(("publish", arena_id, descriptor))
+        return segment.transport_bytes() * self.workers
+
+    def drop_arena(self, arena_id: int) -> None:
+        try:
+            self.broadcast(("drop", arena_id))
+        except WorkerCrashError:
+            pass  # shutting down a broken pool is fine
+
+    # ------------------------------------------------------------------ #
+    def run_tasks(
+        self, tasks: Sequence[Tuple[str, Optional[int], dict]]
+    ) -> List[Any]:
+        """Execute ``(kernel_name, arena_id, args)`` tasks; results in
+        task order.  Task ``i`` runs on worker ``i % workers``."""
+        if self._broken:
+            raise WorkerCrashError("pool is broken")
+        n = len(tasks)
+        if n == 0:
+            return []
+        id_to_pos = {}
+        pending_by_conn = {id(c): 0 for c in self._conns}
+        try:
+            for i, (kernel_name, arena_id, args) in enumerate(tasks):
+                task_id = next(self._task_ids)
+                id_to_pos[task_id] = i
+                conn = self._conns[i % len(self._conns)]
+                conn.send(("task", task_id, kernel_name, arena_id, args))
+                pending_by_conn[id(conn)] += 1
+        except (BrokenPipeError, OSError) as exc:
+            self._broken = True
+            raise WorkerCrashError(f"worker pipe failed: {exc}") from exc
+
+        results: List[Any] = [None] * n
+        error: Optional[EngineError] = None
+        remaining = n
+        live = [c for c in self._conns if pending_by_conn[id(c)] > 0]
+        while remaining > 0:
+            ready = conn_wait(live)
+            for conn in ready:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._broken = True
+                    raise WorkerCrashError(
+                        "worker died mid-task (pool disabled)"
+                    ) from None
+                status, task_id = msg[0], msg[1]
+                pos = id_to_pos.pop(task_id)
+                remaining -= 1
+                pending_by_conn[id(conn)] -= 1
+                if pending_by_conn[id(conn)] == 0:
+                    live.remove(conn)
+                if status == "ok":
+                    results[pos] = msg[2]
+                elif error is None:
+                    error = EngineError(f"task {pos} failed: {msg[2]}\n{msg[3]}")
+        if error is not None:
+            raise error
+        return results
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> None:
+        """One no-op task per worker (health check / latency probe)."""
+        self.run_tasks([("ping", None, {"value": i}) for i in range(self.workers)])
+
+    def shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover — stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+        self._broken = True
+
+    def __del__(self) -> None:  # pragma: no cover — GC safety net
+        try:
+            if self._procs:
+                self.shutdown()
+        except Exception:
+            pass

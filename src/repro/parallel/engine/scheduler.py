@@ -1,0 +1,134 @@
+"""Ledger-calibrated serial-vs-parallel scheduling.
+
+Every round of the round-synchronous algorithms already carries a
+*simulated* cost: the ledger charges it W work units and D depth units
+(the paper's model).  The scheduler reuses exactly those quantities to
+decide, per round, whether fanning the round out to the worker pool can
+beat running it in the master process:
+
+* the serial execution of a round costs ``W`` time units;
+* the parallel execution costs ``W / p + D`` (Brent's bound) **plus**
+  real-machine overheads the simulated model does not see — a fixed
+  dispatch cost per task round-trip, expressed in the same work units
+  via a calibrated conversion factor.
+
+A round is parallelized only when the overhead-adjusted Brent time is
+below the serial time by at least ``margin``, and never below the hard
+``cutoff_work`` floor (tiny rounds always stay serial: the dispatch
+latency alone exceeds the whole round).
+
+Calibration: :meth:`LedgerCalibratedScheduler.calibrate` measures the
+pool's actual task round-trip latency and the master's per-work-unit
+kernel throughput, then re-derives ``task_overhead_work`` (round-trip
+latency expressed in work units) and tightens ``cutoff_work`` to the
+point where fan-out breaks even.  Without calibration, conservative
+defaults keep small rounds serial.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass
+class SchedulerConfig:
+    """Tunables for the serial-vs-parallel decision.
+
+    Attributes
+    ----------
+    cutoff_work:
+        Hard floor: rounds whose simulated work is below this are always
+        executed serially, regardless of everything else.
+    min_items_per_task:
+        Never create tasks smaller than this many items (a task that
+        processes three roots is pure overhead).
+    task_overhead_work:
+        Real dispatch + transport + collect cost of one task round-trip,
+        expressed in simulated work units (calibratable).
+    margin:
+        Required advantage: parallel is chosen only when its predicted
+        time is below ``serial_time * margin``.
+    assume_cores:
+        Physical parallelism to assume when pricing ``W/c``: chunks
+        beyond the host's core count run sequentially anyway, so the
+        chunk count is clamped to ``min(workers, assume_cores)``.
+        0 (default) reads ``os.cpu_count()``; tests that force fan-out
+        on small hosts set it explicitly.
+    """
+
+    cutoff_work: float = 8192.0
+    min_items_per_task: int = 8
+    task_overhead_work: float = 2048.0
+    margin: float = 0.9
+    assume_cores: int = 0
+
+    def effective_cores(self) -> int:
+        return self.assume_cores if self.assume_cores > 0 else (os.cpu_count() or 1)
+
+
+class LedgerCalibratedScheduler:
+    """Decides, per round, how many chunks (1 = serial) to execute with."""
+
+    def __init__(self, workers: int, config: SchedulerConfig | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.config = config if config is not None else SchedulerConfig()
+
+    # ------------------------------------------------------------------ #
+    # The decision
+    # ------------------------------------------------------------------ #
+    def predicted_parallel_work(self, work: float, depth: float, chunks: int) -> float:
+        """Brent time of the round on ``chunks`` workers, in work units,
+        including the real per-task dispatch overhead."""
+        return work / chunks + depth + self.config.task_overhead_work * chunks
+
+    def decide(self, work: float, depth: float, n_items: int) -> int:
+        """Number of chunks to split a round into; 1 means run serially.
+
+        ``work``/``depth`` are the round's simulated ledger cost (or a
+        cheap upper-bound estimate of it); ``n_items`` is the number of
+        independent branches available (e.g. roots in the round).
+        """
+        cfg = self.config
+        if self.workers < 2 or work < cfg.cutoff_work:
+            return 1
+        max_chunks = min(
+            self.workers,
+            cfg.effective_cores(),
+            n_items // max(cfg.min_items_per_task, 1),
+        )
+        if max_chunks < 2:
+            return 1
+        # Pick the chunk count with the best overhead-adjusted Brent time.
+        best_chunks, best_time = 1, float(work)
+        for c in range(2, max_chunks + 1):
+            t = self.predicted_parallel_work(work, depth, c)
+            if t < best_time:
+                best_chunks, best_time = c, t
+        if best_chunks > 1 and best_time <= work * cfg.margin:
+            return best_chunks
+        return 1
+
+    # ------------------------------------------------------------------ #
+    # Calibration
+    # ------------------------------------------------------------------ #
+    def apply_calibration(
+        self, roundtrip_seconds: float, seconds_per_work_unit: float
+    ) -> None:
+        """Re-derive the work-unit overheads from measured timings.
+
+        ``roundtrip_seconds`` is the latency of one no-op task dispatched
+        to the pool and collected back; ``seconds_per_work_unit`` is the
+        master's measured kernel throughput (wall-clock seconds per unit
+        of simulated work).  The cutoff lands where even a perfect
+        2-way split cannot recover two dispatch round-trips.
+        """
+        if roundtrip_seconds < 0 or seconds_per_work_unit <= 0:
+            raise ValueError("calibration timings must be positive")
+        overhead_work = roundtrip_seconds / seconds_per_work_unit
+        self.config.task_overhead_work = max(overhead_work, 1.0)
+        # Break-even for 2 chunks (ignoring depth): W > W/2 + 2*overhead
+        # => W > 4*overhead.  Keep a 2x safety factor on top.
+        self.config.cutoff_work = max(8.0 * self.config.task_overhead_work, 256.0)

@@ -1,0 +1,156 @@
+"""Shared-memory array segments for the worker pool.
+
+The engine ships *views*, not copies: the master publishes each numpy
+array backing a round-synchronous computation once, and tasks then name
+index ranges into it.  Two transports implement the same protocol:
+
+* ``shm`` — the array lives in a :mod:`multiprocessing.shared_memory`
+  block.  Workers attach by name (O(1), no data movement); master-side
+  writes (e.g. flipping ``done`` flags between rounds) are visible to
+  the workers without re-publication.
+* ``bytes`` — the array is pickled into the publish message (the
+  portable fallback; also what the ``pool`` engine mode uses).  Mutable
+  arrays must be re-published after mutation.
+
+A :class:`Segment` is the master-side handle; :meth:`Segment.descriptor`
+is the picklable description a worker turns back into a numpy view with
+:func:`attach`.  Workers cache attachments per (arena, name), so a
+segment crosses the process boundary once per worker, however many
+tasks read it.
+
+CPython < 3.13 quirk: attaching to an existing ``SharedMemory`` block
+registers it with the ``resource_tracker`` as if the attacher owned it.
+Under ``spawn`` that makes the worker's own tracker warn about a
+"leaked" block it never owned; under ``fork`` the workers share the
+master's tracker, and the spurious extra registrations/unregistrations
+race the master's own unlink.  Workers therefore suppress registration
+while attaching (the master, which created the block, remains the sole
+owner responsible for unlinking).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+class Segment:
+    """Master-side handle for one published array."""
+
+    __slots__ = ("name", "array", "shm", "nbytes")
+
+    def __init__(
+        self,
+        name: str,
+        array: np.ndarray,
+        shm: Optional[shared_memory.SharedMemory],
+    ) -> None:
+        self.name = name
+        self.array = array
+        self.shm = shm
+        self.nbytes = int(array.nbytes)
+
+    def descriptor(self) -> tuple:
+        """Picklable description a worker can :func:`attach` to."""
+        if self.shm is not None:
+            return ("shm", self.name, self.shm.name, str(self.array.dtype),
+                    self.array.shape)
+        return ("bytes", self.name, self.array.tobytes(), str(self.array.dtype),
+                self.array.shape)
+
+    def transport_bytes(self) -> int:
+        """Bytes that cross the process boundary when publishing to one
+        worker (a name for shm, the whole buffer for bytes)."""
+        return len(self.shm.name) if self.shm is not None else self.nbytes
+
+    def close(self) -> None:
+        if self.shm is not None:
+            self.array = None  # drop the view before closing the mapping
+            self.shm.close()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+            self.shm = None
+
+
+def make_segment(name: str, array: np.ndarray, use_shm: bool) -> Segment:
+    """Publish ``array`` as a segment.
+
+    With ``use_shm`` the data is copied once into a fresh shared-memory
+    block and the *returned segment's* ``array`` is the shm-backed view —
+    callers that keep mutating the array (round state like ``done``)
+    must switch to that view so workers observe the writes.
+    """
+    array = np.ascontiguousarray(array)
+    if not use_shm or array.nbytes == 0:
+        return Segment(name, array, None)
+    shm = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    return Segment(name, view, shm)
+
+
+class _WorkerAttachment:
+    """Worker-side record of one attached segment."""
+
+    __slots__ = ("array", "shm")
+
+    def __init__(self, array: np.ndarray, shm: Optional[shared_memory.SharedMemory]):
+        self.array = array
+        self.shm = shm
+
+    def close(self) -> None:
+        if self.shm is not None:
+            self.array = None
+            self.shm.close()
+            self.shm = None
+
+
+def attach(descriptor: tuple) -> _WorkerAttachment:
+    """Turn a :meth:`Segment.descriptor` back into a read-only numpy view
+    (worker side)."""
+    kind = descriptor[0]
+    if kind == "shm":
+        _, _, shm_name, dtype, shape = descriptor
+        # See module docstring: the worker never owns the block, so keep
+        # the attach from registering it with the resource tracker.
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            shm = shared_memory.SharedMemory(name=shm_name)
+        finally:
+            resource_tracker.register = orig_register
+        array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        return _WorkerAttachment(array, shm)
+    _, _, raw, dtype, shape = descriptor
+    array = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
+    return _WorkerAttachment(array, None)
+
+
+class WorkerCache:
+    """Per-worker cache of attachments, keyed by (arena id, segment name)."""
+
+    def __init__(self) -> None:
+        self._arenas: Dict[int, Dict[str, _WorkerAttachment]] = {}
+
+    def publish(self, arena_id: int, descriptor: tuple) -> None:
+        name = descriptor[1]
+        arena = self._arenas.setdefault(arena_id, {})
+        old = arena.get(name)
+        if old is not None:
+            old.close()
+        arena[name] = attach(descriptor)
+
+    def arrays(self, arena_id: int) -> Dict[str, np.ndarray]:
+        return {name: att.array for name, att in self._arenas[arena_id].items()}
+
+    def drop_arena(self, arena_id: int) -> None:
+        for att in self._arenas.pop(arena_id, {}).values():
+            att.close()
+
+    def close(self) -> None:
+        for arena_id in list(self._arenas):
+            self.drop_arena(arena_id)

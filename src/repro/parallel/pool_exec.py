@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -27,22 +27,31 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def chunked(items: Sequence[T], n_chunks: int) -> List[List[T]]:
-    """Split ``items`` into at most ``n_chunks`` contiguous, balanced chunks."""
+def chunk_ranges(n: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``n_chunks`` contiguous, balanced
+    ``(start, stop)`` index ranges — no materialization, O(n_chunks)."""
     if n_chunks < 1:
         raise ValueError("n_chunks must be >= 1")
-    n = len(items)
     if n == 0:
         return []
     n_chunks = min(n_chunks, n)
     base, extra = divmod(n, n_chunks)
-    out: List[List[T]] = []
+    out: List[Tuple[int, int]] = []
     start = 0
     for i in range(n_chunks):
-        size = base + (1 if i < extra else 0)
-        out.append(list(items[start : start + size]))
-        start += size
+        stop = start + base + (1 if i < extra else 0)
+        out.append((start, stop))
+        start = stop
     return out
+
+
+def chunked(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced chunks.
+
+    Compatibility shim over :func:`chunk_ranges`; prefer the range form,
+    which ships two ints per chunk instead of copying the items.
+    """
+    return [list(items[s:e]) for s, e in chunk_ranges(len(items), n_chunks)]
 
 
 def pool_map(

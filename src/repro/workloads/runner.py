@@ -161,16 +161,23 @@ def run_stream(
 
 
 def summarize(records: Sequence[RunRecord]) -> dict:
-    """Aggregate a run: total work, updates, work/update, max depth."""
+    """Aggregate a run: total work, updates, work/update, depth totals.
+
+    ``total_depth`` is the exact sum of per-batch depths — the depth of
+    the whole run on the simulated machine, since batches are applied
+    sequentially.  Prefer it over reconstructions from ``mean_depth``
+    (mean times an estimated batch count re-introduces rounding the
+    per-batch records don't have).
+    """
     total_updates = sum(r.size for r in records)
     total_work = sum(r.work for r in records)
+    total_depth = sum(r.depth for r in records)
     return {
         "batches": len(records),
         "updates": total_updates,
         "total_work": total_work,
         "work_per_update": total_work / total_updates if total_updates else 0.0,
         "max_depth": max((r.depth for r in records), default=0.0),
-        "mean_depth": (
-            sum(r.depth for r in records) / len(records) if records else 0.0
-        ),
+        "total_depth": total_depth,
+        "mean_depth": total_depth / len(records) if records else 0.0,
     }

@@ -1,0 +1,155 @@
+"""Differential harness: engine execution must be bit-identical to serial.
+
+The engine's whole correctness story is that it changes *where* rounds
+run, never *what* they compute.  This file enforces that story the hard
+way: many random traces, each run twice — once serially, once on a
+2-worker engine with the scheduler cutoff forced to zero (so every round
+that can fan out does) — comparing:
+
+* the full matching, including sample spaces, in order;
+* the ledger totals (work AND depth, exactly);
+* for dynamic runs, the recovery certificate (matching + witness).
+
+The ``parallel`` marker routes these to CI's dedicated engine job with a
+pinned worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.certify import certify
+from repro.core.dynamic_matching import DynamicMatching
+from repro.parallel.engine import Engine, EngineConfig, SchedulerConfig
+from repro.parallel.ledger import Ledger
+from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.workloads.adversary import RandomOrderAdversary
+from repro.workloads.generators import erdos_renyi_edges, random_hypergraph_edges
+from repro.workloads.streams import insert_then_delete_stream
+
+pytestmark = pytest.mark.parallel
+
+#: Force-everything-parallel scheduler: every round with >=2 items fans out
+#: (assume_cores overrides the host clamp so CI runners of any size fan out).
+AGGRESSIVE = dict(
+    cutoff_work=0.0, min_items_per_task=1, task_overhead_work=0.0, margin=10.0,
+    assume_cores=8,
+)
+
+
+@pytest.fixture(scope="module", params=["shm", "pool"])
+def engine(request):
+    """One persistent 2-worker engine per transport, shared by all traces
+    (the pool forks once; sessions are per-call)."""
+    eng = Engine(
+        EngineConfig(
+            mode=request.param,
+            workers=2,
+            min_session_edges=0,
+            scheduler=SchedulerConfig(**AGGRESSIVE),
+        )
+    )
+    yield eng
+    eng.close()
+
+
+def _match_fingerprint(result):
+    return [
+        (m.edge.eid, tuple(s.eid for s in m.samples)) for m in result.matches
+    ]
+
+
+class TestStaticDifferential:
+    def test_fifty_random_traces(self, engine):
+        """>= 50 random graphs: matching, samples, rounds, and ledger
+        totals all bit-identical between serial and engine execution."""
+        rng = np.random.default_rng(20250805)
+        parallel_rounds_before = engine.stats["rounds_parallel"]
+        for trace in range(50):
+            nv = int(rng.integers(6, 60))
+            m = int(rng.integers(1, min(240, nv * (nv - 1) // 2)))
+            if trace % 3 == 2:
+                edges = random_hypergraph_edges(
+                    nv, m, 3, np.random.default_rng(1000 + trace)
+                )
+            else:
+                edges = erdos_renyi_edges(
+                    nv, m, np.random.default_rng(1000 + trace)
+                )
+            led_s, led_e = Ledger(), Ledger()
+            serial = parallel_greedy_match(
+                edges, led_s, rng=np.random.default_rng(trace)
+            )
+            parallel = parallel_greedy_match(
+                edges, led_e, rng=np.random.default_rng(trace), engine=engine
+            )
+            assert _match_fingerprint(serial) == _match_fingerprint(parallel), (
+                f"trace {trace}: matchings diverged"
+            )
+            assert serial.rounds == parallel.rounds, f"trace {trace}"
+            assert serial.priorities == parallel.priorities, f"trace {trace}"
+            assert (led_s.work, led_s.depth) == (led_e.work, led_e.depth), (
+                f"trace {trace}: ledger diverged "
+                f"({led_s.work},{led_s.depth}) != ({led_e.work},{led_e.depth})"
+            )
+        # The harness must actually have exercised the parallel path.
+        assert engine.stats["rounds_parallel"] > parallel_rounds_before
+        assert not engine._degraded
+
+
+class TestDynamicDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stream_replay_identical(self, engine, seed):
+        """Full dynamic runs: per-batch ledger deltas, final matching,
+        and the recovery certificate agree with serial execution."""
+
+        def make_stream():
+            edges = erdos_renyi_edges(40, 300, np.random.default_rng(seed))
+            return insert_then_delete_stream(
+                edges, 64, RandomOrderAdversary(np.random.default_rng(seed + 50))
+            )
+
+        dm_s = DynamicMatching(rank=2, seed=seed + 100)
+        dm_e = DynamicMatching(rank=2, seed=seed + 100, engine=engine)
+        for batch_s, batch_e in zip(make_stream(), make_stream()):
+            w0s, d0s = dm_s.ledger.work, dm_s.ledger.depth
+            w0e, d0e = dm_e.ledger.work, dm_e.ledger.depth
+            if batch_s.kind == "insert":
+                dm_s.insert_edges(list(batch_s.edges))
+                dm_e.insert_edges(list(batch_e.edges))
+            else:
+                dm_s.delete_edges(list(batch_s.eids))
+                dm_e.delete_edges(list(batch_e.eids))
+            assert dm_s.matched_ids() == dm_e.matched_ids()
+            assert (dm_s.ledger.work - w0s, dm_s.ledger.depth - d0s) == (
+                dm_e.ledger.work - w0e, dm_e.ledger.depth - d0e
+            ), "per-batch ledger delta diverged"
+        cert_s, cert_e = certify(dm_s), certify(dm_e)
+        assert cert_s.matched == cert_e.matched
+        assert cert_s.witness == cert_e.witness
+
+    def test_hypergraph_stream(self, engine):
+        edges = random_hypergraph_edges(30, 200, 3, np.random.default_rng(9))
+        stream = insert_then_delete_stream(
+            edges, 50, RandomOrderAdversary(np.random.default_rng(10))
+        )
+        dm_s = DynamicMatching(rank=3, seed=77)
+        dm_e = DynamicMatching(rank=3, seed=77, engine=engine)
+        for batch in stream:
+            if batch.kind == "insert":
+                dm_s.insert_edges(list(batch.edges))
+                dm_e.insert_edges(list(batch.edges))
+            else:
+                dm_s.delete_edges(list(batch.eids))
+                dm_e.delete_edges(list(batch.eids))
+        assert dm_s.matched_ids() == dm_e.matched_ids()
+        assert (dm_s.ledger.work, dm_s.ledger.depth) == (
+            dm_e.ledger.work, dm_e.ledger.depth
+        )
+        assert certify(dm_s).matched == certify(dm_e).matched
+
+
+def test_engine_disabled_mode_opens_no_sessions():
+    eng = Engine(EngineConfig(mode="serial", workers=2, min_session_edges=0))
+    assert not eng.enabled
+    assert eng.open_matcher_session({0: [0], 1: [0]}, [(0, 1)], 1) is None
+    eng.close()

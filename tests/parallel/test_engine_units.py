@@ -1,0 +1,393 @@
+"""Unit tests for the real-multicore execution engine's parts.
+
+Scheduler and shm/kernel tests are plain units; everything that forks
+real worker processes carries the ``parallel`` marker (CI runs them in a
+dedicated job with a pinned worker count).
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel.engine import (
+    Engine,
+    EngineConfig,
+    EngineError,
+    KERNELS,
+    LedgerCalibratedScheduler,
+    PersistentPool,
+    SchedulerConfig,
+    WorkerCache,
+    attach,
+    make_segment,
+)
+from repro.parallel.engine.kernels import gather_roots_reference
+
+
+# --------------------------------------------------------------------- #
+# Scheduler
+# --------------------------------------------------------------------- #
+class TestScheduler:
+    def test_serial_below_cutoff(self):
+        """The scheduler NEVER parallelizes below the calibrated cutoff."""
+        sched = LedgerCalibratedScheduler(
+            8, SchedulerConfig(cutoff_work=1000.0, min_items_per_task=1)
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            work = float(rng.uniform(0, 1000.0 - 1e-9))
+            depth = float(rng.uniform(0, 100))
+            n_items = int(rng.integers(1, 10_000))
+            assert sched.decide(work, depth, n_items) == 1
+
+    def test_serial_with_one_worker(self):
+        sched = LedgerCalibratedScheduler(1, SchedulerConfig(cutoff_work=0.0))
+        assert sched.decide(1e12, 1.0, 10_000) == 1
+
+    def test_parallelizes_big_flat_round(self):
+        sched = LedgerCalibratedScheduler(
+            4,
+            SchedulerConfig(
+                cutoff_work=100.0, min_items_per_task=1, task_overhead_work=10.0,
+                assume_cores=8,
+            ),
+        )
+        chunks = sched.decide(work=1e6, depth=10.0, n_items=10_000)
+        assert 2 <= chunks <= 4
+
+    def test_min_items_per_task_limits_chunks(self):
+        sched = LedgerCalibratedScheduler(
+            8,
+            SchedulerConfig(
+                cutoff_work=0.0, min_items_per_task=10, task_overhead_work=0.0,
+                margin=1.0, assume_cores=8,
+            ),
+        )
+        # 25 items / 10 per task -> at most 2 chunks, regardless of workers.
+        assert sched.decide(1e6, 1.0, 25) <= 2
+        # 9 items cannot even fill two tasks -> serial.
+        assert sched.decide(1e6, 1.0, 9) == 1
+
+    def test_chunks_clamped_to_cores(self):
+        # 8 workers but only 2 assumed cores: never more than 2 chunks.
+        sched = LedgerCalibratedScheduler(
+            8,
+            SchedulerConfig(
+                cutoff_work=0.0, min_items_per_task=1, task_overhead_work=0.0,
+                margin=1.0, assume_cores=2,
+            ),
+        )
+        assert sched.decide(1e6, 1.0, 10_000) == 2
+
+    def test_deep_round_stays_serial(self):
+        # Brent: when depth ~ work, splitting buys nothing.
+        sched = LedgerCalibratedScheduler(
+            4,
+            SchedulerConfig(cutoff_work=0.0, min_items_per_task=1, assume_cores=8),
+        )
+        assert sched.decide(work=1e5, depth=1e5, n_items=1000) == 1
+
+    def test_calibration_sets_cutoff_above_overhead(self):
+        sched = LedgerCalibratedScheduler(4)
+        sched.apply_calibration(
+            roundtrip_seconds=1e-3, seconds_per_work_unit=1e-6
+        )
+        assert sched.config.task_overhead_work == pytest.approx(1000.0)
+        assert sched.config.cutoff_work == pytest.approx(8000.0)
+        # Just below the cutoff: still serial.
+        assert sched.decide(7999.0, 1.0, 10_000) == 1
+
+    def test_calibration_rejects_bad_timings(self):
+        sched = LedgerCalibratedScheduler(4)
+        with pytest.raises(ValueError):
+            sched.apply_calibration(-1.0, 1e-6)
+        with pytest.raises(ValueError):
+            sched.apply_calibration(1e-3, 0.0)
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory segments
+# --------------------------------------------------------------------- #
+class TestSegments:
+    @pytest.mark.parametrize("use_shm", [False, True])
+    def test_roundtrip(self, use_shm):
+        arr = np.arange(100, dtype=np.int64).reshape(10, 10)
+        seg = make_segment("a", arr, use_shm=use_shm)
+        try:
+            att = attach(seg.descriptor())
+            np.testing.assert_array_equal(att.array, arr)
+            assert att.array.dtype == arr.dtype
+            att.close()
+        finally:
+            seg.close()
+
+    def test_shm_mutation_visible_through_attachment(self):
+        arr = np.zeros(8, dtype=np.uint8)
+        seg = make_segment("done", arr, use_shm=True)
+        try:
+            att = attach(seg.descriptor())
+            seg.array[3] = 1  # master writes the shm-backed view...
+            assert att.array[3] == 1  # ...attacher sees it without re-publish
+            att.close()
+        finally:
+            seg.close()
+
+    def test_bytes_mutation_not_visible(self):
+        arr = np.zeros(8, dtype=np.uint8)
+        seg = make_segment("done", arr, use_shm=False)
+        att = attach(seg.descriptor())
+        seg.array[3] = 1
+        assert att.array[3] == 0  # bytes transport snapshots at publish
+        seg.close()
+
+    def test_transport_bytes(self):
+        arr = np.zeros(1000, dtype=np.int64)
+        assert make_segment("x", arr, use_shm=False).transport_bytes() == 8000
+        seg = make_segment("x", arr, use_shm=True)
+        try:
+            assert seg.transport_bytes() < 100  # just the name
+        finally:
+            seg.close()
+
+    def test_worker_cache_replaces_and_drops(self):
+        cache = WorkerCache()
+        a = np.arange(4, dtype=np.int64)
+        cache.publish(1, make_segment("x", a, use_shm=False).descriptor())
+        cache.publish(1, make_segment("x", a * 2, use_shm=False).descriptor())
+        np.testing.assert_array_equal(cache.arrays(1)["x"], a * 2)
+        cache.drop_arena(1)
+        with pytest.raises(KeyError):
+            cache.arrays(1)
+        cache.close()
+
+
+# --------------------------------------------------------------------- #
+# The gather kernel vs its straight-line reference
+# --------------------------------------------------------------------- #
+def _random_instance(rng, nv, m, rank):
+    """Random CSR incidence + ev table + done flags, matcher-shaped."""
+    verts = [
+        sorted(rng.choice(nv, size=rng.integers(2, rank + 1), replace=False))
+        for _ in range(m)
+    ]
+    vertex_edges = {}
+    for i in rng.permutation(m):
+        for v in verts[i]:
+            vertex_edges.setdefault(int(v), []).append(int(i))
+    vids = {v: d for d, v in enumerate(vertex_edges)}
+    off = np.zeros(len(vids) + 1, dtype=np.int64)
+    np.cumsum([len(l) for l in vertex_edges.values()], out=off[1:])
+    ce = np.fromiter(
+        (i for l in vertex_edges.values() for i in l), np.int64, int(off[-1])
+    )
+    ev = np.full((m, rank), -1, dtype=np.int64)
+    for i, vs in enumerate(verts):
+        for j, v in enumerate(vs):
+            ev[i, j] = vids[int(v)]
+    done = (rng.random(m) < 0.3).astype(np.uint8)
+    return off, ce, ev, done
+
+
+class TestGatherKernel:
+    @pytest.mark.parametrize("rank", [2, 3])
+    def test_matches_reference(self, rank):
+        rng = np.random.default_rng(7 + rank)
+        for trial in range(20):
+            nv = int(rng.integers(4, 40))
+            m = int(rng.integers(1, 120))
+            off, ce, ev, done = _random_instance(rng, nv, m, rank)
+            k = int(rng.integers(1, m + 1))
+            roots = rng.choice(m, size=k, replace=False).astype(np.int64)
+            buf = np.zeros(m, dtype=np.int64)
+            buf[:k] = roots
+            arrays = {
+                "csr_off": off, "csr_edge": ce, "ev": ev,
+                "done": done, "roots": buf,
+            }
+            flat, cnts = KERNELS["gather_roots"](
+                arrays, {"start": 0, "stop": k, "m": m}
+            )
+            ref = gather_roots_reference(off, ce, ev, done, roots)
+            assert cnts.tolist() == [len(r) for r in ref]
+            got, pos = [], 0
+            for c in cnts.tolist():
+                got.append(flat[pos:pos + c].tolist())
+                pos += c
+            assert got == ref
+
+    def test_chunked_equals_whole(self):
+        rng = np.random.default_rng(3)
+        off, ce, ev, done = _random_instance(rng, 30, 100, 2)
+        roots = rng.choice(100, size=40, replace=False).astype(np.int64)
+        buf = np.zeros(100, dtype=np.int64)
+        buf[:40] = roots
+        arrays = {
+            "csr_off": off, "csr_edge": ce, "ev": ev, "done": done, "roots": buf,
+        }
+        whole_flat, whole_cnts = KERNELS["gather_roots"](
+            arrays, {"start": 0, "stop": 40, "m": 100}
+        )
+        parts = [
+            KERNELS["gather_roots"](arrays, {"start": s, "stop": e, "m": 100})
+            for s, e in [(0, 13), (13, 26), (26, 40)]
+        ]
+        np.testing.assert_array_equal(
+            np.concatenate([f for f, _ in parts]), whole_flat
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([c for _, c in parts]), whole_cnts
+        )
+
+    def test_empty_roots(self):
+        flat, cnts = KERNELS["gather_roots"](
+            {
+                "csr_off": np.zeros(1, np.int64),
+                "csr_edge": np.zeros(0, np.int64),
+                "ev": np.zeros((0, 2), np.int64),
+                "done": np.zeros(0, np.uint8),
+                "roots": np.zeros(0, np.int64),
+            },
+            {"start": 0, "stop": 0, "m": 0},
+        )
+        assert flat.size == 0 and cnts.size == 0
+
+
+# --------------------------------------------------------------------- #
+# The persistent pool (forks real processes)
+# --------------------------------------------------------------------- #
+pool_tests = pytest.mark.parallel
+
+
+@pool_tests
+class TestPersistentPool:
+    def test_fork_once_pids_stable(self):
+        pool = PersistentPool(2)
+        try:
+            pids = pool.worker_pids()
+            assert len(pids) == 2 and all(p for p in pids)
+            pool.ping()
+            pool.ping()
+            assert pool.worker_pids() == pids  # no respawn between calls
+        finally:
+            pool.shutdown()
+
+    def test_task_results_in_order(self):
+        pool = PersistentPool(2)
+        try:
+            out = pool.run_tasks(
+                [("ping", None, {"value": i}) for i in range(7)]
+            )
+            assert out == list(range(7))
+        finally:
+            pool.shutdown()
+
+    def test_kernel_error_propagates_with_traceback(self):
+        pool = PersistentPool(2)
+        try:
+            with pytest.raises(EngineError, match="no_such_kernel"):
+                pool.run_tasks([("no_such_kernel", None, {})])
+            # The pool survives a failed task.
+            pool.ping()
+        finally:
+            pool.shutdown()
+
+    def test_shm_segment_reaches_workers(self):
+        pool = PersistentPool(2)
+        seg = make_segment(
+            "roots", np.arange(10, dtype=np.int64), use_shm=True
+        )
+        try:
+            pool.publish(1, seg)
+            # gather on a trivial graph: 10 edges, no incidences.
+            for name, arr in {
+                "csr_off": np.zeros(1, np.int64),
+                "csr_edge": np.zeros(0, np.int64),
+                "ev": np.full((10, 2), -1, np.int64),
+                "done": np.zeros(10, np.uint8),
+            }.items():
+                pool.publish(1, make_segment(name, arr, use_shm=False))
+            out = pool.run_tasks(
+                [("gather_roots", 1, {"start": 0, "stop": 10, "m": 10})]
+            )
+            flat, cnts = out[0]
+            assert flat.size == 0 and cnts.tolist() == [0] * 10
+        finally:
+            seg.close()
+            pool.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# Engine lifecycle
+# --------------------------------------------------------------------- #
+class TestEngineLifecycle:
+    def test_session_gate(self):
+        eng = Engine(EngineConfig(mode="shm", workers=1, min_session_edges=512))
+        ve = {0: [0], 1: [0]}
+        assert eng.open_matcher_session(ve, [(0, 1)], 1) is None
+        eng.close()
+        assert not eng.enabled
+
+    def test_workers_one_never_forks(self):
+        eng = Engine(EngineConfig(mode="shm", workers=1, min_session_edges=0))
+        sess = eng.open_matcher_session({0: [0], 1: [0]}, [(0, 1)], 1)
+        assert sess is not None
+        assert sess.gather([0]) == [[]]
+        assert eng.pool is None  # in-master kernels only
+        sess.close()
+        eng.close()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(mode="turbo")
+
+    @pool_tests
+    def test_calibrate_returns_measurements(self):
+        eng = Engine(
+            EngineConfig(
+                mode="shm", workers=2, min_session_edges=0,
+                scheduler=SchedulerConfig(),
+            )
+        )
+        try:
+            meas = eng.calibrate()
+            assert meas is not None
+            assert meas["roundtrip_seconds"] > 0
+            assert eng.scheduler.config.cutoff_work >= 256.0
+        finally:
+            eng.close()
+
+    @pool_tests
+    def test_worker_crash_falls_back_to_serial(self):
+        from repro.hypergraph.edge import Edge
+        from repro.static_matching.parallel_greedy import parallel_greedy_match
+
+        rng = np.random.default_rng(11)
+        pairs = sorted(
+            {(min(u, v), max(u, v)) for u, v in rng.integers(0, 40, (200, 2)) if u != v}
+        )
+        edges = [Edge(i, (int(a), int(b))) for i, (a, b) in enumerate(pairs)]
+        eng = Engine(
+            EngineConfig(
+                mode="shm", workers=2, min_session_edges=0,
+                scheduler=SchedulerConfig(
+                    cutoff_work=0.0, min_items_per_task=1,
+                    task_overhead_work=0.0, margin=10.0, assume_cores=8,
+                ),
+            )
+        )
+        try:
+            # Start the pool, then kill a worker behind the engine's back.
+            eng.calibrate()
+            eng.pool._procs[0].terminate()
+            eng.pool._procs[0].join()
+            result = parallel_greedy_match(
+                edges, rng=np.random.default_rng(5), engine=eng
+            )
+            # The run completes serially and matches the no-engine run.
+            baseline = parallel_greedy_match(edges, rng=np.random.default_rng(5))
+            assert [m.edge.eid for m in result.matches] == [
+                m.edge.eid for m in baseline.matches
+            ]
+            assert eng.stats["fallbacks"] >= 1
+            assert not eng.can_parallelize
+        finally:
+            eng.close()

@@ -2,11 +2,45 @@
 
 import pytest
 
-from repro.parallel.pool_exec import chunked, default_workers, pool_map
+from repro.parallel.pool_exec import chunk_ranges, chunked, default_workers, pool_map
 
 
 def _square(x):
     return x * x
+
+
+def _raise_on_7(x):
+    if x == 7:
+        raise ValueError("boom at 7")
+    return x
+
+
+class TestChunkRanges:
+    def test_balanced(self):
+        assert chunk_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_covers_exactly(self):
+        for n in (1, 2, 7, 10, 31, 100):
+            for k in (1, 2, 3, 8, 200):
+                ranges = chunk_ranges(n, k)
+                assert ranges[0][0] == 0 and ranges[-1][1] == n
+                # contiguous, non-empty, balanced within one item
+                sizes = [e - s for s, e in ranges]
+                assert all(sz >= 1 for sz in sizes)
+                assert max(sizes) - min(sizes) <= 1
+                assert all(
+                    ranges[i][1] == ranges[i + 1][0] for i in range(len(ranges) - 1)
+                )
+
+    def test_more_chunks_than_items(self):
+        assert chunk_ranges(2, 5) == [(0, 1), (1, 2)]
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(1, 0)
 
 
 class TestChunked:
@@ -26,6 +60,12 @@ class TestChunked:
         with pytest.raises(ValueError):
             chunked([1], 0)
 
+    def test_matches_ranges(self):
+        items = list(range(23))
+        assert chunked(items, 4) == [
+            items[s:e] for s, e in chunk_ranges(len(items), 4)
+        ]
+
 
 class TestPoolMap:
     def test_serial_fallback_small_input(self):
@@ -44,6 +84,41 @@ class TestPoolMap:
         items = list(range(299, -1, -1))
         out = pool_map(_square, items, workers=2, serial_threshold=10)
         assert out == [x * x for x in items]
+
+    def test_order_preserved_uneven_chunks(self):
+        # 101 items over 3 workers -> chunk sizes 34/34/33; the merged
+        # output must still be in input order.
+        items = list(range(100, -1, -1))
+        out = pool_map(_square, items, workers=3, serial_threshold=10)
+        assert out == [x * x for x in items]
+
+    def test_serial_threshold_boundary(self):
+        # len(items) == serial_threshold runs through the pool path;
+        # one fewer stays serial.  Both must produce identical output.
+        items = list(range(64))
+        at = pool_map(_square, items, workers=2, serial_threshold=64)
+        below = pool_map(_square, items[:-1], workers=2, serial_threshold=64)
+        assert at == [x * x for x in items]
+        assert below == [x * x for x in items[:-1]]
+
+    def test_workers_zero_uses_default(self):
+        out = pool_map(_square, list(range(10)), workers=0)
+        assert out == [x * x for x in range(10)]
+
+    def test_more_workers_than_chunks(self):
+        # chunked() clamps to at most one chunk per item; extra workers
+        # simply idle and must not perturb the output.
+        items = list(range(12))
+        out = pool_map(_square, items, workers=4, serial_threshold=6)
+        assert out == [x * x for x in items]
+
+    def test_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="boom at 7"):
+            pool_map(_raise_on_7, list(range(10)), workers=1)
+
+    def test_exception_propagates_parallel(self):
+        with pytest.raises(ValueError, match="boom at 7"):
+            pool_map(_raise_on_7, list(range(100)), workers=2, serial_threshold=10)
 
 
 def test_default_workers_positive():
