@@ -165,7 +165,10 @@ def _engine_summary(engine) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     stream = read_stream(args.stream)
-    algo = ALGOS[args.algo](args.rank, args.seed)
+    if args.algo == "paper" and args.no_vectorized:
+        algo = DynamicMatching(rank=args.rank, seed=args.seed, vectorized=False)
+    else:
+        algo = ALGOS[args.algo](args.rank, args.seed)
     obs, teardown = _setup_observability(args)
     engine = _build_engine(args, obs)
     if engine is not None:
@@ -244,7 +247,8 @@ def _cmd_serve_observed(args: argparse.Namespace, obs, engine=None) -> int:
             return 2
         stream = read_stream(args.stream)
         dm = DynamicMatching(rank=args.rank, seed=args.seed,
-                             backend=args.backend or "array", engine=engine)
+                             backend=args.backend or "array", engine=engine,
+                             vectorized=False if args.no_vectorized else None)
         with DurabilityManager.create(
             args.journal,
             dm,
@@ -371,6 +375,9 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--rank", type=int, default=2)
     r.add_argument("--seed", type=int, default=0)
     r.add_argument("--check", action="store_true", help="verify maximality per batch")
+    r.add_argument("--no-vectorized", action="store_true",
+                   help="disable the struct-of-arrays dynamic fast path "
+                        "(algo=paper; object pipeline, identical results)")
     _add_obs_args(r)
     _add_engine_args(r)
     r.set_defaults(func=_cmd_run)
@@ -390,6 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--rank", type=int, default=2)
     v.add_argument("--seed", type=int, default=0)
     v.add_argument("--backend", choices=["array", "dict"], default=None)
+    v.add_argument("--no-vectorized", action="store_true",
+                   help="disable the struct-of-arrays dynamic fast path "
+                        "(object pipeline, identical results)")
     v.add_argument("--checkpoint-every", type=int, default=16)
     v.add_argument("--keep", type=int, default=2, help="checkpoints to retain")
     v.add_argument("--no-fsync", action="store_true",

@@ -45,7 +45,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.hypergraph.edge import Edge, EdgeId, Vertex
-from repro.parallel.ledger import Ledger, log2ceil
+from repro.parallel.ledger import Ledger, log2ceil, parallel_for
 from repro.core.level_structure import EdgeType, level_of
 
 # Type codes for the flat type array.
@@ -397,11 +397,71 @@ class ArrayLeveledStructure:
     def register_batch(self, edges: Sequence[Edge]) -> None:
         if self.phase_hook is not None:
             self.phase_hook("structure.register_batch")
-        total = 0
-        for e in edges:
-            self._alloc(e)
-            total += e.cardinality
-        self.ledger.charge_parallel(len(edges), work=total, depth=1, tag="register")
+        # _alloc inlined: the per-edge method call is measurable on the
+        # dynamic hot path (every inserted edge passes through here).
+        slot = self._slot
+        free = self._free
+        earr = self._edge
+        varr = self._verts
+        carr = self._card
+        tarr = self._type
+        oarr = self._owner
+        larr = self._level
+        sarr = self._settle
+        smp = self._samples
+        scap = self._scap
+        crs = self._cross
+        ccap = self._ccap
+        rank = self.rank
+        edges = list(edges)
+        ids = [e.eid for e in edges]
+        verts = [e.vertices for e in edges]
+        n = len(ids)
+        if (
+            len(set(ids)) != n
+            or not slot.keys().isdisjoint(ids)
+            or any(len(vs) > rank for vs in verts)
+        ):
+            # Slow path only to raise: replays the per-edge validation so
+            # the error (and partial-application semantics) match exactly.
+            total = 0
+            for e in edges:
+                self._alloc(e)
+                total += len(e.vertices)
+            self.ledger.charge_parallel(n, work=total, depth=1, tag="register")
+            return
+        cards = [len(vs) for vs in verts]
+        k = min(len(free), n)
+        for j in range(k):
+            i = free.pop()
+            earr[i] = edges[j]
+            varr[i] = verts[j]
+            carr[i] = cards[j]
+            tarr[i] = _T_UNSETTLED
+            oarr[i] = None
+            larr[i] = -1
+            sarr[i] = 0
+            smp[i] = None
+            crs[i] = None
+            slot[ids[j]] = i
+        if k < n:
+            m0 = len(earr)
+            r = n - k
+            earr.extend(edges[k:])
+            varr.extend(verts[k:])
+            carr.extend(cards[k:])
+            tarr.extend([_T_UNSETTLED] * r)
+            oarr.extend([None] * r)
+            larr.extend([-1] * r)
+            sarr.extend([0] * r)
+            smp.extend([None] * r)
+            scap.extend([_MIN_CAP] * r)
+            crs.extend([None] * r)
+            ccap.extend([_MIN_CAP] * r)
+            for j in range(k, n):
+                slot[ids[j]] = m0
+                m0 += 1
+        self.ledger.charge_parallel(n, work=sum(cards), depth=1, tag="register")
 
     def unregister(self, eid: EdgeId) -> None:
         i = self._slot.pop(eid)
@@ -415,14 +475,20 @@ class ArrayLeveledStructure:
     def unregister_batch(self, eids: Sequence[EdgeId]) -> None:
         if self.phase_hook is not None:
             self.phase_hook("structure.unregister_batch")
+        spop = self._slot.pop
+        card = self._card
+        earr = self._edge
+        smp = self._samples
+        crs = self._cross
+        fapp = self._free.append
         total = 0
         for eid in eids:
-            i = self._slot.pop(eid)
-            total += self._card[i]
-            self._edge[i] = None
-            self._samples[i] = None
-            self._cross[i] = None
-            self._free.append(i)
+            i = spop(eid)
+            total += card[i]
+            earr[i] = None
+            smp[i] = None
+            crs[i] = None
+            fapp(i)
         self.ledger.charge_parallel(len(eids), work=total, depth=1, tag="register")
 
     # ------------------------------------------------------------------ #
@@ -433,6 +499,25 @@ class ArrayLeveledStructure:
 
     def type_of(self, eid: EdgeId) -> EdgeType:
         return _TYPE_OBJS[self._type[self._slot[eid]]]
+
+    def split_matched(self, eids: Sequence[EdgeId]) -> Tuple[List[EdgeId], List[EdgeId]]:
+        """Partition ids into (matched, unmatched), preserving order.
+
+        Raises ``KeyError`` on any absent id before returning; charges
+        nothing, like :meth:`type_of`.
+        """
+        slot = self._slot
+        tarr = self._type
+        matched: List[EdgeId] = []
+        unmatched: List[EdgeId] = []
+        ma = matched.append
+        ua = unmatched.append
+        for eid in eids:
+            if tarr[slot[eid]] == _T_MATCHED:
+                ma(eid)
+            else:
+                ua(eid)
+        return matched, unmatched
 
     def owner_of(self, eid: EdgeId) -> Optional[EdgeId]:
         return self._owner[self._slot[eid]]
@@ -461,14 +546,17 @@ class ArrayLeveledStructure:
         p = self._p
         total = 0
         flags: List[bool] = []
+        append = flags.append
+        get = p.get
         for e in edges:
-            total += e.cardinality
+            vs = e.vertices
+            total += len(vs)
             free = True
-            for v in e.vertices:
-                if p.get(v) is not None:
+            for v in vs:
+                if get(v) is not None:
                     free = False
                     break
-            flags.append(free)
+            append(free)
         self.ledger.charge_parallel(len(edges), work=total, depth=1, tag="free_check")
         return flags
 
@@ -491,13 +579,19 @@ class ArrayLeveledStructure:
         slot = self._slot
         cross = self._cross
         level = self._level
+        thresholds: Dict[int, float] = {}
         flags: List[bool] = []
+        fapp = flags.append
         for mid in mids:
             i = slot[mid]
             cd = cross[i]
             if cd is None:
                 raise ValueError(f"edge {mid} is not matched")
-            flags.append(len(cd) >= base * (alpha ** level[i]))
+            lv = level[i]
+            t = thresholds.get(lv)
+            if t is None:
+                t = thresholds[lv] = base * (alpha ** lv)
+            fapp(len(cd) >= t)
         self.ledger.charge_parallel(len(mids), work=len(mids), depth=1, tag="is_heavy")
         return flags
 
@@ -615,25 +709,36 @@ class ArrayLeveledStructure:
         if n == 0:
             return
         slot = self._slot
+        matched = self.matched
+        smp = self._samples
+        scap = self._scap
+        crs = self._cross
+        ccap = self._ccap
+        sarr = self._settle
+        larr = self._level
+        tarr = self._type
+        oarr = self._owner
+        card = self._card
+        p = self._p
+        madd = matched.add
         total = 0
         for e in edges:
             eid = e.eid
             i = slot[eid]
-            if eid in self.matched:
+            if eid in matched:
                 raise ValueError(f"edge {eid} is already matched")
-            self.matched.add(eid)
-            self._samples[i] = {eid: None}
-            self._scap[i] = _MIN_CAP
-            self._cross[i] = {}
-            self._ccap[i] = _MIN_CAP
-            self._settle[i] = 1
-            self._level[i] = 0
-            self._type[i] = _T_MATCHED
-            self._owner[i] = eid
-            p = self._p
+            madd(eid)
+            smp[i] = {eid: None}
+            scap[i] = _MIN_CAP
+            crs[i] = {}
+            ccap[i] = _MIN_CAP
+            sarr[i] = 1
+            larr[i] = 0
+            tarr[i] = _T_MATCHED
+            oarr[i] = eid
             for v in e.vertices:
                 p[v] = eid
-            total += 1 + self._card[i]
+            total += 1 + card[i]
         self.ledger.charge_parallel(n, work=n, depth=1, tag="dict_batch")
         self.ledger.charge_parallel(n, work=total, depth=1, tag="add_match")
 
@@ -969,6 +1074,568 @@ class ArrayLeveledStructure:
                     out.extend(d)
         led.charge(work=max(len(out), 1), depth=log2ceil(max(len(out), 2)), tag="level_scan")
         return out
+
+    # ------------------------------------------------------------------ #
+    # Batched structure edits (vectorized dynamic pipeline)
+    # ------------------------------------------------------------------ #
+    #
+    # Each ``*_batch`` method replays the exact mutations of its scalar
+    # counterpart over a whole batch, but prices the batch the way
+    # ``parallel_for(ledger, items, scalar_op)`` does: per-tag work summed
+    # across branches, region depth = MAX branch depth.  A plain Ledger
+    # only keeps order-insensitive totals, so the single aggregated
+    # emission is bit-identical to running the scalar region.  With an
+    # observer attached (or a subclassed ledger) the methods fall back to
+    # literally running that parallel_for, so the observer sees the same
+    # individual charge stream as the non-vectorized pipeline.
+
+    def _rce_acc(self, edge: Edge) -> Tuple[float, float, int, int]:
+        """``remove_cross_edge`` mutations without charge emission.
+
+        Returns ``(w_batch, w_rehash, card, branch_depth)`` — exactly the
+        amounts the scalar op would charge — for the batch callers to
+        accumulate (sum the work, max the depth).
+        """
+        eid = edge.eid
+        slot = self._slot
+        i = slot[eid]
+        if self._type[i] != _T_CROSS:
+            raise ValueError(f"edge {eid} is not a cross edge")
+        oi = slot[self._owner[i]]
+        lvl = self._level[oi]
+        cd = self._cross[oi]
+        n = len(cd)
+        w_batch = 1.0
+        w_rehash = 0.0
+        bd = n.bit_length() if n >= 2 else 1
+        cd.pop(eid, None)
+        n = len(cd)
+        cap = self._ccap[oi]
+        if cap > _MIN_CAP and n < cap * _SHRINK_AT:
+            ws = max(n, 1)
+            ds = (n - 1).bit_length() if n > 1 else 1
+            while cap > _MIN_CAP and n < cap * _SHRINK_AT:
+                cap //= 2
+                w_rehash += ws
+                bd += ds
+            self._ccap[oi] = cap
+        P = self._P
+        for v in edge.vertices:
+            Pv = P.get(v)
+            if Pv is None:
+                continue
+            b = Pv.get(lvl)
+            if b is None:
+                continue
+            d = b[0]
+            nd = len(d)
+            w_batch += 1.0
+            bd += nd.bit_length() if nd >= 2 else 1
+            d.pop(eid, None)
+            nd = len(d)
+            cap = b[1]
+            if cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                ws = max(nd, 1)
+                ds = (nd - 1).bit_length() if nd > 1 else 1
+                while cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                    cap //= 2
+                    w_rehash += ws
+                    bd += ds
+                b[1] = cap
+            if not d:
+                del Pv[lvl]
+        self._type[i] = _T_UNSETTLED
+        self._owner[i] = None
+        return w_batch, w_rehash, self._card[i], bd + 1
+
+    def _sdisc_acc(self, mid: EdgeId, eid: EdgeId) -> Tuple[float, int]:
+        """``sample_discard`` mutations without charge emission.
+
+        Returns ``(w_rehash, branch_depth)``; the op's dict_batch work is
+        always exactly 1.
+        """
+        i = self._slot[mid]
+        sd = self._samples[i]
+        n = len(sd)
+        bd = n.bit_length() if n >= 2 else 1
+        w_rehash = 0.0
+        sd.pop(eid, None)
+        n = len(sd)
+        cap = self._scap[i]
+        if cap > _MIN_CAP and n < cap * _SHRINK_AT:
+            ws = max(n, 1)
+            ds = (n - 1).bit_length() if n > 1 else 1
+            while cap > _MIN_CAP and n < cap * _SHRINK_AT:
+                cap //= 2
+                w_rehash += ws
+                bd += ds
+            self._scap[i] = cap
+        return w_rehash, bd
+
+    def add_cross_edge_batch(self, edges: Sequence[Edge]) -> None:
+        """Batched ``add_cross_edge`` over one parallel region."""
+        if not edges:
+            return
+        led = self.ledger
+        if not (self._fast and led._observer is None):
+            parallel_for(led, edges, self.add_cross_edge)
+            return
+        slot = self._slot
+        p = self._p
+        level = self._level
+        tarr = self._type
+        oarr = self._owner
+        cross = self._cross
+        ccap = self._ccap
+        cards = self._card
+        P = self._P
+        w_batch = 0.0
+        w_rehash = 0.0
+        w_card = 0.0
+        max_bd = 0
+        pget = p.get
+        # No install/remove interleaves inside one batch region, so owner
+        # slots and levels are fixed for its duration — memoize them.
+        owner_memo: Dict[EdgeId, Tuple[int, int]] = {}
+        for edge in edges:
+            eid = edge.eid
+            i = slot[eid]
+            best: Optional[EdgeId] = None
+            best_lvl = -1
+            for v in edge.vertices:
+                pm = pget(v)
+                if pm is not None:
+                    ent = owner_memo.get(pm)
+                    if ent is None:
+                        bi = slot[pm]
+                        ent = owner_memo[pm] = (bi, level[bi])
+                    l = ent[1]
+                    if best is None or l > best_lvl:
+                        best = pm
+                        best_lvl = l
+            if best is None:
+                raise ValueError(f"cross edge {eid} has no incident match")
+            tarr[i] = _T_CROSS
+            oarr[i] = best
+            bi = owner_memo[best][0]
+            cd = cross[bi]
+            n = len(cd)
+            wb = 1.0
+            bd = n.bit_length() if n >= 2 else 1
+            cd[eid] = None
+            n = len(cd)
+            cap = ccap[bi]
+            if n > cap * _GROW_AT:
+                dg = (n - 1).bit_length() if n > 1 else 1
+                while n > cap * _GROW_AT:
+                    cap *= 2
+                    w_rehash += cap * _GROW_AT
+                    bd += dg
+                ccap[bi] = cap
+            for v in edge.vertices:
+                Pv = P.get(v)
+                if Pv is None:
+                    Pv = P[v] = {}
+                b = Pv.get(best_lvl)
+                wb += 1.0
+                if b is None:
+                    Pv[best_lvl] = [{eid: None}, _MIN_CAP]
+                    bd += 1
+                    continue
+                d = b[0]
+                nd = len(d)
+                bd += nd.bit_length() if nd >= 2 else 1
+                d[eid] = None
+                nd = len(d)
+                cap = b[1]
+                if nd > cap * _GROW_AT:
+                    dg = (nd - 1).bit_length() if nd > 1 else 1
+                    while nd > cap * _GROW_AT:
+                        cap *= 2
+                        w_rehash += cap * _GROW_AT
+                        bd += dg
+                    b[1] = cap
+            w_batch += wb
+            w_card += cards[i]
+            bd += 1
+            if bd > max_bd:
+                max_bd = bd
+        led.work += w_batch + w_rehash + w_card
+        led._stack[-1].depth += max_bd
+        bt = led.by_tag
+        bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+        if w_rehash:
+            bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+        bt["add_cross_edge"] = bt.get("add_cross_edge", 0.0) + w_card
+
+    def remove_cross_edge_batch(self, edges: Sequence[Edge]) -> None:
+        """Batched ``remove_cross_edge`` over one parallel region."""
+        if not edges:
+            return
+        led = self.ledger
+        if not (self._fast and led._observer is None):
+            parallel_for(led, edges, self.remove_cross_edge)
+            return
+        w_batch = 0.0
+        w_rehash = 0.0
+        w_card = 0.0
+        max_bd = 0
+        for edge in edges:
+            wb, wr, card, bd = self._rce_acc(edge)
+            w_batch += wb
+            w_rehash += wr
+            w_card += card
+            if bd > max_bd:
+                max_bd = bd
+        led.work += w_batch + w_rehash + w_card
+        led._stack[-1].depth += max_bd
+        bt = led.by_tag
+        bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+        if w_rehash:
+            bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+        bt["remove_cross_edge"] = bt.get("remove_cross_edge", 0.0) + w_card
+
+    def detach_unmatched_batch(self, eids: Sequence[EdgeId]) -> None:
+        """Batched ``detach_unmatched`` over one parallel region."""
+        if not eids:
+            return
+        led = self.ledger
+        if not (self._fast and led._observer is None):
+            parallel_for(led, eids, self.detach_unmatched)
+            return
+        slot = self._slot
+        tarr = self._type
+        oarr = self._owner
+        edges = self._edge
+        w_batch = 0.0
+        w_rehash = 0.0
+        w_cross = 0.0
+        max_bd = 0
+        for eid in eids:
+            i = slot[eid]
+            t = tarr[i]
+            if t == _T_CROSS:
+                wb, wr, card, bd = self._rce_acc(edges[i])
+                w_batch += wb
+                w_rehash += wr
+                w_cross += card
+            elif t == _T_SAMPLED:
+                wr, bd = self._sdisc_acc(oarr[i], eid)
+                w_batch += 1.0
+                w_rehash += wr
+                tarr[i] = _T_UNSETTLED
+                oarr[i] = None
+            else:  # pragma: no cover — structure guarantees settled types
+                raise AssertionError(f"unsettled edge {eid} in structure")
+            if bd > max_bd:
+                max_bd = bd
+        led.work += w_batch + w_rehash + w_cross
+        led._stack[-1].depth += max_bd
+        bt = led.by_tag
+        bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+        if w_rehash:
+            bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+        if w_cross:
+            bt["remove_cross_edge"] = bt.get("remove_cross_edge", 0.0) + w_cross
+
+    def sample_discard_self_batch(self, mids: Sequence[EdgeId]) -> None:
+        """Batched ``sample_discard(mid, mid)`` over one parallel region."""
+        if not mids:
+            return
+        led = self.ledger
+        if not (self._fast and led._observer is None):
+            parallel_for(led, mids, lambda mid: self.sample_discard(mid, mid))
+            return
+        # _sdisc_acc inlined: this runs once per matched deletion, and the
+        # call overhead is measurable at delete-heavy batch sizes.
+        slot = self._slot
+        samples = self._samples
+        scaps = self._scap
+        w_rehash = 0.0
+        max_bd = 0
+        for mid in mids:
+            i = slot[mid]
+            sd = samples[i]
+            n = len(sd)
+            bd = n.bit_length() if n >= 2 else 1
+            sd.pop(mid, None)
+            n = len(sd)
+            cap = scaps[i]
+            if cap > _MIN_CAP and n < cap * _SHRINK_AT:
+                ws = max(n, 1)
+                ds = (n - 1).bit_length() if n > 1 else 1
+                while cap > _MIN_CAP and n < cap * _SHRINK_AT:
+                    cap //= 2
+                    w_rehash += ws
+                    bd += ds
+                scaps[i] = cap
+            if bd > max_bd:
+                max_bd = bd
+        led.work += len(mids) + w_rehash
+        led._stack[-1].depth += max_bd
+        bt = led.by_tag
+        bt["dict_batch"] = bt.get("dict_batch", 0.0) + float(len(mids))
+        if w_rehash:
+            bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+
+    def samples_of_batch(self, mids: Sequence[EdgeId]) -> List[Edge]:
+        """Batched ``samples_of``; returns the concatenated sample edges
+        (the scalar call sites flatten with a plain list comp, uncharged)."""
+        if not mids:
+            return []
+        led = self.ledger
+        if not (self._fast and led._observer is None):
+            subs = parallel_for(led, mids, self.samples_of)
+            return [e for sub in subs for e in sub]
+        slot = self._slot
+        edge = self._edge
+        samples = self._samples
+        out: List[Edge] = []
+        w = 0.0
+        max_n = 2
+        for mid in mids:
+            sd = samples[slot[mid]]
+            n = len(sd)
+            w += float(max(n, 1))
+            if n > max_n:
+                max_n = n
+            out += [edge[slot[sid]] for sid in sd]
+        led.work += w
+        led._stack[-1].depth += log2ceil(max_n)
+        bt = led.by_tag
+        bt["dict_elements"] = bt.get("dict_elements", 0.0) + w
+        return out
+
+    def remove_match_batch(self, eids: Sequence[EdgeId]) -> List[Edge]:
+        """Batched ``remove_match``; returns the concatenated owned edges."""
+        if not eids:
+            return []
+        led = self.ledger
+        if not (self._fast and led._observer is None):
+            subs = parallel_for(led, eids, self.remove_match)
+            return [e for sub in subs for e in sub]
+        slot = self._slot
+        verts = self._verts
+        tarr = self._type
+        oarr = self._owner
+        edges = self._edge
+        cards = self._card
+        crs = self._cross
+        smp = self._samples
+        larr = self._level
+        sarr = self._settle
+        matched = self.matched
+        discard = matched.discard
+        P = self._P
+        p = self._p
+        Pget = P.get
+        pget = p.get
+        w_elems = 0.0
+        w_batch = 0.0
+        w_rehash = 0.0
+        w_rm = 0.0
+        max_d = 0
+        out: List[Edge] = []
+        oapp = out.append
+        for eid in eids:
+            i = slot[eid]
+            if eid not in matched:
+                raise ValueError(f"edge {eid} is not matched")
+            discard(eid)
+            cd = crs[i]
+            if cd is not None:
+                n = len(cd)
+                w_elems += float(max(n, 1))
+                d_total = (n - 1).bit_length() if n > 1 else 1
+                owned = list(cd)
+            else:
+                d_total = 0
+                owned = []
+            lvl = larr[i]
+            max_bd = 0
+            for ceid in owned:
+                j = slot[ceid]
+                bd = 1
+                for v in verts[j]:
+                    Pv = Pget(v)
+                    if Pv is None:
+                        continue
+                    b = Pv.get(lvl)
+                    if b is None:
+                        continue
+                    d = b[0]
+                    nd = len(d)
+                    w_batch += 1.0
+                    bd += nd.bit_length() if nd >= 2 else 1
+                    d.pop(ceid, None)
+                    nd = len(d)
+                    cap = b[1]
+                    if cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                        ws = max(nd, 1)
+                        ds = (nd - 1).bit_length() if nd > 1 else 1
+                        while cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                            cap //= 2
+                            w_rehash += ws
+                            bd += ds
+                        b[1] = cap
+                    if not d:
+                        del Pv[lvl]
+                tarr[j] = _T_UNSETTLED
+                oarr[j] = None
+                oapp(edges[j])
+                w_rm += cards[j]
+                if bd > max_bd:
+                    max_bd = bd
+            d_total += max_bd
+            for v in verts[i]:
+                if pget(v) == eid:
+                    p[v] = None
+            smp[i] = None
+            crs[i] = None
+            larr[i] = -1
+            sarr[i] = 0
+            if tarr[i] == _T_MATCHED:
+                tarr[i] = _T_UNSETTLED
+                oarr[i] = None
+            w_rm += cards[i]
+            no = len(owned)
+            d_total += (no - 1).bit_length() if no > 1 else 1
+            if d_total > max_d:
+                max_d = d_total
+        led.work += w_elems + w_batch + w_rehash + w_rm
+        led._stack[-1].depth += max_d
+        bt = led.by_tag
+        if w_elems:
+            bt["dict_elements"] = bt.get("dict_elements", 0.0) + w_elems
+        if w_batch:
+            bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+        if w_rehash:
+            bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+        bt["remove_match"] = bt.get("remove_match", 0.0) + w_rm
+        return out
+
+    def install_match_batch(self, matches: Sequence) -> List[int]:
+        """Batched ``install_match`` over ``Matched(edge, samples)`` records;
+        returns the new level per match (epoch births stay with the caller,
+        which charges nothing for them)."""
+        if not matches:
+            return []
+        led = self.ledger
+        if not (self._fast and led._observer is None):
+            return parallel_for(
+                led, matches, lambda mt: self.install_match(mt.edge, mt.samples)
+            )
+        slot = self._slot
+        tarr = self._type
+        oarr = self._owner
+        p = self._p
+        alpha = self.alpha
+        w_set = 0.0
+        w_rehash = 0.0
+        w_add = 0.0
+        max_bd = 0
+        levels: List[int] = []
+        for mt in matches:
+            edge = mt.edge
+            samples = mt.samples
+            eid = edge.eid
+            i = slot[eid]
+            if eid in self.matched:
+                raise ValueError(f"edge {eid} is already matched")
+            if not any(s.eid == eid for s in samples):
+                raise ValueError("a match must belong to its own sample space")
+            self.matched.add(eid)
+            k = len(samples)
+            lg_k = log2ceil(max(k, 2))
+            d = dict.fromkeys(s.eid for s in samples)
+            n = len(d)
+            bd = lg_k
+            cap = _MIN_CAP
+            if n > cap * _GROW_AT:
+                dg = log2ceil(max(n, 2))
+                while n > cap * _GROW_AT:
+                    cap *= 2
+                    w_rehash += cap * _GROW_AT
+                    bd += dg
+            self._samples[i] = d
+            self._scap[i] = cap
+            self._cross[i] = {}
+            self._ccap[i] = _MIN_CAP
+            self._settle[i] = k
+            lvl = level_of(k, alpha)
+            self._level[i] = lvl
+            for s in samples:
+                j = slot[s.eid]
+                tarr[j] = _T_SAMPLED
+                oarr[j] = eid
+            tarr[i] = _T_MATCHED
+            oarr[i] = eid
+            for v in edge.vertices:
+                p[v] = eid
+            w_set += k
+            w_add += k + edge.cardinality
+            bd += lg_k
+            if bd > max_bd:
+                max_bd = bd
+            levels.append(lvl)
+        led.work += w_set + w_rehash + w_add
+        led._stack[-1].depth += max_bd
+        bt = led.by_tag
+        bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_set
+        if w_rehash:
+            bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+        bt["add_match"] = bt.get("add_match", 0.0) + w_add
+        return levels
+
+    def adjust_scan_batch(self, new_matches: Sequence[Edge]) -> List[EdgeId]:
+        """Batched adjustCrossEdges scan: for each new match, the cross
+        edges sitting below its level around its vertices
+        (``cross_edges_below`` per vertex), concatenated in scan order."""
+        if not new_matches:
+            return []
+        led = self.ledger
+        if not (self._fast and led._observer is None):
+            def _scan(m_edge: Edge) -> List[EdgeId]:
+                lvl = self._level[self._slot[m_edge.eid]]
+                sub: List[EdgeId] = []
+                for v in m_edge.vertices:
+                    sub.extend(self.cross_edges_below(v, lvl))
+                return sub
+            subs = parallel_for(led, new_matches, _scan)
+            return [x for sub in subs for x in sub]
+        slot = self._slot
+        level = self._level
+        P = self._P
+        w_elems = 0.0
+        w_scan = 0.0
+        max_bd = 0
+        flat: List[EdgeId] = []
+        for m_edge in new_matches:
+            lvl = level[slot[m_edge.eid]]
+            bd = 0
+            for v in m_edge.vertices:
+                start = len(flat)
+                Pv = P.get(v)
+                if Pv:
+                    for l, b in Pv.items():
+                        if l < lvl:
+                            d = b[0]
+                            n = len(d)
+                            w_elems += float(max(n, 1))
+                            bd += log2ceil(max(n, 2))
+                            flat.extend(d)
+                n_out = len(flat) - start
+                w_scan += float(max(n_out, 1))
+                bd += log2ceil(max(n_out, 2))
+            if bd > max_bd:
+                max_bd = bd
+        led.work += w_elems + w_scan
+        led._stack[-1].depth += max_bd
+        bt = led.by_tag
+        if w_elems:
+            bt["dict_elements"] = bt.get("dict_elements", 0.0) + w_elems
+        bt["level_scan"] = bt.get("level_scan", 0.0) + w_scan
+        return flat
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -47,7 +47,12 @@ from repro.core.epochs import (
 )
 from repro.core.arraystore import ArrayLeveledStructure
 from repro.core.level_structure import EdgeType, LeveledStructure
-from repro.static_matching.parallel_greedy import parallel_greedy_match
+from repro.parallel.frames import BatchFrame
+from repro.static_matching.parallel_greedy import (
+    _ledger_compatible,
+    parallel_greedy_match,
+    should_vectorize,
+)
 
 #: Available structure backends.  "array" (default) is the flat-array
 #: hot-path engine; "dict" is the original record-dict implementation,
@@ -82,6 +87,17 @@ class DynamicMatching:
         matcher's round sweeps on the real worker pool (settle phases of
         large batches).  Matchings, ledger totals, and certificates stay
         bit-identical to serial execution.
+    vectorized:
+        Route batch phases through the struct-of-arrays fast path:
+        :class:`~repro.parallel.frames.BatchFrame` columns feed the
+        columnar greedy matcher, and structure edits go through the
+        ``*_batch`` methods of :class:`ArrayLeveledStructure` (aggregated
+        ledger emission).  ``None`` (default) enables it exactly when the
+        backend is "array"; ``True`` with the "dict" backend is an error.
+        Results and ledger totals are bit-identical either way — with a
+        charge observer attached, the fast path transparently falls back
+        per batch so the observer sees the unchanged charge stream
+        (counted in ``vec_stats["kernel_fallbacks"]``).
 
     Notes
     -----
@@ -100,6 +116,7 @@ class DynamicMatching:
         ledger: Optional[Ledger] = None,
         backend: str = "array",
         engine=None,
+        vectorized: Optional[bool] = None,
     ) -> None:
         self.ledger = ledger if ledger is not None else Ledger()
         self.engine = engine
@@ -110,6 +127,22 @@ class DynamicMatching:
                 f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
             ) from None
         self.backend = backend
+        if vectorized is None:
+            vectorized = backend == "array"
+        elif vectorized and backend != "array":
+            raise ValueError("vectorized=True requires the 'array' backend")
+        self.vectorized = bool(vectorized)
+        self._vec = self.vectorized
+        #: Fast-path accounting, surfaced through observability
+        #: (repro_dynamic_batch_* metrics): BatchFrames built, batches that
+        #: took the vector vs the object path, and batches that *wanted*
+        #: the vector path but fell back (charge observer attached).
+        self.vec_stats: Dict[str, int] = {
+            "frames": 0,
+            "vector_batches": 0,
+            "object_batches": 0,
+            "kernel_fallbacks": 0,
+        }
         self.structure = structure_cls(
             rank=rank, ledger=self.ledger, alpha=alpha, heavy_factor=heavy_factor
         )
@@ -192,6 +225,46 @@ class DynamicMatching:
         )
 
     # ------------------------------------------------------------------ #
+    # Vectorized fast-path plumbing
+    # ------------------------------------------------------------------ #
+    def _count_batch(self) -> None:
+        """Per-batch vec_stats accounting (no ledger charges)."""
+        if self._vec:
+            if _ledger_compatible(self.ledger):
+                self.vec_stats["vector_batches"] += 1
+            else:
+                self.vec_stats["object_batches"] += 1
+                self.vec_stats["kernel_fallbacks"] += 1
+        else:
+            self.vec_stats["object_batches"] += 1
+
+    def _greedy(self, edges: Sequence[Edge], collect_samples: bool = True):
+        """Greedy matcher call with fast-path column reuse.
+
+        When the vectorized matcher will engage, build the
+        :class:`BatchFrame` here so its eid/cardinality/vertex columns are
+        extracted once per batch; a non-vectorized instance pins the
+        scalar matcher so the pre-fast-path behavior is preserved exactly.
+        ``collect_samples=False`` is passed by the level-0 settle, which
+        resets every new match's sample space to the singleton and never
+        reads the matcher's (the vector path then skips materializing
+        them — same matching, same order, same charges).
+        """
+        frame = None
+        if self._vec and should_vectorize(self.ledger, len(edges)):
+            frame = BatchFrame.from_edges(edges)
+            self.vec_stats["frames"] += 1
+        return parallel_greedy_match(
+            edges,
+            self.ledger,
+            rng=self.rng,
+            engine=self.engine,
+            vectorize=None if self._vec else False,
+            frame=frame,
+            collect_samples=collect_samples,
+        )
+
+    # ------------------------------------------------------------------ #
     # User interface: insertEdges
     # ------------------------------------------------------------------ #
     def insert_edges(self, edges: Sequence[Edge]) -> BatchStats:
@@ -200,18 +273,28 @@ class DynamicMatching:
         ids = [e.eid for e in edges]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate edge ids within the batch")
-        for e in edges:
-            if e.eid in self.structure:
-                raise KeyError(f"edge {e.eid} already present")
-            if e.cardinality > self.structure.rank:
-                # validate the whole batch BEFORE registering anything, so a
-                # rejected batch leaves no half-applied state behind
-                raise ValueError(
-                    f"edge {e.eid} has cardinality {e.cardinality} > rank "
-                    f"bound {self.structure.rank}"
-                )
+        # validate the whole batch BEFORE registering anything, so a
+        # rejected batch leaves no half-applied state behind
+        structure = self.structure
+        rank = structure.rank
+        slot = getattr(structure, "_slot", None)
+        present = (
+            not slot.keys().isdisjoint(ids)
+            if slot is not None
+            else any(eid in structure for eid in ids)
+        )
+        if present or any(len(e.vertices) > rank for e in edges):
+            for e in edges:
+                if e.eid in structure:
+                    raise KeyError(f"edge {e.eid} already present")
+                if e.cardinality > rank:
+                    raise ValueError(
+                        f"edge {e.eid} has cardinality {e.cardinality} > rank "
+                        f"bound {rank}"
+                    )
 
         self._phase("insert.begin")
+        self._count_batch()
         stats = BatchStats(kind="insert", batch_index=self.tracker.batch_index,
                            batch_size=len(edges))
         with self.ledger.measure() as span:
@@ -233,27 +316,44 @@ class DynamicMatching:
         eids = list(eids)
         if len(set(eids)) != len(eids):
             raise ValueError("duplicate edge ids within the batch")
-        types = [self.structure.type_of(eid) for eid in eids]  # KeyError if absent
+        # KeyError here (before any mutation) if an edge is absent
+        if self._vec:
+            pre_matched, pre_unmatched = self.structure.split_matched(eids)
+        else:
+            types = [self.structure.type_of(eid) for eid in eids]
+            pre_matched = [e for e, t in zip(eids, types) if t == EdgeType.MATCHED]
+            pre_unmatched = [e for e, t in zip(eids, types) if t != EdgeType.MATCHED]
 
         self._phase("delete.begin")
+        self._count_batch()
         stats = BatchStats(kind="delete", batch_index=self.tracker.batch_index,
                            batch_size=len(eids))
         with self.ledger.measure() as span:
-            matched = [eid for eid, t in zip(eids, types) if t == EdgeType.MATCHED]
-            unmatched = [eid for eid, t in zip(eids, types) if t != EdgeType.MATCHED]
+            matched = pre_matched
+            unmatched = pre_unmatched
 
             # Unmatched deletions: cheap, fully detach and forget.
-            parallel_for(self.ledger, unmatched, self.structure.detach_unmatched)
+            if self._vec:
+                self.structure.detach_unmatched_batch(unmatched)
+            else:
+                parallel_for(self.ledger, unmatched, self.structure.detach_unmatched)
             self.structure.unregister_batch(unmatched)
             self._phase("delete.detached")
 
             # Matched deletions: natural epoch deaths.  Remove each from its
             # own sample space so it is never reinserted.
-            parallel_for(
-                self.ledger, matched, lambda mid: self.structure.sample_discard(mid, mid)
-            )
-            for mid in matched:
-                self.tracker.death(mid, NATURAL)
+            if self._vec:
+                self.structure.sample_discard_self_batch(matched)
+            else:
+                parallel_for(
+                    self.ledger, matched,
+                    lambda mid: self.structure.sample_discard(mid, mid),
+                )
+            if self._vec:
+                self.tracker.death_batch(matched, NATURAL)
+            else:
+                for mid in matched:
+                    self.tracker.death(mid, NATURAL)
             stats.natural_deaths += len(matched)
 
             pool = self._delete_matched_edges(matched, stats)
@@ -300,19 +400,19 @@ class DynamicMatching:
             work=len(edges), depth=log2ceil(max(len(edges), 2)), tag="insert_filter"
         )
 
-        result = parallel_greedy_match(
-            free, self.ledger, rng=self.rng, engine=self.engine
-        )
+        result = self._greedy(free, collect_samples=False)
         matched_ids: Set[EdgeId] = set(result.matched_ids)
 
         new_matches = result.matched_edges
         self.structure.add_level0_batch(new_matches)
-        for m_edge in new_matches:
-            self.tracker.birth(m_edge.eid, level=0, sample_size=1)
+        self.tracker.birth_batch((m.eid, 0, 1) for m in new_matches)
         stats.new_epochs += len(matched_ids)
 
         rest = [e for e in edges if e.eid not in matched_ids]
-        parallel_for(self.ledger, rest, self.structure.add_cross_edge)
+        if self._vec:
+            self.structure.add_cross_edge_batch(rest)
+        else:
+            parallel_for(self.ledger, rest, self.structure.add_cross_edge)
 
     # ------------------------------------------------------------------ #
     # deleteMatchedEdges (Fig. 2)
@@ -333,9 +433,15 @@ class DynamicMatching:
         # for induced deletions) into a cross edge.  The dying matches are
         # still present, so conversions may attach to them — those edges
         # are recovered below by remove_match.
-        sample_lists = parallel_for(self.ledger, match_ids, self.structure.samples_of)
-        sample_edges = [e for sub in sample_lists for e in sub]
-        parallel_for(self.ledger, sample_edges, self.structure.add_cross_edge)
+        if self._vec:
+            sample_edges = self.structure.samples_of_batch(match_ids)
+            self.structure.add_cross_edge_batch(sample_edges)
+        else:
+            sample_lists = parallel_for(
+                self.ledger, match_ids, self.structure.samples_of
+            )
+            sample_edges = [e for sub in sample_lists for e in sub]
+            parallel_for(self.ledger, sample_edges, self.structure.add_cross_edge)
 
         heavy_flags = self.structure.heavy_flags(match_ids)
         heavy = [mid for mid, f in zip(match_ids, heavy_flags) if f]
@@ -343,10 +449,15 @@ class DynamicMatching:
         stats.heavy_matches += len(heavy)
         stats.light_matches += len(light)
 
-        light_lists = parallel_for(self.ledger, light, self.structure.remove_match)
-        light_edges = [e for sub in light_lists for e in sub]
+        if self._vec:
+            light_edges = self.structure.remove_match_batch(light)
+        else:
+            light_lists = parallel_for(self.ledger, light, self.structure.remove_match)
+            light_edges = [e for sub in light_lists for e in sub]
         self._insert_existing(light_edges, stats)
 
+        if self._vec:
+            return self.structure.remove_match_batch(heavy)
         heavy_lists = parallel_for(self.ledger, heavy, self.structure.remove_match)
         return [e for sub in heavy_lists for e in sub]
 
@@ -357,9 +468,7 @@ class DynamicMatching:
         """One settle round: rematch the pool with fresh random samples."""
         rnd = SettleRound(input_edges=len(pool))
 
-        result = parallel_greedy_match(
-            pool, self.ledger, rng=self.rng, engine=self.engine
-        )
+        result = self._greedy(pool)
 
         # Existing matches incident on the new ones must be deleted (stolen).
         stolen_ids: Set[EdgeId] = set()
@@ -374,11 +483,18 @@ class DynamicMatching:
             tag="settle_stolen",
         )
 
-        def _install(matched) -> None:
-            lvl = self.structure.install_match(matched.edge, matched.samples)
-            self.tracker.birth(matched.edge.eid, lvl, len(matched.samples))
+        if self._vec:
+            levels = self.structure.install_match_batch(result.matches)
+            self.tracker.birth_batch(
+                (m.edge.eid, lvl, len(m.samples))
+                for m, lvl in zip(result.matches, levels)
+            )
+        else:
+            def _install(matched) -> None:
+                lvl = self.structure.install_match(matched.edge, matched.samples)
+                self.tracker.birth(matched.edge.eid, lvl, len(matched.samples))
 
-        parallel_for(self.ledger, result.matches, _install)
+            parallel_for(self.ledger, result.matches, _install)
         rnd.new_matches = len(result.matches)
         rnd.added_sample = sum(len(m.samples) for m in result.matches)
         stats.new_epochs += rnd.new_matches
@@ -409,6 +525,22 @@ class DynamicMatching:
     def _adjust_cross_edges(self, new_matches: Sequence[Edge]) -> None:
         """Re-own cross edges sitting below a new match's level
         (restores Invariant 4.1.4)."""
+        if self._vec:
+            flat = self.structure.adjust_scan_batch(new_matches)
+            collect: Dict[EdgeId, Edge] = {}
+            for ceid in flat:
+                if ceid not in collect:
+                    collect[ceid] = self.structure.edge_of(ceid)
+            self.ledger.charge(
+                work=len(flat),
+                depth=log2ceil(max(len(flat), 2)),
+                tag="adjust_dedupe",
+            )
+            edges = list(collect.values())
+            self.structure.remove_cross_edge_batch(edges)
+            self.structure.add_cross_edge_batch(edges)
+            return
+
         def _scan(m_edge: Edge) -> List[EdgeId]:
             level = self.structure.level_of_match(m_edge.eid)
             out: List[EdgeId] = []

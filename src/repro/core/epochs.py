@@ -19,7 +19,7 @@ twice, sample sizes are positive, the Lemma 5.6 ratio holds per round).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.hypergraph.edge import EdgeId
 
@@ -29,7 +29,7 @@ BLOATED = "bloated"
 INDUCED_KINDS = (STOLEN, BLOATED)
 
 
-@dataclass
+@dataclass(slots=True)
 class Epoch:
     """One match lifetime."""
 
@@ -112,6 +112,24 @@ class EpochTracker:
         self.epochs.append(ep)
         return ep
 
+    def birth_batch(self, items: Iterable[Tuple[EdgeId, int, int]]) -> None:
+        """Record many births at once: ``(eid, level, sample_size)`` each.
+
+        Identical semantics to calling :meth:`birth` per item (same
+        validation, same epoch order); one tight loop for the dynamic
+        fast path.
+        """
+        live = self._live
+        epochs = self.epochs
+        bi = self.batch_index
+        for eid, level, sample_size in items:
+            if eid in live:
+                raise ValueError(f"edge {eid} already has a live epoch")
+            live[eid] = len(epochs)
+            epochs.append(
+                Epoch(eid=eid, level=level, sample_size=sample_size, birth_batch=bi)
+            )
+
     def death(self, eid: EdgeId, kind: str) -> Epoch:
         if kind not in (NATURAL, STOLEN, BLOATED):
             raise ValueError(f"unknown death kind {kind!r}")
@@ -122,6 +140,22 @@ class EpochTracker:
         ep.death_batch = self.batch_index
         ep.death_kind = kind
         return ep
+
+    def death_batch(self, eids: Iterable[EdgeId], kind: str) -> None:
+        """Record many deaths of one kind — same semantics as per-item
+        :meth:`death` calls, one tight loop for the dynamic fast path."""
+        if kind not in (NATURAL, STOLEN, BLOATED):
+            raise ValueError(f"unknown death kind {kind!r}")
+        pop = self._live.pop
+        epochs = self.epochs
+        bi = self.batch_index
+        for eid in eids:
+            idx = pop(eid, None)
+            if idx is None:
+                raise ValueError(f"edge {eid} has no live epoch")
+            ep = epochs[idx]
+            ep.death_batch = bi
+            ep.death_kind = kind
 
     def next_batch(self) -> None:
         self.batch_index += 1

@@ -91,9 +91,35 @@ class Observer:
         self.checkpoints = reg.counter(
             "repro_checkpoints_total", "Checkpoints written"
         )
+        # Vectorized dynamic fast path (docs/hotpath.md): how often the
+        # struct-of-arrays pipeline engaged vs fell back to the object
+        # (per-edge) pipeline, and the running vectorized fraction.
+        self.dynamic_frames = reg.counter(
+            "repro_dynamic_batch_frames_total",
+            "BatchFrames built by the vectorized dynamic pipeline",
+        )
+        self.dynamic_vector_batches = reg.counter(
+            "repro_dynamic_batch_vectorized_total",
+            "Update batches that ran the vectorized fast path",
+        )
+        self.dynamic_object_batches = reg.counter(
+            "repro_dynamic_batch_object_total",
+            "Update batches that ran the object (per-edge) pipeline",
+        )
+        self.dynamic_kernel_fallbacks = reg.counter(
+            "repro_dynamic_batch_kernel_fallbacks_total",
+            "Vectorized-instance batches routed to the object pipeline "
+            "(ledger observed/incompatible)",
+        )
+        self.dynamic_vectorized_fraction = reg.gauge(
+            "repro_dynamic_batch_vectorized_fraction",
+            "Fraction of this instance's batches that ran vectorized",
+        )
         self.bridge: Optional[LedgerBridge] = (
             LedgerBridge(self.registry) if bridge else None
         )
+        #: last-seen cumulative vec_stats (per-process; see observe_vec_stats)
+        self._vec_last: dict = {}
         # Batch wall-clock lands in the histogram when the span closes
         # (its duration is only known then).
         self.tracer.add_finish_sink(self._on_span_finish)
@@ -194,11 +220,16 @@ class Observer:
         settle_rounds: int = 0,
         ledger_work: Optional[float] = None,
         ledger_depth: Optional[float] = None,
+        vec_stats: Optional[dict] = None,
     ) -> None:
         """Publish one batch's measurements: span attrs + metrics.
 
         Called while the batch span is still open (its duration is
-        recorded by the tracer when the ``with`` block exits)."""
+        recorded by the tracer when the ``with`` block exits).
+
+        ``vec_stats`` is a :class:`~repro.core.DynamicMatching`
+        ``vec_stats`` snapshot (cumulative); the counters advance by the
+        delta since the last call so repeated publishing stays exact."""
         span.set(
             work=work,
             depth=depth,
@@ -218,6 +249,29 @@ class Observer:
             self.ledger_work.set(ledger_work)
         if ledger_depth is not None:
             self.ledger_depth.set(ledger_depth)
+        if vec_stats is not None:
+            self.observe_vec_stats(vec_stats)
+
+    def observe_vec_stats(self, vec_stats: dict) -> None:
+        """Advance the dynamic fast-path counters to a cumulative
+        ``vec_stats`` snapshot (delta-increments, idempotent per value)."""
+        last = self._vec_last
+        for key, counter in (
+            ("frames", self.dynamic_frames),
+            ("vector_batches", self.dynamic_vector_batches),
+            ("object_batches", self.dynamic_object_batches),
+            ("kernel_fallbacks", self.dynamic_kernel_fallbacks),
+        ):
+            cur = int(vec_stats.get(key, 0))
+            delta = cur - last.get(key, 0)
+            if delta > 0:
+                counter.inc(delta)
+            last[key] = cur
+        total = last.get("vector_batches", 0) + last.get("object_batches", 0)
+        if total:
+            self.dynamic_vectorized_fraction.set(
+                last.get("vector_batches", 0) / total
+            )
 
 _default: Optional[Observer] = None
 

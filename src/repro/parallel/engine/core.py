@@ -319,6 +319,20 @@ class Engine:
         self.stats["sessions"] += 1
         return MatcherSession(self, vertex_edges, verts_arr, m)
 
+    def open_matcher_session_csr(
+        self,
+        csr_off: np.ndarray,
+        csr_edge: np.ndarray,
+        ev: np.ndarray,
+        m: int,
+    ) -> Optional["MatcherSession"]:
+        """Session over prebuilt CSR arrays (the vectorized matcher builds
+        its own incidence); same gating as :meth:`open_matcher_session`."""
+        if not self.enabled or m < self.config.min_session_edges or m == 0:
+            return None
+        self.stats["sessions"] += 1
+        return MatcherSession.from_csr(self, csr_off, csr_edge, ev, m)
+
     # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
         """Stop the workers.  The engine object stays usable as a serial
@@ -360,8 +374,6 @@ class MatcherSession:
         verts_arr: Sequence[tuple],
         m: int,
     ) -> None:
-        self.engine = engine
-        self.m = m
         vid = {v: i for i, v in enumerate(vertex_edges)}
         nv = len(vid)
         lengths = [len(lst) for lst in vertex_edges.values()]
@@ -376,7 +388,33 @@ class MatcherSession:
         for i, vs in enumerate(verts_arr):
             for j, v in enumerate(vs):
                 ev[i, j] = vid[v]
+        self._setup(engine, csr_off, csr_edge, ev, m)
 
+    @classmethod
+    def from_csr(
+        cls,
+        engine: Engine,
+        csr_off: np.ndarray,
+        csr_edge: np.ndarray,
+        ev: np.ndarray,
+        m: int,
+    ) -> "MatcherSession":
+        """Session over an incidence the caller already holds as arrays
+        (the vertex numbering only needs to be internally consistent)."""
+        self = cls.__new__(cls)
+        self._setup(engine, csr_off, csr_edge, ev, m)
+        return self
+
+    def _setup(
+        self,
+        engine: Engine,
+        csr_off: np.ndarray,
+        csr_edge: np.ndarray,
+        ev: np.ndarray,
+        m: int,
+    ) -> None:
+        self.engine = engine
+        self.m = m
         self.arena = Arena(engine)
         # Immutable topology (published once per session).
         self._csr_off = self.arena.publish("csr_off", csr_off)
@@ -414,8 +452,14 @@ class MatcherSession:
         k = len(roots)
         if k == 0:
             return []
+        flat, cnts = self.gather_flat(np.asarray(roots, dtype=np.int64))
+        return _split(flat, cnts)
+
+    def gather_flat(self, roots_np: np.ndarray):
+        """The sweep in flat form ``(flat, counts)`` — the vectorized
+        matcher consumes the arrays directly without list materialization."""
+        k = int(roots_np.shape[0])
         engine = self.engine
-        roots_np = np.asarray(roots, dtype=np.int64)
         work_est = float(self._deg_e[roots_np].sum())
         depth_est = float(max(work_est / max(k, 1), 1.0))  # one branch's sweep
         chunks = (
@@ -426,7 +470,7 @@ class MatcherSession:
             try:
                 flat, cnts = self._gather_parallel(roots_np, chunks)
                 engine._note_round("parallel", chunks, k, self._last_imbalance)
-                return _split(flat, cnts)
+                return flat, cnts
             except WorkerCrashError:
                 engine._note_fallback()
         self._roots_buf[:k] = roots_np
@@ -434,7 +478,7 @@ class MatcherSession:
             self._arrays(), {"start": 0, "stop": k, "m": self.m}
         )
         engine._note_round("serial", 1, k, 1.0)
-        return _split(flat, cnts)
+        return flat, cnts
 
     def _gather_parallel(self, roots_np: np.ndarray, chunks: int):
         k = len(roots_np)

@@ -19,7 +19,7 @@ exact and deterministic — two runs on the same input charge identically.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
@@ -28,27 +28,60 @@ from repro.parallel.ledger import Ledger, log2ceil
 T = TypeVar("T")
 U = TypeVar("U")
 
+# log2ceil memo: batch sizes repeat heavily on the dynamic hot path (the
+# same stream keeps producing batches/pools of the same few sizes), and
+# the primitives charge log2ceil(n) on every call.  The cache is exact —
+# log2ceil is a pure function of n.
+_LOG2_CACHE: dict = {}
 
-def pmap(ledger: Ledger, items: Sequence[T], fn: Callable[[T], U], tag: str = "pmap") -> List[U]:
+
+def log2ceil_cached(n: int) -> int:
+    """Memoized :func:`~repro.parallel.ledger.log2ceil` for hot callers."""
+    d = _LOG2_CACHE.get(n)
+    if d is None:
+        d = _LOG2_CACHE[n] = log2ceil(n)
+    return d
+
+
+def pmap(ledger: Ledger, items: Sequence[T], fn: Callable[[T], U], tag: str = "pmap") -> Union[List[U], np.ndarray]:
     """Parallel map: apply ``fn`` to every item.
 
     Charges ``n`` work and ``log2ceil(n)`` depth (the fork tree); the body is
     assumed constant-cost — bodies with their own cost should charge it
     themselves.
+
+    Array short-circuit: with an ``ndarray`` input, ``fn`` is applied to
+    the whole column at once (it must be vectorized, e.g. a ufunc) and
+    the result comes back as an array — no intermediate Python list.
+    The charge is identical either way.
     """
     n = len(items)
-    ledger.charge(work=n, depth=log2ceil(n), tag=tag)
+    ledger.charge(work=n, depth=log2ceil_cached(n), tag=tag)
+    if isinstance(items, np.ndarray):
+        return fn(items)
     return [fn(x) for x in items]
 
 
-def pfilter(ledger: Ledger, items: Sequence[T], pred: Callable[[T], bool], tag: str = "pfilter") -> List[T]:
+def pfilter(
+    ledger: Ledger,
+    items: Sequence[T],
+    pred: Union[Callable[[T], bool], np.ndarray],
+    tag: str = "pfilter",
+) -> Union[List[T], np.ndarray]:
     """Parallel filter (pack): keep items satisfying ``pred``, order kept.
 
     Implemented in the model as flag computation + prefix sum + scatter:
     O(n) work, O(log n) depth.
+
+    Array short-circuit: with an ``ndarray`` input, ``pred`` may be either
+    a precomputed boolean mask or a vectorized predicate returning one;
+    the pack is a single boolean index, no per-element closure calls.
     """
     n = len(items)
-    ledger.charge(work=n, depth=log2ceil(n), tag=tag)
+    ledger.charge(work=n, depth=log2ceil_cached(n), tag=tag)
+    if isinstance(items, np.ndarray):
+        mask = pred if isinstance(pred, np.ndarray) else pred(items)
+        return items[np.asarray(mask, dtype=bool)]
     return [x for x in items if pred(x)]
 
 
@@ -106,10 +139,18 @@ def pflatten(ledger: Ledger, lists: Sequence[Sequence[T]], tag: str = "pflatten"
     return out
 
 
-def pack_index(ledger: Ledger, flags: Sequence[bool], tag: str = "pack_index") -> List[int]:
-    """Indices of True flags (the index-returning variant of pack)."""
+def pack_index(
+    ledger: Ledger, flags: Sequence[bool], tag: str = "pack_index"
+) -> Union[List[int], np.ndarray]:
+    """Indices of True flags (the index-returning variant of pack).
+
+    Array short-circuit: a boolean ``ndarray`` packs via ``flatnonzero``
+    and returns an int64 index array; the charge is identical.
+    """
     n = len(flags)
-    ledger.charge(work=n, depth=log2ceil(n), tag=tag)
+    ledger.charge(work=n, depth=log2ceil_cached(n), tag=tag)
+    if isinstance(flags, np.ndarray):
+        return np.flatnonzero(flags)
     return [i for i, f in enumerate(flags) if f]
 
 

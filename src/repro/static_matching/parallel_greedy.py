@@ -36,6 +36,7 @@ sequence is unchanged from the object-based version.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -48,6 +49,50 @@ from repro.parallel.sorting import sort_by_priority
 from repro.static_matching.result import Matched, MatchResult
 from repro.static_matching.sequential_greedy import _assign_priorities
 
+#: Below this many edges the vectorized matcher's numpy setup costs more
+#: than the scalar loop saves.  Tunable for experiments/tests via env.
+_VEC_MIN_DEFAULT = 64
+
+
+def _vec_min() -> int:
+    return int(os.environ.get("REPRO_VEC_MIN", _VEC_MIN_DEFAULT))
+
+
+def _ledger_compatible(ledger: Ledger) -> bool:
+    """True when the vectorized path's aggregated charge emission is
+    indistinguishable from the scalar path's per-call charges.
+
+    A plain :class:`Ledger` only keeps order-insensitive totals (global
+    work, per-tag work, max-branch depth), so collapsing a parallel
+    region into aggregate charges is exact.  An attached observer (the
+    obs LedgerBridge) sees *individual* charge calls, and subclasses may
+    override ``charge`` arbitrarily — both must take the scalar path.
+    :class:`NullLedger` discards everything and never observes.
+    """
+    if isinstance(ledger, NullLedger):
+        return True
+    return type(ledger) is Ledger and ledger._observer is None
+
+
+def should_vectorize(
+    ledger: Ledger,
+    m: int,
+    vectorize: Optional[bool] = None,
+) -> bool:
+    """Dispatch decision shared with the dynamic pipeline's accounting.
+
+    ``vectorize=None`` is auto (size threshold + ledger compatibility);
+    ``True`` requests the vector path whenever the ledger permits it;
+    ``False`` forces scalar.
+    """
+    if vectorize is False:
+        return False
+    if not _ledger_compatible(ledger):
+        return False
+    if vectorize is True:
+        return True
+    return m >= _vec_min()
+
 
 def parallel_greedy_match(
     edges: Sequence[Edge],
@@ -55,6 +100,9 @@ def parallel_greedy_match(
     rng: Optional[np.random.Generator] = None,
     priorities: Optional[Dict[EdgeId, int]] = None,
     engine=None,
+    vectorize: Optional[bool] = None,
+    frame=None,
+    collect_samples: bool = True,
 ) -> MatchResult:
     """Round-synchronous random greedy maximal matching.
 
@@ -68,6 +116,21 @@ def parallel_greedy_match(
     ledger charges, and the sample spaces are bit-identical either way:
     the engine's CSR arrays are built in the same order as the alive
     lists, workers only read, and all mutation stays here.
+
+    ``vectorize`` picks between this scalar loop and the columnar
+    :func:`~repro.static_matching.vector_greedy.vector_greedy_match`
+    (None = auto by input size; both produce bit-identical results and
+    ledger totals).  ``frame`` optionally supplies a prebuilt
+    :class:`~repro.parallel.frames.BatchFrame` over ``edges`` so the
+    dynamic pipeline's columns are reused instead of re-extracted.
+
+    ``collect_samples=False`` lets the vector path skip *materializing*
+    sample spaces (each ``Matched.samples`` degenerates to the matched
+    edge alone) for callers that discard them — the dynamic level-0
+    settle, which by the paper's rule resets every new match's sample to
+    the singleton.  The matching, the match order and every ledger charge
+    (including the group-by that the model still prices) are unchanged;
+    the scalar path ignores the flag and always materializes.
     """
     if ledger is None:
         ledger = NullLedger()
@@ -77,6 +140,14 @@ def parallel_greedy_match(
     m = len(edges)
     if m == 0:
         return MatchResult(matches=[], rounds=0, priorities={})
+
+    if should_vectorize(ledger, m, vectorize):
+        from repro.static_matching.vector_greedy import vector_greedy_match
+
+        return vector_greedy_match(
+            edges, ledger, rng, priorities, engine=engine, frame=frame,
+            collect_samples=collect_samples,
+        )
 
     pri = _assign_priorities(edges, ledger, rng, priorities)
 

@@ -1,0 +1,336 @@
+"""Vectorized round-synchronous greedy matcher (the dynamic fast path).
+
+This is :func:`~repro.static_matching.parallel_greedy.parallel_greedy_match`
+re-expressed over numpy columns: the per-edge state (priorities,
+cardinalities, done flags, counters) and the per-vertex incidence (CSR,
+priority-ordered) are dense int64 arrays, the per-round aliveness sweep is
+the engine's ``gather_roots`` kernel, and ``updateTop`` runs as a batched
+doubling search over all touched vertices at once.
+
+The contract is *bit identity* with the scalar matcher: same matches in
+the same order, same sample spaces in the same order, same rounds, same
+priorities, and the same ledger totals (global work, per-tag work, total
+depth).  Two facts about the algorithm make the vectorization exact
+rather than approximate:
+
+* Roots of a round are pairwise non-adjacent (every vertex of a root has
+  the root on top, and a vertex has one top), so the per-round group-by
+  that assigns each dying edge to its minimum-priority adjacent root
+  decomposes into an independent per-edge argmin — a lexsort.
+
+* Every member of a root's sample space has strictly larger priority
+  than the root (the root is first-alive on a shared vertex list), so
+  the scalar's ``sorted(sample, key=(j != w, pri[j]))`` is a plain
+  priority sort with the root first, and the global match order is one
+  ``lexsort((pri[member], pri[owner]))``.
+
+Ledger parity for the ``updateTop`` region uses the closed form of the
+``find_next`` doubling-search charges (see ``_emit_update_top_charges``):
+because every charge in the scalar region is a nonnegative number added
+to order-insensitive counters (global work, per-tag work, max branch
+depth), the region can be settled with two aggregate charges.  The region
+emission is only valid when nothing observes individual charge calls —
+the dispatcher in ``parallel_greedy`` therefore routes ledgers with an
+attached observer (the obs bridge) to the scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hypergraph.edge import Edge, EdgeId
+from repro.parallel.engine.kernels import KERNELS
+from repro.parallel.frames import BatchFrame
+from repro.parallel.ledger import Ledger, NullLedger, log2ceil
+from repro.static_matching.result import Matched, MatchResult
+from repro.static_matching.sequential_greedy import _assign_priorities
+
+#: Powers of two for vectorized bit_length: searchsorted(_POW2, x, 'right')
+#: equals x.bit_length() for 0 <= x < 2**62 (exact integer comparisons —
+#: no float log2 edge cases).
+_POW2 = np.left_shift(np.int64(1), np.arange(62, dtype=np.int64))
+
+
+def _bit_length(x: np.ndarray) -> np.ndarray:
+    return np.searchsorted(_POW2, x, side="right")
+
+
+def _first_alive(
+    done: np.ndarray,
+    csr_edge: np.ndarray,
+    boff: np.ndarray,
+    bt: np.ndarray,
+    bL: np.ndarray,
+) -> np.ndarray:
+    """First alive position ``j`` in ``[t, L)`` of each vertex's CSR list,
+    or ``-1`` when none — the batched execution of ``find_next``.
+
+    Runs the same doubling schedule as the scalar search (round ``k``
+    probes the next ``2^(k-1)`` slots of every still-searching vertex),
+    so the probe count matches the model work the caller charges.
+    """
+    nb = bt.size
+    j = np.full(nb, -1, dtype=np.int64)
+    active = np.arange(nb, dtype=np.int64)
+    k = 1
+    while active.size:
+        at = bt[active]
+        aL = bL[active]
+        ws = at + (np.int64(1) << (k - 1)) - 1
+        live = ws < aL
+        active = active[live]
+        if not active.size:
+            break
+        ws = ws[live]
+        we = np.minimum(at[live] + (np.int64(1) << k) - 1, aL[live])
+        lens = we - ws
+        starts = boff[active] + ws
+        total = int(lens.sum())
+        cum = np.cumsum(lens)
+        idx = np.arange(total, dtype=np.int64)
+        idx -= np.repeat(cum - lens, lens)
+        idx += np.repeat(starts, lens)
+        alive = done[csr_edge[idx]] == 0
+        hitpos = np.flatnonzero(alive)
+        if hitpos.size:
+            seg = np.repeat(np.arange(active.size, dtype=np.int64), lens)
+            hseg = seg[hitpos]
+            useg, first = np.unique(hseg, return_index=True)
+            seg_start = cum - lens
+            j[active[useg]] = ws[useg] + hitpos[first] - seg_start[useg]
+            keep = np.ones(active.size, dtype=bool)
+            keep[useg] = False
+            active = active[keep]
+        k += 1
+    return j
+
+
+def vector_greedy_match(
+    edges: List[Edge],
+    ledger: Ledger,
+    rng: Optional[np.random.Generator],
+    priorities: Optional[Dict[EdgeId, int]],
+    engine=None,
+    frame: Optional[BatchFrame] = None,
+    collect_samples: bool = True,
+) -> MatchResult:
+    """Columnar greedy matcher.  Callers go through
+    :func:`~repro.static_matching.parallel_greedy.parallel_greedy_match`,
+    which validates the input and decides scalar vs vector dispatch;
+    ``edges`` is already a deduplicated non-empty list here.
+    """
+    m = len(edges)
+    pri_map = _assign_priorities(edges, ledger, rng, priorities)
+    pri = np.fromiter((pri_map[e.eid] for e in edges), dtype=np.int64, count=m)
+
+    if frame is None or len(frame) != m:
+        frame = BatchFrame.from_edges(edges)
+    cards = frame.cards
+    voff = frame.voff
+    total = frame.total_cardinality
+
+    # Radix sort by priority (Fig. 1).  Priorities are a permutation of
+    # 0..m-1, so the sorted position of edge i IS pri[i]; the counting
+    # sort reduces to its charge.
+    ledger.charge(
+        work=m + m, depth=log2ceil(max(m + m, 2)), tag="counting_sort"
+    )
+
+    # CSR incidence, per-vertex lists in priority order: intern vertices,
+    # then one sort by (vertex, priority) — the vectorized equivalent of
+    # appending to per-vertex lists while scanning edges in sorted order.
+    uverts, vinv = frame.intern()
+    nv = uverts.size
+    erow = np.repeat(np.arange(m, dtype=np.int64), cards)
+    ksort = np.argsort(vinv * np.int64(m) + pri[erow])
+    csr_edge = erow[ksort]
+    csr_cnt = np.bincount(vinv, minlength=nv)
+    csr_off = np.zeros(nv + 1, dtype=np.int64)
+    np.cumsum(csr_cnt, out=csr_off[1:])
+    r = int(cards.max()) if m else 1
+    ev = np.full((m, r), -1, dtype=np.int64)
+    ev[erow, np.arange(total, dtype=np.int64) - voff[erow]] = vinv
+
+    ledger.charge(work=total, depth=log2ceil(max(m, 2)), tag="par_sort")
+
+    top = np.zeros(nv, dtype=np.int64)
+    counter = np.bincount(csr_edge[csr_off[:-1]], minlength=m)
+    ledger.charge_parallel(nv, work=nv, depth=1, tag="par_init")
+    roots = np.flatnonzero(counter == cards).astype(np.int64)
+    ledger.charge(work=m, depth=log2ceil(max(m, 2)), tag="par_init")
+
+    session = (
+        engine.open_matcher_session_csr(csr_off, csr_edge, ev, m)
+        if engine is not None else None
+    )
+    done = session.done if session is not None else np.zeros(m, dtype=np.uint8)
+    arrays = {
+        "csr_off": csr_off, "csr_edge": csr_edge, "ev": ev, "done": done,
+    }
+
+    matches: List[Matched] = []
+    rounds = 0
+    try:
+        while roots.size:
+            rounds += 1
+            roots = roots[np.argsort(pri[roots])]
+            k = roots.size
+
+            if session is not None:
+                flat, cnts = session.gather_flat(roots)
+            else:
+                arrays["roots"] = roots
+                flat, cnts = KERNELS["gather_roots"](
+                    arrays, {"start": 0, "stop": k, "m": m}
+                )
+
+            P = k + flat.size
+            ledger.charge(
+                work=max(P, 1), depth=log2ceil(max(P, 2)), tag="group_by"
+            )
+
+            # Assign every dying edge to its min-priority adjacent root.
+            # The model prices the assignment whether or not the sample
+            # spaces get materialized, so the charge is unconditional.
+            if collect_samples and flat.size:
+                owners_n = np.repeat(roots, cnts)
+                o2 = np.lexsort((pri[owners_n], flat))
+                nf = flat[o2]
+                first = np.flatnonzero(np.r_[True, nf[1:] != nf[:-1]])
+                uniq_n = nf[first]
+                best_w = owners_n[o2][first]
+            else:
+                uniq_n = flat
+                best_w = flat
+            ledger.charge(
+                work=P, depth=log2ceil(max(P, 2)), tag="par_assign"
+            )
+
+            if collect_samples:
+                # Global match construction: one lexsort groups members
+                # under their owner root (owners in priority order == this
+                # round's match order) with the root first in each sample.
+                members = np.concatenate([roots, uniq_n])
+                owners = np.concatenate([roots, best_w])
+                mo = np.lexsort((pri[members], pri[owners]))
+                mm = members[mo].tolist()
+                ow = pri[owners][mo]
+                bounds = np.flatnonzero(np.r_[True, ow[1:] != ow[:-1]])
+                spans = np.r_[bounds, len(mm)].tolist()
+                append = matches.append
+                for gi in range(len(spans) - 1):
+                    grp = mm[spans[gi]:spans[gi + 1]]
+                    append(
+                        Matched(
+                            edge=edges[grp[0]],
+                            samples=[edges[i] for i in grp],
+                        )
+                    )
+            else:
+                # Roots are already in priority order — identical match
+                # order without grouping the members.  Samples degenerate
+                # to the matched edge (the caller resets them anyway).
+                append = matches.append
+                for ri in roots.tolist():
+                    e = edges[ri]
+                    append(Matched(edge=e, samples=[e]))
+
+            # finished = W ∪ N(W); roots never appear in neighbor lists
+            # (pairwise non-adjacent), so the union is a disjoint concat.
+            fin = np.concatenate([roots, np.unique(flat)]) if flat.size else roots
+            w_delete = int(cards[fin].sum())
+            ledger.charge_parallel(
+                fin.size, work=w_delete, depth=1, tag="par_delete"
+            )
+            done[fin] = 1
+
+            fv = ev[fin]
+            touched = np.unique(fv[fv >= 0])
+
+            roots = _update_top_region(
+                ledger, touched, csr_off, csr_edge, done, top, counter, cards
+            )
+    finally:
+        if session is not None:
+            session.close()
+
+    return MatchResult(matches=matches, rounds=rounds, priorities=pri_map)
+
+
+def _update_top_region(
+    ledger: Ledger,
+    touched: np.ndarray,
+    csr_off: np.ndarray,
+    csr_edge: np.ndarray,
+    done: np.ndarray,
+    top: np.ndarray,
+    counter: np.ndarray,
+    cards: np.ndarray,
+) -> np.ndarray:
+    """Batched ``updateTop`` over all touched vertices; returns new roots.
+
+    Mutates ``top`` and ``counter`` exactly as the scalar per-vertex loop,
+    and settles the whole parallel region's ledger cost with aggregate
+    charges whose totals equal the scalar region's: per-branch work sums
+    per tag, and the region contributes the max branch depth.
+    """
+    if touched.size == 0:
+        return np.empty(0, dtype=np.int64)
+
+    off = csr_off[touched]
+    L = csr_off[touched + 1] - off
+    t = top[touched]
+    in_range = t < L
+    top_edge = csr_edge[off + np.minimum(t, L - 1)]
+    case_b = in_range & (done[top_edge] == 1)
+    n_a = int(touched.size - np.count_nonzero(case_b))
+
+    new_roots = np.empty(0, dtype=np.int64)
+    w_fn = 0
+    n_hit = 0
+    region_depth = 1.0 if n_a else 0.0
+
+    if np.any(case_b):
+        boff = off[case_b]
+        bt = t[case_b]
+        bL = L[case_b]
+        j = _first_alive(done, csr_edge, boff, bt, bL)
+        hit = j >= 0
+        top[touched[case_b]] = np.where(hit, j, bL)
+
+        D = bL - bt
+        if np.any(hit):
+            d = j[hit] - bt[hit]
+            kstar = _bit_length(d + 1)
+            half = np.int64(1) << (kstar - 1)
+            w_bin = np.minimum(half, D[hit] - half + 1)
+            # find_next, hit: pre-hit windows (half - 1 probes) + the hit
+            # window probe + the binary-search charge (w_bin each); depth
+            # is one per doubling round plus the binary search.
+            fn_w = half - 1 + 2 * w_bin
+            fn_d = kstar + np.maximum(_bit_length(np.maximum(w_bin - 1, 1)), 1)
+            w_fn += int(fn_w.sum())
+            n_hit = int(np.count_nonzero(hit))
+            region_depth = max(region_depth, float(fn_d.max() + 1))
+
+            ie = csr_edge[boff[hit] + j[hit]]
+            ue, inc = np.unique(ie, return_counts=True)
+            pre = counter[ue]
+            counter[ue] = pre + inc
+            new_roots = ue[(pre < cards[ue]) & (pre + inc >= cards[ue])]
+        if not np.all(hit):
+            # find_next, exhausted: the windows tile [t, L) exactly.
+            Dn = D[~hit]
+            w_fn += int(Dn.sum())
+            region_depth = max(region_depth, float(_bit_length(Dn).max()))
+
+    if w_fn:
+        ledger.charge(work=w_fn, depth=0.0, tag="find_next")
+    w_up = n_a + n_hit
+    if w_up:
+        ledger.charge(work=w_up, depth=region_depth, tag="update_top")
+    elif region_depth:
+        ledger.charge(work=0.0, depth=region_depth)
+    return new_roots

@@ -153,6 +153,7 @@ def run_stream(
                         settle_rounds=getattr(stats, "num_rounds", 0) or 0,
                         ledger_work=algo.ledger.work,
                         ledger_depth=algo.ledger.depth,
+                        vec_stats=getattr(algo, "vec_stats", None),
                     )
     finally:
         for detach in detachers:

@@ -1,0 +1,286 @@
+"""Vectorized dynamic fast path vs the object pipeline and dict oracle.
+
+The acceptance bar for the struct-of-arrays pipeline (docs/hotpath.md) is
+*bit-identity*, not mere equivalence: for a fixed seed, the vectorized
+array backend, the object (per-edge) array backend, and the record-dict
+oracle must agree after every batch on
+
+* the matching (ids, in order),
+* every match's sample space (contents and order),
+* the live epoch state (level, sample size), and
+* the ledger — global work, composed depth, and per-tag totals.
+
+On top of the three-way trace differential this file checks the fallback
+seam (an attached charge observer routes batches to the object pipeline
+without changing one bit), the engine-backed settle rounds (pool and shm
+transports), the ``vec_stats``-to-metrics export, and certified crash
+recovery of a journal written by a vectorized instance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.core.certify import certify
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+
+N_TRACES = 50
+
+
+@pytest.fixture(autouse=True)
+def _vectorize_every_batch(monkeypatch):
+    """Drop the size cutoff so even tiny trace batches take the vector
+    path (the differential is pointless if everything falls back)."""
+    monkeypatch.setenv("REPRO_VEC_MIN", "1")
+
+
+def _script(seed: int):
+    """One random batch script: [("insert", edges) | ("delete", eids)]."""
+    rng = np.random.default_rng(seed)
+    max_vertices = int(rng.integers(6, 14))
+    rank = int(rng.integers(2, 4))
+    steps = int(rng.integers(4, 10))
+    script = []
+    live: List[int] = []
+    next_eid = 0
+    for _ in range(steps):
+        if not live or rng.random() < 0.6:
+            k = int(rng.integers(1, 7))
+            batch = []
+            for _ in range(k):
+                card = int(rng.integers(1, rank + 1))
+                vs = rng.choice(max_vertices, size=card, replace=False)
+                batch.append(Edge(next_eid, [int(v) for v in vs]))
+                live.append(next_eid)
+                next_eid += 1
+            script.append(("insert", batch))
+        else:
+            k = int(rng.integers(1, min(len(live), 6) + 1))
+            idx = sorted(rng.choice(len(live), size=k, replace=False), reverse=True)
+            eids = [live[i] for i in idx]
+            for i in idx:
+                live.pop(i)
+            script.append(("delete", eids))
+    return rank, script
+
+
+def _apply(dm: DynamicMatching, op) -> None:
+    kind, payload = op
+    if kind == "insert":
+        dm.insert_edges(list(payload))
+    else:
+        dm.delete_edges(list(payload))
+
+
+def _fingerprint(dm: DynamicMatching):
+    """Everything the bit-identity contract covers, after one batch.
+
+    ``samples_of`` charges the ledger, so the ledger snapshot is taken
+    first; the charge itself is part of the contract (both sides pay it
+    identically), which keeps later cumulative snapshots comparable.
+    """
+    led = (dm.ledger.work, dm.ledger.depth, dict(dm.ledger.by_tag))
+    matched = dm.matched_ids()
+    samples = {
+        mid: [e.eid for e in dm.structure.samples_of(mid)] for mid in matched
+    }
+    epochs = sorted(
+        (ep.eid, ep.level, ep.sample_size) for ep in dm.tracker.live_epochs()
+    )
+    return led, matched, samples, epochs
+
+
+class TestThreeWayDifferential:
+    @pytest.mark.parametrize("chunk", range(5))
+    def test_traces(self, chunk):
+        """N_TRACES seeded traces: vectorized array vs object array vs
+        dict oracle, bit-identical at every batch boundary."""
+        per = N_TRACES // 5
+        for seed in range(chunk * per, (chunk + 1) * per):
+            rank, script = _script(seed)
+            dm_vec = DynamicMatching(
+                rank=rank, seed=seed + 1, backend="array", vectorized=True
+            )
+            dm_obj = DynamicMatching(
+                rank=rank, seed=seed + 1, backend="array", vectorized=False
+            )
+            dm_dict = DynamicMatching(rank=rank, seed=seed + 1, backend="dict")
+            for step, op in enumerate(script):
+                _apply(dm_vec, op)
+                _apply(dm_obj, op)
+                _apply(dm_dict, op)
+                fp_vec = _fingerprint(dm_vec)
+                assert fp_vec == _fingerprint(dm_obj), (
+                    f"seed {seed} step {step}: vectorized != object pipeline"
+                )
+                assert fp_vec == _fingerprint(dm_dict), (
+                    f"seed {seed} step {step}: vectorized != dict oracle"
+                )
+                dm_vec.check_invariants()
+            assert dm_vec.vec_stats["vector_batches"] == len(script)
+            assert dm_vec.vec_stats["kernel_fallbacks"] == 0
+            assert dm_obj.vec_stats["vector_batches"] == 0
+            assert dm_obj.vec_stats["object_batches"] == len(script)
+            cert_v, cert_o = certify(dm_vec), certify(dm_obj)
+            assert cert_v.matched == cert_o.matched
+            assert cert_v.witness == cert_o.witness
+
+
+class TestObserverFallback:
+    def test_bridge_falls_back_bit_identically(self):
+        """A charge observer (Observer(bridge=True)) must route every
+        batch to the object pipeline with zero behavioral difference."""
+        from repro.obs.observer import Observer
+
+        for seed in (3, 11, 27):
+            rank, script = _script(seed)
+            dm_plain = DynamicMatching(rank=rank, seed=seed + 1, vectorized=False)
+            dm_obs = DynamicMatching(rank=rank, seed=seed + 1, vectorized=True)
+            obs = Observer(bridge=True)
+            detach = obs.attach_matching(dm_obs)
+            try:
+                for op in script:
+                    _apply(dm_plain, op)
+                    _apply(dm_obs, op)
+                    assert _fingerprint(dm_plain) == _fingerprint(dm_obs)
+            finally:
+                detach()
+            stats = dm_obs.vec_stats
+            assert stats["vector_batches"] == 0
+            assert stats["object_batches"] == len(script)
+            assert stats["kernel_fallbacks"] == len(script)
+
+    def test_default_observer_keeps_vector_path(self):
+        """Without the opt-in bridge, observation is per-batch sampling
+        and the vector path stays engaged."""
+        from repro.obs.observer import Observer
+
+        rank, script = _script(7)
+        dm = DynamicMatching(rank=rank, seed=8, vectorized=True)
+        obs = Observer()  # bridge=False: no ledger observer installed
+        detach = obs.attach_matching(dm)
+        try:
+            for op in script:
+                _apply(dm, op)
+        finally:
+            detach()
+        assert dm.vec_stats["vector_batches"] == len(script)
+        assert dm.vec_stats["kernel_fallbacks"] == 0
+
+
+class TestMetricsExport:
+    def test_vec_stats_reach_registry(self):
+        """run_stream publishes vec_stats; the repro_dynamic_batch_*
+        counters and the fraction gauge must track them exactly."""
+        from repro.obs.observer import Observer
+        from repro.workloads.runner import run_stream
+        from repro.workloads.streams import UpdateBatch
+
+        rank, script = _script(19)
+        stream = [
+            UpdateBatch.insert(payload) if kind == "insert"
+            else UpdateBatch.delete(payload)
+            for kind, payload in script
+        ]
+        dm = DynamicMatching(rank=rank, seed=20, vectorized=True)
+        obs = Observer()
+        run_stream(dm, stream, observer=obs)
+        stats = dm.vec_stats
+        assert obs.dynamic_vector_batches.value() == stats["vector_batches"]
+        assert obs.dynamic_object_batches.value() == stats["object_batches"]
+        assert obs.dynamic_frames.value() == stats["frames"]
+        assert obs.dynamic_kernel_fallbacks.value() == stats["kernel_fallbacks"]
+        total = stats["vector_batches"] + stats["object_batches"]
+        assert total == len(stream)
+        assert obs.dynamic_vectorized_fraction.value() == (
+            stats["vector_batches"] / total
+        )
+
+
+class TestCrashRecoveryReplay:
+    def test_certified_recovery_of_vectorized_run(self, tmp_path):
+        """A journal written by a vectorized instance recovers and
+        certifies against the from-scratch oracle replay."""
+        from repro.durability import DurabilityManager, recover
+        from repro.testing.faults import random_batches
+
+        rng = np.random.default_rng(31)
+        batches = random_batches(rng, 16)
+        dm = DynamicMatching(rank=3, seed=31, vectorized=True)
+        with DurabilityManager.create(
+            str(tmp_path), dm, checkpoint_every=4
+        ) as mgr:
+            for batch in batches:
+                mgr.log_batch(batch)
+                if batch.kind == "insert":
+                    dm.insert_edges(list(batch.edges))
+                else:
+                    dm.delete_edges(list(batch.eids))
+                mgr.note_applied(dm)
+        assert dm.vec_stats["vector_batches"] > 0
+        res = recover(str(tmp_path))
+        assert res.certified
+        assert res.dm.matched_ids() == dm.matched_ids()
+        assert (res.dm.ledger.work, res.dm.ledger.depth) == (
+            dm.ledger.work, dm.ledger.depth
+        )
+
+
+@pytest.mark.parallel
+class TestEngineSettleRounds:
+    """Engine-backed settle rounds under the vectorized pipeline: pool
+    and shm transports, forced-parallel scheduler, bit-identity vs the
+    serial vectorized run and the object pipeline."""
+
+    @pytest.fixture(scope="class", params=["pool", "shm"])
+    def engine(self, request):
+        from repro.parallel.engine import Engine, EngineConfig, SchedulerConfig
+
+        eng = Engine(
+            EngineConfig(
+                mode=request.param,
+                workers=2,
+                min_session_edges=0,
+                scheduler=SchedulerConfig(
+                    cutoff_work=0.0, min_items_per_task=1,
+                    task_overhead_work=0.0, margin=10.0, assume_cores=8,
+                ),
+            )
+        )
+        yield eng
+        eng.close()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engine_bit_identical(self, engine, seed):
+        from repro.workloads.adversary import RandomOrderAdversary
+        from repro.workloads.generators import erdos_renyi_edges
+        from repro.workloads.streams import insert_then_delete_stream
+
+        def make_stream():
+            edges = erdos_renyi_edges(40, 300, np.random.default_rng(seed))
+            return insert_then_delete_stream(
+                edges, 64, RandomOrderAdversary(np.random.default_rng(seed + 50))
+            )
+
+        dm_serial = DynamicMatching(rank=2, seed=seed + 100, vectorized=True)
+        dm_engine = DynamicMatching(
+            rank=2, seed=seed + 100, vectorized=True, engine=engine
+        )
+        dm_object = DynamicMatching(rank=2, seed=seed + 100, vectorized=False)
+        for b1, b2, b3 in zip(make_stream(), make_stream(), make_stream()):
+            for dm, batch in ((dm_serial, b1), (dm_engine, b2), (dm_object, b3)):
+                if batch.kind == "insert":
+                    dm.insert_edges(list(batch.edges))
+                else:
+                    dm.delete_edges(list(batch.eids))
+            fp = _fingerprint(dm_serial)
+            assert fp == _fingerprint(dm_engine), f"seed {seed}: engine diverged"
+            assert fp == _fingerprint(dm_object), f"seed {seed}: object diverged"
+        assert dm_engine.vec_stats["vector_batches"] > 0
+        cert_s, cert_e = certify(dm_serial), certify(dm_engine)
+        assert cert_s.matched == cert_e.matched
+        assert cert_s.witness == cert_e.witness

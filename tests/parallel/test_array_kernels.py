@@ -1,0 +1,194 @@
+"""Array kernels vs their pure-Python originals: same answers, same charges.
+
+The vectorized dynamic fast path (docs/hotpath.md) rests on one rule:
+every numpy kernel must be *observationally identical* to the dict/list
+original it replaces — element-for-element output in the same order, and
+the exact same ledger charges (work, depth, per-tag totals).  These
+property tests enforce the rule for
+
+* the ``*_arrays`` semisort family (``semisort_arrays``,
+  ``group_by_arrays``, ``sum_by_arrays``, ``count_by_arrays``) against
+  ``semisort``/``group_by``/``sum_by``/``count_by``,
+* the ndarray branch of ``remove_duplicates`` against its list branch,
+* the ndarray short-circuits of ``pmap``/``pfilter``/``pack_index``, and
+* :class:`~repro.parallel.frames.BatchFrame` column construction against
+  per-edge attribute reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.hypergraph.edge import Edge
+from repro.parallel.frames import BatchFrame
+from repro.parallel.ledger import Ledger
+from repro.parallel.primitives import pack_index, pfilter, pmap
+from repro.parallel.semisort import (
+    count_by,
+    count_by_arrays,
+    group_by,
+    group_by_arrays,
+    remove_duplicates,
+    semisort,
+    semisort_arrays,
+    sum_by,
+    sum_by_arrays,
+)
+
+# Small key ranges force collisions; values are distinct enough to expose
+# any reordering within a key group.
+keys_values = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(-50, 50)), max_size=80
+)
+
+
+def _columns(pairs):
+    ks = np.array([k for k, _ in pairs], dtype=np.int64)
+    vs = np.array([v for _, v in pairs], dtype=np.int64)
+    return ks, vs
+
+
+def _ledger_state(led: Ledger):
+    return led.work, led.depth, dict(led.by_tag)
+
+
+class TestSemisortArrays:
+    @given(keys_values)
+    def test_matches_dict_original_and_charges(self, pairs):
+        led_a, led_b = Ledger(), Ledger()
+        expect = semisort(led_a, pairs)
+        ks, vs = _columns(pairs)
+        out_k, out_v = semisort_arrays(led_b, ks, vs)
+        assert list(zip(out_k.tolist(), out_v.tolist())) == expect
+        assert _ledger_state(led_a) == _ledger_state(led_b)
+
+    def test_empty(self):
+        led = Ledger()
+        out_k, out_v = semisort_arrays(
+            led, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )
+        assert out_k.size == 0 and out_v.size == 0
+
+
+class TestGroupByArrays:
+    @given(keys_values)
+    def test_csr_matches_dict_original_and_charges(self, pairs):
+        led_a, led_b = Ledger(), Ledger()
+        expect = group_by(led_a, pairs)
+        ks, vs = _columns(pairs)
+        uniq, offsets, grouped = group_by_arrays(led_b, ks, vs)
+        got = [
+            (int(uniq[g]), grouped[offsets[g]:offsets[g + 1]].tolist())
+            for g in range(uniq.size)
+        ]
+        assert got == expect
+        assert _ledger_state(led_a) == _ledger_state(led_b)
+
+    def test_empty_offsets_sentinel(self):
+        led = Ledger()
+        uniq, offsets, grouped = group_by_arrays(
+            led, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )
+        assert uniq.size == 0 and grouped.size == 0
+        assert offsets.tolist() == [0]
+
+
+class TestSumByArrays:
+    @given(keys_values)
+    def test_matches_dict_original_and_charges(self, pairs):
+        led_a, led_b = Ledger(), Ledger()
+        expect = sum_by(led_a, pairs)
+        ks, vs = _columns(pairs)
+        out_k, out_s = sum_by_arrays(led_b, ks, vs)
+        assert list(zip(out_k.tolist(), out_s.tolist())) == expect
+        assert _ledger_state(led_a) == _ledger_state(led_b)
+
+
+class TestCountByArrays:
+    @given(st.lists(st.integers(0, 9), max_size=80))
+    def test_matches_original_and_charges(self, keys):
+        led_a, led_b = Ledger(), Ledger()
+        expect = count_by(led_a, keys)
+        out_k, out_c = count_by_arrays(led_b, np.array(keys, dtype=np.int64))
+        assert list(zip(out_k.tolist(), out_c.tolist())) == expect
+        assert _ledger_state(led_a) == _ledger_state(led_b)
+
+
+class TestRemoveDuplicatesArray:
+    @given(st.lists(st.integers(0, 20), max_size=80))
+    def test_ndarray_branch_matches_list_branch(self, items):
+        led_a, led_b = Ledger(), Ledger()
+        expect = remove_duplicates(led_a, items)
+        out = remove_duplicates(led_b, np.array(items, dtype=np.int64))
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == expect
+        assert _ledger_state(led_a) == _ledger_state(led_b)
+
+
+class TestPrimitiveShortCircuits:
+    @given(st.lists(st.integers(-100, 100), max_size=60))
+    def test_pmap_array(self, xs):
+        led_a, led_b = Ledger(), Ledger()
+        expect = pmap(led_a, xs, lambda x: -x)
+        out = pmap(led_b, np.array(xs, dtype=np.int64), np.negative)
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == expect
+        assert _ledger_state(led_a) == _ledger_state(led_b)
+
+    @given(st.lists(st.integers(-100, 100), max_size=60))
+    def test_pfilter_array_predicate_and_mask(self, xs):
+        led_a, led_b, led_c = Ledger(), Ledger(), Ledger()
+        expect = pfilter(led_a, xs, lambda x: x > 0)
+        arr = np.array(xs, dtype=np.int64)
+        by_pred = pfilter(led_b, arr, lambda a: a > 0)
+        by_mask = pfilter(led_c, arr, arr > 0)
+        assert by_pred.tolist() == expect
+        assert by_mask.tolist() == expect
+        assert (
+            _ledger_state(led_a) == _ledger_state(led_b) == _ledger_state(led_c)
+        )
+
+    @given(st.lists(st.booleans(), max_size=60))
+    def test_pack_index_array(self, flags):
+        led_a, led_b = Ledger(), Ledger()
+        expect = pack_index(led_a, flags)
+        out = pack_index(led_b, np.array(flags, dtype=bool))
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == expect
+        assert _ledger_state(led_a) == _ledger_state(led_b)
+
+
+class TestBatchFrame:
+    @given(st.lists(
+        st.lists(st.integers(0, 30), min_size=1, max_size=3, unique=True),
+        max_size=25,
+    ))
+    def test_columns_match_edges(self, raw):
+        edges = [Edge(i, vs) for i, vs in enumerate(raw)]
+        frame = BatchFrame.from_edges(edges)
+        assert len(frame) == len(edges)
+        assert frame.eids.tolist() == [e.eid for e in edges]
+        assert frame.cards.tolist() == [e.cardinality for e in edges]
+        assert frame.total_cardinality == sum(e.cardinality for e in edges)
+        for i, e in enumerate(edges):
+            assert frame.vertices_of(i).tolist() == list(e.vertices)
+
+    def test_select_preserves_order_and_csr(self):
+        edges = [Edge(i, [i, i + 1, i + 2][: 1 + i % 3]) for i in range(10)]
+        frame = BatchFrame.from_edges(edges)
+        sub = frame.select(np.array([7, 2, 5]))
+        assert [e.eid for e in sub.edges] == [7, 2, 5]
+        for j, i in enumerate([7, 2, 5]):
+            assert sub.vertices_of(j).tolist() == list(edges[i].vertices)
+        mask = np.zeros(10, dtype=bool)
+        mask[[1, 4]] = True
+        sub2 = frame.select(mask)
+        assert sub2.eids.tolist() == [1, 4]
+
+    def test_intern_roundtrip(self):
+        edges = [Edge(0, [5, 9]), Edge(1, [9, 3]), Edge(2, [3, 5])]
+        frame = BatchFrame.from_edges(edges)
+        uniq, inv = frame.intern()
+        assert uniq.tolist() == [3, 5, 9]
+        assert np.array_equal(uniq[inv], frame.vflat)

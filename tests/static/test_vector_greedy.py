@@ -1,0 +1,131 @@
+"""Columnar greedy matcher vs the scalar loop: bit-identical everything.
+
+``vector_greedy_match`` is the numpy rewrite of the round-synchronous
+matcher that the dynamic fast path dispatches to (docs/hotpath.md).  Its
+contract is total observational equivalence with the scalar loop for the
+same rng stream: the same matches in the same order, the same sample
+spaces, the same round count and priorities, and the same ledger totals
+tag by tag.  ``collect_samples=False`` may skip *materializing* sample
+spaces (each degenerates to the matched edge itself) but must not change
+the matching, the order, or a single charge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.frames import BatchFrame
+from repro.parallel.ledger import Ledger, NullLedger
+from repro.static_matching.parallel_greedy import (
+    parallel_greedy_match,
+    should_vectorize,
+)
+from repro.workloads.generators import erdos_renyi_edges, random_hypergraph_edges
+
+
+def _edges_for(trace: int):
+    rng = np.random.default_rng(4000 + trace)
+    nv = int(rng.integers(5, 50))
+    m = int(rng.integers(1, min(200, nv * (nv - 1) // 2)))
+    if trace % 3 == 2:
+        return random_hypergraph_edges(nv, m, 3, rng)
+    return erdos_renyi_edges(nv, m, rng)
+
+
+def _run(edges, trace, **kw):
+    led = Ledger()
+    res = parallel_greedy_match(
+        edges, led, rng=np.random.default_rng(trace), **kw
+    )
+    return res, led
+
+
+def _fingerprint(result):
+    return [
+        (m.edge.eid, tuple(s.eid for s in m.samples)) for m in result.matches
+    ]
+
+
+class TestVectorScalarParity:
+    def test_forty_random_traces(self):
+        """Matching, samples, rounds, priorities, and per-tag ledger
+        totals all identical between the scalar and vector paths."""
+        for trace in range(40):
+            edges = _edges_for(trace)
+            scalar, led_s = _run(edges, trace, vectorize=False)
+            vector, led_v = _run(edges, trace, vectorize=True)
+            assert _fingerprint(scalar) == _fingerprint(vector), f"trace {trace}"
+            assert scalar.rounds == vector.rounds, f"trace {trace}"
+            assert scalar.priorities == vector.priorities, f"trace {trace}"
+            assert (led_s.work, led_s.depth) == (led_v.work, led_v.depth), (
+                f"trace {trace}: ledger totals diverged"
+            )
+            assert dict(led_s.by_tag) == dict(led_v.by_tag), f"trace {trace}"
+
+    def test_frame_reuse_identical(self):
+        """A prebuilt BatchFrame must not change results or charges."""
+        for trace in range(8):
+            edges = _edges_for(trace)
+            plain, led_p = _run(edges, trace, vectorize=True)
+            framed, led_f = _run(
+                edges, trace, vectorize=True, frame=BatchFrame.from_edges(edges)
+            )
+            assert _fingerprint(plain) == _fingerprint(framed)
+            assert (led_p.work, led_p.depth) == (led_f.work, led_f.depth)
+            assert dict(led_p.by_tag) == dict(led_f.by_tag)
+
+
+class TestCollectSamplesFlag:
+    def test_matching_and_charges_unchanged(self):
+        """collect_samples=False: same matched edges in the same order,
+        samples degenerate to the singleton, every charge identical."""
+        for trace in range(20):
+            edges = _edges_for(trace)
+            full, led_full = _run(edges, trace, vectorize=True)
+            lean, led_lean = _run(
+                edges, trace, vectorize=True, collect_samples=False
+            )
+            assert [m.edge.eid for m in full.matches] == [
+                m.edge.eid for m in lean.matches
+            ], f"trace {trace}"
+            for m in lean.matches:
+                assert [s.eid for s in m.samples] == [m.edge.eid]
+            assert lean.rounds == full.rounds
+            assert (led_full.work, led_full.depth) == (
+                led_lean.work, led_lean.depth
+            ), f"trace {trace}: the model still prices the skipped group-by"
+            assert dict(led_full.by_tag) == dict(led_lean.by_tag)
+
+    def test_scalar_path_ignores_flag(self):
+        edges = _edges_for(5)
+        full, led_full = _run(edges, 5, vectorize=False)
+        lean, led_lean = _run(edges, 5, vectorize=False, collect_samples=False)
+        assert _fingerprint(full) == _fingerprint(lean)
+        assert (led_full.work, led_full.depth) == (led_lean.work, led_lean.depth)
+
+
+class TestShouldVectorize:
+    def test_false_forces_scalar(self):
+        assert not should_vectorize(Ledger(), 10**6, vectorize=False)
+
+    def test_true_needs_compatible_ledger(self):
+        assert should_vectorize(Ledger(), 1, vectorize=True)
+        assert should_vectorize(NullLedger(), 1, vectorize=True)
+
+    def test_observer_forces_scalar(self):
+        led = Ledger()
+        led._observer = lambda *a, **kw: None
+        assert not should_vectorize(led, 10**6, vectorize=True)
+        assert not should_vectorize(led, 10**6)
+
+    def test_auto_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_MIN", "32")
+        assert not should_vectorize(Ledger(), 31)
+        assert should_vectorize(Ledger(), 32)
+
+    def test_subclass_forces_scalar(self):
+        class Sub(Ledger):
+            pass
+
+        assert not should_vectorize(Sub(), 10**6, vectorize=True)

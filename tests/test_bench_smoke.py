@@ -1,10 +1,11 @@
-"""Smoke-mode run of the hot-path benchmark harness.
+"""Smoke-mode runs of the benchmark harnesses.
 
 ``REPRO_BENCH_SMOKE=1`` caps every sweep in ``benchmarks/bench_hotpath.py``
-to tiny sizes, so CI can exercise the full harness — workload generation,
-replay, ledger capture, JSON output, and the seed-vs-after comparison
-logic — in a couple of seconds without timing anything meaningful.
-Deselect with ``-m "not bench_smoke"`` if even that is too much.
+and ``benchmarks/bench_dynamic.py`` to tiny sizes, so CI can exercise the
+full harnesses — workload generation, replay, ledger capture, JSON
+output, and the identity/comparison assertions — in seconds without
+timing anything meaningful.  Deselect with ``-m "not bench_smoke"`` if
+even that is too much.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 BENCH = REPO / "benchmarks" / "bench_hotpath.py"
+BENCH_DYNAMIC = REPO / "benchmarks" / "bench_dynamic.py"
 
 
 def _run(label: str, out: Path) -> subprocess.CompletedProcess:
@@ -61,3 +63,43 @@ def test_bench_hotpath_smoke(tmp_path):
     for row in data["comparison"]["e1"]:
         assert row["work_delta"] == 0
         assert row["depth_delta"] == 0
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_SMOKE") == "0",
+    reason="REPRO_BENCH_SMOKE=0 explicitly disables the bench smoke run",
+)
+def test_bench_dynamic_smoke(tmp_path):
+    out = tmp_path / "bench_dynamic.json"
+    env = dict(os.environ)
+    if not env.get("REPRO_BENCH_SMOKE"):
+        env["REPRO_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, str(BENCH_DYNAMIC),
+            "--label", "smoke", "--mode", "serial", "--out", str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    data = json.loads(out.read_text())
+    record = data["smoke"]
+    assert record["smoke"] is True
+    rows = record["rows"]
+    assert {r["stream"] for r in rows} == {
+        "insert-heavy", "delete-heavy", "mixed"
+    }
+    # The harness asserts these before writing a row; re-check the output
+    # so a silently weakened harness still fails here.
+    for r in rows:
+        assert r["matching_identical"] is True
+        assert r["ledger_identical"] is True
+        assert set(r["updates_per_sec"]) == {"object", "vector", "vector+engine"}
+    assert "overhead_fraction" in record["engine_overhead_w1"]
