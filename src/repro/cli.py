@@ -14,6 +14,10 @@ Subcommands
     checkpoints into a directory (``--journal DIR``), or recover a
     previous run from one (``--recover DIR``), certify it against an
     uninterrupted oracle replay, and optionally continue serving.
+    ``--shards K`` serves through K vertex-partitioned shard processes
+    (per-shard journals, two-phase cross-shard handoff, merged certified
+    matching — see docs/sharding.md); recovery autodetects sharded roots
+    by their ``sharding.json`` manifest.
 
 Observability
 -------------
@@ -163,6 +167,36 @@ def _engine_summary(engine) -> None:
     )
 
 
+def _fastpath_summary(algo) -> None:
+    """One line saying which dynamic pipeline actually ran (the
+    ``--no-vectorized`` flag is testable through this output)."""
+    vs = getattr(algo, "vec_stats", None)
+    if vs is None:
+        return
+    print(
+        f"fast path: vector_batches={vs['vector_batches']}   "
+        f"object_batches={vs['object_batches']}   "
+        f"kernel_fallbacks={vs['kernel_fallbacks']}"
+    )
+
+
+def _shard_summary(router) -> None:
+    st = router.shard_stats
+    print(
+        f"shards: {router.k} ({router.transport})   "
+        f"local/cross updates: {st['local_updates']}/{st['cross_updates']}   "
+        f"handoff accepts/rejects: {st['accepts']}/{st['rejects']}"
+    )
+    breakdown = router.ledger_breakdown()
+    per = "  ".join(
+        f"s{s}:{work:.0f}" for s, work, _, _ in breakdown["shards"]
+    )
+    print(
+        f"merged ledger work: {breakdown['merged_work']:.0f} "
+        f"(router {breakdown['router'][0]:.0f}  {per})"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     stream = read_stream(args.stream)
     if args.algo == "paper" and args.no_vectorized:
@@ -186,6 +220,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"algorithm: {args.algo}   batches: {s['batches']}   updates: {s['updates']}")
     print(f"work/update: {s['work_per_update']:.2f}   max batch depth: {s['max_depth']:.1f}")
     _engine_summary(engine)
+    _fastpath_summary(algo)
     if args.check:
         print("maximality verified after every batch ✓")
     # The profile reads the metrics registry (the ledger bridge mirrors
@@ -228,7 +263,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("serve: one of --journal or --recover is required")
         return 2
 
+    sharded = args.shards is not None
+    if args.recover:
+        from repro.sharding import is_sharded_root
+
+        # A sharded root identifies itself by its manifest; --shards is
+        # not needed (and is ignored) on recovery.
+        sharded = is_sharded_root(args.recover)
+
     obs, teardown = _setup_observability(args)
+    if sharded:
+        try:
+            return _cmd_serve_sharded(args, obs)
+        finally:
+            teardown()
     engine = _build_engine(args, obs)
     try:
         return _cmd_serve_observed(args, obs, engine)
@@ -236,6 +284,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if engine is not None:
             engine.close()
         teardown()
+
+
+def _cmd_serve_sharded(args: argparse.Namespace, obs) -> int:
+    from repro.sharding import ShardedMatching, recover_sharded
+
+    if args.journal:
+        if not args.stream:
+            print("serve --journal requires --stream")
+            return 2
+        stream = read_stream(args.stream)
+        router = ShardedMatching(
+            shards=args.shards,
+            rank=args.rank,
+            seed=args.seed,
+            backend=args.backend or "array",
+            vectorized=False if args.no_vectorized else None,
+            transport=args.shard_transport,
+            durability_root=args.journal,
+            checkpoint_every=args.checkpoint_every,
+            keep=args.keep,
+            fsync=not args.no_fsync,
+        )
+        if obs is not None:
+            router.attach_observer(obs)
+        try:
+            records = run_stream(router, stream, check=args.check, observer=obs)
+            router.checkpoint_now()
+            s = summarize(records)
+            print(
+                f"served {s['batches']} batches ({s['updates']} updates) durably "
+                f"into {args.journal} across {router.k} shards"
+            )
+            print(
+                f"matching size: {len(router.matched_ids())}   "
+                f"work/update: {s['work_per_update']:.2f}"
+            )
+            _shard_summary(router)
+            if args.check:
+                print("merged maximality verified after every batch ✓")
+        finally:
+            router.close()
+        return 0
+
+    res = recover_sharded(args.recover, do_certify=args.certify,
+                          fsync=not args.no_fsync)
+    router = res.router
+    try:
+        print(
+            f"recovered {res.applied} batches from sharded root {args.recover} "
+            f"({router.k} shards)"
+        )
+        for info in res.per_shard:
+            if info["rebuilt"]:
+                print(f"  shard {info['shard']}: rebuilt from router journal "
+                      f"({info['rebuild_reason']})")
+            elif info["topped_up"]:
+                print(f"  shard {info['shard']}: topped up {info['topped_up']} "
+                      f"batch(es) from router journal")
+        for note in res.anomalies:
+            print(f"  anomaly: {note}")
+        if args.certify:
+            r = res.report
+            print(
+                f"certified against uninterrupted sharded oracle ✓   "
+                f"matching={r['matching_size']}   live={r['live_edges']}"
+            )
+        if args.stream:
+            if obs is not None:
+                router.attach_observer(obs)
+            stream = read_stream(args.stream)
+            records = run_stream(router, stream, check=args.check, observer=obs)
+            router.checkpoint_now()
+            s = summarize(records)
+            print(f"continued with {s['batches']} more batches ({s['updates']} updates)")
+            print(f"matching size: {len(router.matched_ids())}")
+            _shard_summary(router)
+    finally:
+        router.close()
+    return 0
 
 
 def _cmd_serve_observed(args: argparse.Namespace, obs, engine=None) -> int:
@@ -262,6 +389,7 @@ def _cmd_serve_observed(args: argparse.Namespace, obs, engine=None) -> int:
         s = summarize(records)
         print(f"served {s['batches']} batches ({s['updates']} updates) durably into {args.journal}")
         print(f"matching size: {len(dm.matched_ids())}   work/update: {s['work_per_update']:.2f}")
+        _fastpath_summary(dm)
         return 0
 
     res = recover(args.recover, backend=args.backend or None, do_certify=args.certify)
@@ -405,6 +533,12 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--no-fsync", action="store_true",
                    help="skip fsync per record (faster, weaker crash guarantee)")
     v.add_argument("--check", action="store_true", help="verify maximality per batch")
+    v.add_argument("--shards", type=int, default=None, metavar="K",
+                   help="serve through K vertex-partitioned shards (each with "
+                        "its own journal); recovery autodetects sharded roots")
+    v.add_argument("--shard-transport", choices=["inline", "process"], default=None,
+                   help="host shards in-process (inline) or one forked process "
+                        "each (process); default: inline for K=1, process otherwise")
     _add_obs_args(v)
     _add_engine_args(v)
     v.set_defaults(func=_cmd_serve)

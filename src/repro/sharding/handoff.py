@@ -1,0 +1,128 @@
+"""Two-phase cross-shard handoff: propose, then accept/reject.
+
+A cross-shard edge cannot be settled by any single shard — its endpoints
+live in two or more local matchings.  The router resolves the full live
+cross-edge set after every batch with a deterministic two-phase protocol:
+
+**Phase 1 — propose.**  Each cross edge is owned by its lowest-numbered
+endpoint shard (``owner_shard``).  The owner *proposes* the edge iff every
+endpoint it hosts is free of the owner's local matching.  An edge whose
+owner-side endpoint is already covered is rejected immediately, with that
+covering match as its maximality witness.  Peers report, for each
+proposed edge, the local match (if any) covering each of their endpoints.
+
+**Phase 2 — decide.**  Proposals are decided in ascending edge id with a
+vertex reservation table: a proposal is *accepted* iff no endpoint is
+covered by any shard's local matching and no endpoint was reserved by an
+earlier accepted proposal.  A rejected proposal records its blocker — a
+local match or an earlier accepted cross edge — as its witness.
+
+Because phase 2 is a sequential greedy over a deterministic order with
+full freeness information, the merged matching (union of shard-local
+matchings and accepted cross edges) is a **maximal matching of the whole
+graph**: shard-local edges are maximal within their shard, and every
+unmatched cross edge holds a witness that is itself matched.  The
+resolution is a pure function of ``(live cross edges, per-vertex cover)``
+— no history — which is what makes coordinated recovery trivial: recover
+the shards, re-run the handoff, and the cross matching is reproduced
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.edge import Edge, EdgeId, Vertex
+from repro.sharding.partition import owner_shard, shard_of_vertex
+
+
+@dataclass
+class HandoffResult:
+    """The outcome of one cross-shard resolution round.
+
+    ``matched`` is sorted ascending (decision order); ``witness`` maps
+    every *unmatched* live cross edge to a matched edge id blocking it
+    (local or cross) — together they extend a merged matching certificate.
+    """
+
+    matched: List[EdgeId] = field(default_factory=list)
+    witness: Dict[EdgeId, EdgeId] = field(default_factory=dict)
+    proposals: int = 0
+    accepts: int = 0
+    rejects_local: int = 0  # blocked by a shard-local match
+    rejects_cross: int = 0  # blocked by an earlier accepted cross edge
+
+
+def proposal_vertices(
+    cross_edges: Sequence[Edge], k: int
+) -> Dict[int, List[Vertex]]:
+    """Phase-1 query plan: for each shard, the (deduplicated, sorted)
+    endpoint vertices of the live cross edges it hosts.
+
+    The router sends one ``cover_of_many`` request per shard — the
+    freeness report both phases consume.
+    """
+    per_shard: Dict[int, set] = {}
+    for e in cross_edges:
+        for v in e.vertices:
+            per_shard.setdefault(shard_of_vertex(v, k), set()).add(v)
+    return {s: sorted(vs) for s, vs in per_shard.items()}
+
+
+def resolve(
+    cross_edges: Sequence[Edge],
+    cover: Dict[Vertex, EdgeId],
+    k: int,
+) -> HandoffResult:
+    """Run both phases over the live cross-edge set.
+
+    ``cover`` is the merged phase-1 freeness report: vertex → the id of
+    the shard-local match covering it (absent/None = free).  Fully
+    deterministic: edges are processed in ascending ``eid``.
+    """
+    result = HandoffResult()
+    reserved: Dict[Vertex, EdgeId] = {}
+
+    for edge in sorted(cross_edges, key=lambda e: e.eid):
+        owner = owner_shard(edge, k)
+
+        # Phase 1: the owner proposes only if its own endpoints are free
+        # of its local matching.
+        owner_block: Optional[EdgeId] = None
+        for v in edge.vertices:
+            if shard_of_vertex(v, k) == owner and cover.get(v) is not None:
+                owner_block = cover[v]
+                break
+        if owner_block is not None:
+            result.witness[edge.eid] = owner_block
+            result.rejects_local += 1
+            continue
+        result.proposals += 1
+
+        # Phase 2: peers accept/reject against their local matchings and
+        # the reservations made by earlier accepted proposals.
+        blocker: Optional[EdgeId] = None
+        blocked_by_cross = False
+        for v in edge.vertices:
+            local = cover.get(v)
+            if local is not None:
+                blocker = local
+                break
+            prior = reserved.get(v)
+            if prior is not None:
+                blocker = prior
+                blocked_by_cross = True
+                break
+        if blocker is None:
+            result.matched.append(edge.eid)
+            result.accepts += 1
+            for v in edge.vertices:
+                reserved[v] = edge.eid
+        else:
+            result.witness[edge.eid] = blocker
+            if blocked_by_cross:
+                result.rejects_cross += 1
+            else:
+                result.rejects_local += 1
+    return result

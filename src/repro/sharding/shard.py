@@ -1,0 +1,181 @@
+"""One shard: a DynamicMatching + write-ahead journal + local metrics.
+
+A :class:`Shard` hosts the per-partition state of the sharded service:
+its own :class:`~repro.core.DynamicMatching` (seeded deterministically
+from the service seed via :func:`repro.sharding.partition.shard_rng`),
+an optional per-shard :class:`~repro.durability.DurabilityManager`
+(journal + rolling checkpoints in ``<root>/shard-XX/``), and cumulative
+local counters the router merges into the ``repro_shard_*`` metrics.
+
+The same class runs in both transports: in-process (inline) or inside a
+forked shard process (:mod:`repro.sharding.transport`) — every public
+method takes and returns picklable values only.
+
+Durability protocol: the shard journals **every router batch** it is
+dispatched, including empty sub-batches, so shard journal sequence
+numbers align 1:1 with the router journal.  Coordinated recovery uses
+that alignment to top up a shard that crashed behind the router (see
+:mod:`repro.sharding.recovery`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge, EdgeId, Vertex
+from repro.sharding.partition import shard_rng
+from repro.workloads.streams import UpdateBatch
+
+
+@dataclass
+class ShardConfig:
+    """Everything needed to build a shard in any process."""
+
+    shard_id: int
+    shards: int
+    seed: int
+    rank: int = 2
+    alpha: int = 2
+    heavy_factor: float = 4.0
+    backend: str = "array"
+    vectorized: Optional[bool] = None
+    durability_dir: Optional[str] = None
+    checkpoint_every: int = 16
+    keep: int = 2
+    fsync: bool = True
+
+
+class Shard:
+    """Per-partition matching state behind the router."""
+
+    def __init__(self, config: ShardConfig) -> None:
+        self.config = config
+        self.dm = DynamicMatching(
+            rank=config.rank,
+            rng=shard_rng(config.seed, config.shards, config.shard_id),
+            alpha=config.alpha,
+            heavy_factor=config.heavy_factor,
+            backend=config.backend,
+            vectorized=config.vectorized,
+        )
+        self.manager = None
+        if config.durability_dir is not None:
+            from repro.durability import DurabilityManager
+
+            self.manager = DurabilityManager.create(
+                config.durability_dir,
+                self.dm,
+                checkpoint_every=config.checkpoint_every,
+                keep=config.keep,
+                fsync=config.fsync,
+            )
+        self.stats: Dict[str, int] = {"batches": 0, "updates": 0}
+
+    @classmethod
+    def adopt(cls, config: ShardConfig, dm: DynamicMatching, manager=None) -> "Shard":
+        """Wrap an already-built (e.g. recovered) structure without
+        constructing a fresh one — used by coordinated recovery."""
+        self = cls.__new__(cls)
+        self.config = config
+        self.dm = dm
+        self.manager = manager
+        self.stats = {"batches": 0, "updates": 0}
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Batch application (write-ahead when durable)
+    # ------------------------------------------------------------------ #
+    def apply(self, kind: str, payload: Sequence) -> Dict[str, Any]:
+        """Apply one (possibly empty) local sub-batch.
+
+        Journals the sub-batch before applying (write-ahead), then applies
+        and acknowledges.  Returns the per-batch reading the router folds
+        into its merged ledger and metrics — work/depth deltas, matching
+        size, and live edge count.
+        """
+        batch = (
+            UpdateBatch.insert(list(payload))
+            if kind == "insert"
+            else UpdateBatch.delete(list(payload))
+        )
+        if self.manager is not None:
+            self.manager.log_batch(batch)
+        led = self.dm.ledger
+        w0, d0 = led.work, led.depth
+        if kind == "insert":
+            self.dm.insert_edges(list(payload))
+        else:
+            self.dm.delete_edges(list(payload))
+        if self.manager is not None:
+            self.manager.note_applied(self.dm)
+        self.stats["batches"] += 1
+        self.stats["updates"] += len(payload)
+        return {
+            "applied": len(payload),
+            "work": led.work - w0,
+            "depth": led.depth - d0,
+            "matching_size": len(self.dm.matched_ids()),
+            "live_edges": len(self.dm),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Phase-1 freeness report
+    # ------------------------------------------------------------------ #
+    def cover_of_many(
+        self, vertices: Sequence[Vertex]
+    ) -> List[Optional[EdgeId]]:
+        """For each vertex, the local matched edge covering it (or None)."""
+        return [self.dm.match_of(v) for v in vertices]
+
+    # ------------------------------------------------------------------ #
+    # Merge/inspection queries (picklable returns)
+    # ------------------------------------------------------------------ #
+    def matched_ids(self) -> List[EdgeId]:
+        return self.dm.matched_ids()
+
+    def all_edges(self) -> List[Edge]:
+        return self.dm.structure.all_edges()
+
+    def num_edges(self) -> int:
+        return len(self.dm)
+
+    def ledger_totals(self) -> Tuple[float, float, Dict[str, float]]:
+        led = self.dm.ledger
+        return led.work, led.depth, dict(led.by_tag)
+
+    def certificate_pairs(self) -> List[Tuple[EdgeId, EdgeId]]:
+        """(edge, witness) pairs for every local non-matched edge — the
+        shard's contribution to the merged matching certificate."""
+        matched = set(self.dm.matched_ids())
+        return [
+            (eid, owner)
+            for eid, owner in self.dm.structure.owner_pairs()
+            if eid not in matched
+        ]
+
+    def check_invariants(self) -> bool:
+        self.dm.check_invariants()
+        return True
+
+    def checkpoint_now(self) -> Optional[str]:
+        if self.manager is None:
+            return None
+        return self.manager.checkpoint_now(self.dm)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (tests)
+    # ------------------------------------------------------------------ #
+    def install_crash_hook(self, at: int) -> bool:
+        """Arm a :class:`repro.testing.faults.CrashInjector` at phase
+        event ``at`` inside this shard's DynamicMatching."""
+        from repro.testing.faults import CrashInjector
+
+        self.dm.set_phase_hook(CrashInjector(at))
+        return True
+
+    def close(self) -> None:
+        if self.manager is not None:
+            self.manager.close()
+            self.manager = None

@@ -1,0 +1,189 @@
+"""Router, shard, and transport unit tests: validation, durability
+wiring, metrics, and the run_stream duck-type contract."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.durability.journal import JournalError
+from repro.hypergraph.edge import Edge
+from repro.sharding import (
+    MANIFEST_FILE,
+    ProcessShardHost,
+    ShardConfig,
+    ShardRemoteError,
+    ShardedMatching,
+    is_sharded_root,
+    read_manifest,
+)
+from repro.testing.faults import random_batches
+from repro.workloads.runner import run_stream, summarize
+
+pytestmark = pytest.mark.sharding
+
+
+def e(eid, u, v):
+    return Edge(eid, (u, v))
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardedMatching(shards=0)
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            ShardedMatching(shards=2, transport="carrier-pigeon")
+
+    def test_duplicate_ids_in_batch(self):
+        with ShardedMatching(shards=2, transport="inline") as r:
+            with pytest.raises(ValueError, match="duplicate"):
+                r.insert_edges([e(1, 0, 1), e(1, 2, 3)])
+            assert len(r) == 0
+
+    def test_insert_present_id_raises_before_mutation(self):
+        with ShardedMatching(shards=2, transport="inline") as r:
+            r.insert_edges([e(1, 0, 1)])
+            with pytest.raises(KeyError):
+                r.insert_edges([e(2, 2, 3), e(1, 4, 5)])
+            # validate-before-mutate: nothing from the bad batch landed
+            assert 2 not in r and len(r) == 1
+
+    def test_delete_absent_id_raises_before_mutation(self):
+        with ShardedMatching(shards=2, transport="inline") as r:
+            r.insert_edges([e(1, 0, 1)])
+            with pytest.raises(KeyError):
+                r.delete_edges([1, 99])
+            assert 1 in r and len(r) == 1
+
+    def test_rank_bound_enforced(self):
+        with ShardedMatching(shards=2, rank=2, transport="inline") as r:
+            with pytest.raises(ValueError, match="cardinality"):
+                r.insert_edges([Edge(1, (0, 1, 2))])
+
+
+class TestDurabilityRoot:
+    def test_manifest_written_and_detected(self, tmp_path):
+        root = str(tmp_path / "svc")
+        with ShardedMatching(
+            shards=2, transport="inline", durability_root=root, fsync=False
+        ) as r:
+            r.insert_edges([e(1, 0, 1)])
+        assert is_sharded_root(root)
+        manifest = read_manifest(root)
+        assert manifest["shards"] == 2
+        with open(os.path.join(root, MANIFEST_FILE)) as fh:
+            assert json.load(fh) == manifest
+        assert os.path.exists(os.path.join(root, "router", "journal.jsonl"))
+        for s in range(2):
+            assert os.path.exists(
+                os.path.join(root, f"shard-{s:02d}", "journal.jsonl")
+            )
+
+    def test_refuses_to_reuse_existing_root(self, tmp_path):
+        root = str(tmp_path / "svc")
+        ShardedMatching(
+            shards=2, transport="inline", durability_root=root, fsync=False
+        ).close()
+        with pytest.raises(JournalError, match="sharding.json"):
+            ShardedMatching(shards=2, transport="inline", durability_root=root)
+
+    def test_unsharded_dir_is_not_a_sharded_root(self, tmp_path):
+        assert not is_sharded_root(str(tmp_path))
+
+
+class TestRunStreamContract:
+    def test_run_stream_drives_router_with_checks(self):
+        batches = random_batches(np.random.default_rng(3), 8, rank=2)
+        with ShardedMatching(shards=3, rank=2, seed=5, transport="inline") as r:
+            records = run_stream(r, batches, check=True, observer=False)
+            s = summarize(records)
+            assert s["batches"] == len(batches)
+            assert s["total_work"] == pytest.approx(r.ledger.work)
+            assert records[-1].matching_size == len(r.matched_ids())
+
+    def test_match_of_agrees_with_certificate(self):
+        batches = random_batches(np.random.default_rng(4), 6, rank=2)
+        with ShardedMatching(shards=2, rank=2, seed=6, transport="inline") as r:
+            for b in batches:
+                r.apply_batch(b)
+            matched = set(r.matched_ids())
+            covered = {
+                v for edge in r.all_edges() if edge.eid in matched
+                for v in edge.vertices
+            }
+            for edge in r.all_edges():
+                for v in edge.vertices:
+                    got = r.match_of(v)
+                    assert (got is not None) == (v in covered)
+
+
+class TestMetrics:
+    def test_shard_metric_catalog_published(self):
+        from repro.obs import Observer
+
+        obs = Observer()
+        batches = random_batches(np.random.default_rng(8), 6, rank=2)
+        with ShardedMatching(shards=2, rank=2, seed=2, transport="inline") as r:
+            r.attach_observer(obs)
+            for b in batches:
+                r.apply_batch(b)
+            text = obs.registry.expose()
+            for name in (
+                "repro_shard_count",
+                "repro_shard_batches_total",
+                "repro_shard_local_updates_total",
+                "repro_shard_cross_edges",
+                "repro_shard_handoff_proposals_total",
+                "repro_shard_matching_size",
+                "repro_shard_ledger_work",
+            ):
+                assert name in text, name
+            st = r.shard_stats
+            fam = obs.registry.get("repro_shard_local_updates_total")
+            local = sum(child.value for _, child in fam.samples())
+            assert local == st["local_updates"]
+            assert obs.registry.get("repro_shard_count").value() == r.k
+        obs.close()
+
+
+class TestProcessTransport:
+    def test_remote_exception_carries_traceback(self):
+        host = ProcessShardHost(ShardConfig(shard_id=0, shards=1, seed=0))
+        try:
+            with pytest.raises(ShardRemoteError, match="KeyError"):
+                host.call("apply", "delete", [42])
+            # the host survives an ordinary remote error
+            assert host.call("num_edges") == 0
+        finally:
+            host.close()
+
+    def test_kill_marks_host_broken(self):
+        from repro.sharding import ShardCrashError
+
+        host = ProcessShardHost(ShardConfig(shard_id=0, shards=1, seed=0))
+        host.kill()
+        assert host.broken
+        with pytest.raises(ShardCrashError):
+            host.call("num_edges")
+        host.close()
+
+    def test_process_matches_inline_bit_for_bit(self):
+        batches = random_batches(np.random.default_rng(13), 8, rank=2)
+        results = {}
+        for transport in ("inline", "process"):
+            with ShardedMatching(
+                shards=2, rank=2, seed=21, transport=transport
+            ) as r:
+                for b in batches:
+                    r.apply_batch(b)
+                bd = r.ledger_breakdown()
+                results[transport] = (
+                    r.matched_ids(),
+                    sorted(edge.eid for edge in r.all_edges()),
+                    bd["merged_work"],
+                    bd["merged_depth"],
+                )
+        assert results["inline"] == results["process"]

@@ -79,6 +79,109 @@ class TestStatic:
         assert "matching size" in out and "rounds" in out
 
 
+def _fastpath_counts(out):
+    """Parse the ``fast path: vector_batches=... object_batches=...`` line."""
+    lines = [l for l in out.splitlines() if l.startswith("fast path:")]
+    assert lines, f"no fast-path summary in output:\n{out}"
+    pairs = lines[0].replace("fast path:", "").split()
+    return {k: int(v) for k, v in (kv.split("=") for kv in pairs)}
+
+
+class TestNoVectorized:
+    """--no-vectorized must actually force the object pipeline: zero
+    vector batches AND zero kernel-fallback attempts — the fast path was
+    never even tried, every batch went straight through object code."""
+
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        out = str(tmp_path / "s.txt")
+        main(["gen", "--kind", "er", "--n", "25", "--m", "80", "--batch", "20",
+              "--seed", "3", "--out", out])
+        return out
+
+    def test_run_no_vectorized_forces_object_pipeline(self, stream_file, capsys):
+        assert main(["run", "--stream", stream_file, "--algo", "paper",
+                     "--no-vectorized"]) == 0
+        vs = _fastpath_counts(capsys.readouterr().out)
+        assert vs["vector_batches"] == 0
+        assert vs["kernel_fallbacks"] == 0
+        assert vs["object_batches"] > 0  # the batches really ran
+
+    def test_run_default_attempts_vector_pipeline(self, stream_file, capsys):
+        assert main(["run", "--stream", stream_file, "--algo", "paper"]) == 0
+        vs = _fastpath_counts(capsys.readouterr().out)
+        # The vectorized pipeline engages (or consciously falls back per
+        # batch); it is never silently absent like with --no-vectorized.
+        assert vs["vector_batches"] + vs["kernel_fallbacks"] > 0
+
+    def test_serve_no_vectorized_forces_object_pipeline(self, stream_file,
+                                                        tmp_path, capsys):
+        assert main(["serve", "--journal", str(tmp_path / "j"), "--stream",
+                     stream_file, "--no-vectorized", "--no-fsync"]) == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        vs = _fastpath_counts(out)
+        assert vs["vector_batches"] == 0
+        assert vs["kernel_fallbacks"] == 0
+        assert vs["object_batches"] > 0
+
+    def test_serve_default_attempts_vector_pipeline(self, stream_file,
+                                                    tmp_path, capsys):
+        assert main(["serve", "--journal", str(tmp_path / "j"), "--stream",
+                     stream_file, "--no-fsync"]) == 0
+        vs = _fastpath_counts(capsys.readouterr().out)
+        assert vs["vector_batches"] + vs["kernel_fallbacks"] > 0
+
+
+class TestServeSharded:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        out = str(tmp_path / "s.txt")
+        main(["gen", "--kind", "er", "--n", "30", "--m", "60", "--batch", "15",
+              "--seed", "5", "--out", out])
+        return out
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_serve_sharded_journal_and_recover(self, stream_file, tmp_path,
+                                               shards, capsys):
+        root = str(tmp_path / f"svc{shards}")
+        assert main(["serve", "--journal", root, "--stream", stream_file,
+                     "--shards", str(shards), "--shard-transport", "inline",
+                     "--no-fsync", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert f"across {shards} shards" in out
+        assert f"shards: {shards} (inline)" in out
+        assert "merged ledger work:" in out
+        assert "merged maximality verified" in out
+
+        # Recovery autodetects the sharded root from its manifest.
+        assert main(["serve", "--recover", root, "--certify", "--no-fsync"]) == 0
+        out = capsys.readouterr().out
+        assert f"recovered" in out and "sharded root" in out
+        assert "certified against uninterrupted sharded oracle" in out
+
+    def test_serve_sharded_recover_and_continue(self, stream_file, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert main(["serve", "--journal", root, "--stream", stream_file,
+                     "--shards", "2", "--shard-transport", "inline",
+                     "--no-fsync"]) == 0
+        capsys.readouterr()
+        more = str(tmp_path / "more.txt")
+        main(["gen", "--kind", "er", "--n", "30", "--m", "40", "--batch", "10",
+              "--seed", "77", "--out", more])
+        capsys.readouterr()
+        assert main(["serve", "--recover", root, "--stream", more,
+                     "--no-fsync"]) == 0
+        out = capsys.readouterr().out
+        assert "continued with" in out
+        assert "shards: 2" in out
+
+    def test_serve_sharded_requires_stream_with_journal(self, tmp_path, capsys):
+        assert main(["serve", "--journal", str(tmp_path / "j"),
+                     "--shards", "2"]) == 2
+        assert "requires --stream" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -87,3 +190,26 @@ class TestParser:
     def test_unknown_algo_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--stream", "x", "--algo", "bogus"])
+
+    def test_serve_shard_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--journal", "d", "--stream", "s",
+             "--shards", "4", "--shard-transport", "process"]
+        )
+        assert args.shards == 4 and args.shard_transport == "process"
+
+    def test_serve_shards_default_off(self):
+        args = build_parser().parse_args(["serve", "--recover", "d"])
+        assert args.shards is None and args.shard_transport is None
+
+    def test_serve_rejects_unknown_shard_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--journal", "d", "--shard-transport", "telepathy"]
+            )
+
+    def test_run_no_vectorized_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "--stream", "s", "--no-vectorized"]
+        )
+        assert args.no_vectorized is True
