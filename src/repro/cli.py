@@ -197,6 +197,31 @@ def _shard_summary(router) -> None:
     )
 
 
+def _start_query_tier(args: argparse.Namespace, algo, obs, base_epoch: int = 0):
+    """Attach the snapshot-isolated read tier (``--query-port``); returns
+    (service, server) — both None when the flag is absent."""
+    if getattr(args, "query_port", None) is None:
+        return None, None
+    from repro.query import QueryService, start_query_server
+
+    service = QueryService(algo, base_epoch=base_epoch, observer=obs)
+    server = start_query_server(service, args.query_port)
+    print(f"queries: http://127.0.0.1:{server.server_address[1]}/epoch")
+    return service, server
+
+
+def _query_summary(service, server) -> None:
+    if service is None:
+        return
+    server.shutdown()
+    st = service.stats
+    print(
+        f"query tier: epoch {st['epoch']}   requests: {st['requests_total']}   "
+        f"cache hit ratio: {st['cache_hit_ratio']:.2f}   "
+        f"rejected: {st['rejected']}"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     stream = read_stream(args.stream)
     if args.algo == "paper" and args.no_vectorized:
@@ -287,6 +312,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_sharded(args: argparse.Namespace, obs) -> int:
+    from repro.durability.journal import JournalError
+    from repro.durability.recovery import RecoveryError
     from repro.sharding import ShardedMatching, recover_sharded
 
     if args.journal:
@@ -309,7 +336,9 @@ def _cmd_serve_sharded(args: argparse.Namespace, obs) -> int:
         if obs is not None:
             router.attach_observer(obs)
         try:
-            records = run_stream(router, stream, check=args.check, observer=obs)
+            query, qserver = _start_query_tier(args, router, obs)
+            records = run_stream(router, stream, check=args.check, observer=obs,
+                                 query=query)
             router.checkpoint_now()
             s = summarize(records)
             print(
@@ -321,14 +350,20 @@ def _cmd_serve_sharded(args: argparse.Namespace, obs) -> int:
                 f"work/update: {s['work_per_update']:.2f}"
             )
             _shard_summary(router)
+            _query_summary(query, qserver)
             if args.check:
                 print("merged maximality verified after every batch ✓")
         finally:
             router.close()
         return 0
 
-    res = recover_sharded(args.recover, do_certify=args.certify,
-                          fsync=not args.no_fsync)
+    try:
+        res = recover_sharded(args.recover, do_certify=args.certify,
+                              fsync=not args.no_fsync)
+    except (JournalError, RecoveryError) as exc:
+        print(f"serve: cannot recover sharded root {args.recover}: {exc}")
+        print("serve: refusing to serve reads from an unproven epoch")
+        return 1
     router = res.router
     try:
         print(
@@ -350,16 +385,19 @@ def _cmd_serve_sharded(args: argparse.Namespace, obs) -> int:
                 f"certified against uninterrupted sharded oracle ✓   "
                 f"matching={r['matching_size']}   live={r['live_edges']}"
             )
+        query, qserver = _start_query_tier(args, router, obs, base_epoch=res.applied)
         if args.stream:
             if obs is not None:
                 router.attach_observer(obs)
             stream = read_stream(args.stream)
-            records = run_stream(router, stream, check=args.check, observer=obs)
+            records = run_stream(router, stream, check=args.check, observer=obs,
+                                 query=query)
             router.checkpoint_now()
             s = summarize(records)
             print(f"continued with {s['batches']} more batches ({s['updates']} updates)")
             print(f"matching size: {len(router.matched_ids())}")
             _shard_summary(router)
+        _query_summary(query, qserver)
     finally:
         router.close()
     return 0
@@ -367,6 +405,8 @@ def _cmd_serve_sharded(args: argparse.Namespace, obs) -> int:
 
 def _cmd_serve_observed(args: argparse.Namespace, obs, engine=None) -> int:
     from repro.durability import DurabilityManager, recover
+    from repro.durability.journal import JournalError
+    from repro.durability.recovery import RecoveryError
 
     if args.journal:
         if not args.stream:
@@ -376,6 +416,7 @@ def _cmd_serve_observed(args: argparse.Namespace, obs, engine=None) -> int:
         dm = DynamicMatching(rank=args.rank, seed=args.seed,
                              backend=args.backend or "array", engine=engine,
                              vectorized=False if args.no_vectorized else None)
+        query, qserver = _start_query_tier(args, dm, obs)
         with DurabilityManager.create(
             args.journal,
             dm,
@@ -384,15 +425,21 @@ def _cmd_serve_observed(args: argparse.Namespace, obs, engine=None) -> int:
             fsync=not args.no_fsync,
         ) as mgr:
             records = run_stream(dm, stream, check=args.check, durability=mgr,
-                                 observer=obs)
+                                 observer=obs, query=query)
             mgr.checkpoint_now(dm)
         s = summarize(records)
         print(f"served {s['batches']} batches ({s['updates']} updates) durably into {args.journal}")
         print(f"matching size: {len(dm.matched_ids())}   work/update: {s['work_per_update']:.2f}")
         _fastpath_summary(dm)
+        _query_summary(query, qserver)
         return 0
 
-    res = recover(args.recover, backend=args.backend or None, do_certify=args.certify)
+    try:
+        res = recover(args.recover, backend=args.backend or None, do_certify=args.certify)
+    except (JournalError, RecoveryError) as exc:
+        print(f"serve: cannot recover {args.recover}: {exc}")
+        print("serve: refusing to serve reads from an unproven epoch")
+        return 1
     src = (
         f"checkpoint @ {res.checkpoint_applied} + {res.replayed} replayed"
         if res.checkpoint_applied is not None
@@ -407,6 +454,7 @@ def _cmd_serve_observed(args: argparse.Namespace, obs, engine=None) -> int:
             f"certified against uninterrupted oracle ✓   matching={r['matching_size']}   "
             f"work={r['work']:.0f} depth={r['depth']:.0f}"
         )
+    query, qserver = _start_query_tier(args, res.dm, obs, base_epoch=res.applied)
     if args.stream:
         dm = res.dm
         dm.engine = engine
@@ -419,11 +467,43 @@ def _cmd_serve_observed(args: argparse.Namespace, obs, engine=None) -> int:
             fsync=not args.no_fsync,
         ) as mgr:
             records = run_stream(dm, stream, check=args.check, durability=mgr,
-                                 observer=obs)
+                                 observer=obs, query=query)
             mgr.checkpoint_now(dm)
         s = summarize(records)
         print(f"continued with {s['batches']} more batches ({s['updates']} updates)")
         print(f"matching size: {len(dm.matched_ids())}")
+    _query_summary(query, qserver)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """One-shot read against a live ``serve --query-port`` endpoint."""
+    import json as _json
+
+    from repro.query import EpochNotReady, QueryClient
+
+    client = QueryClient(args.host, args.port, timeout=args.timeout)
+    kwargs = {"at_least": args.at_least, "wait": args.wait}
+    try:
+        if args.v is not None:
+            payload = {
+                "v": args.v,
+                "matched": client.is_matched(args.v, **kwargs),
+                "match": client.match_of(args.v, **kwargs),
+            }
+        elif args.eid is not None:
+            payload = {"eid": args.eid, "matched": client.is_matched_edge(args.eid, **kwargs)}
+        elif args.levels:
+            payload = {"levels": client.level_stats(**kwargs)}
+        elif args.size:
+            payload = {"matching_size": client.matching_size(**kwargs)}
+        else:
+            payload = client.epoch()
+    except EpochNotReady as exc:
+        print(f"query: epoch {exc.requested} not yet durable "
+              f"(newest: {exc.newest})")
+        return 1
+    print(_json.dumps(payload, sort_keys=True))
     return 0
 
 
@@ -539,9 +619,27 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--shard-transport", choices=["inline", "process"], default=None,
                    help="host shards in-process (inline) or one forked process "
                         "each (process); default: inline for K=1, process otherwise")
+    v.add_argument("--query-port", type=int, default=None, metavar="PORT",
+                   help="serve snapshot-isolated reads on http://127.0.0.1:PORT "
+                        "while batches apply (0 picks a free port); epochs "
+                        "publish at batch boundaries — see docs/queries.md")
     _add_obs_args(v)
     _add_engine_args(v)
     v.set_defaults(func=_cmd_serve)
+
+    q = sub.add_parser("query", help="read from a live serve --query-port endpoint")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, required=True)
+    q.add_argument("--v", type=int, default=None, help="point read: vertex id")
+    q.add_argument("--eid", type=int, default=None, help="point read: edge id")
+    q.add_argument("--size", action="store_true", help="matching size")
+    q.add_argument("--levels", action="store_true", help="matches per level")
+    q.add_argument("--at-least", type=int, default=None, metavar="E",
+                   help="read-your-writes: require epoch >= E (409 if not durable)")
+    q.add_argument("--wait", action="store_true",
+                   help="block until --at-least is durable instead of failing")
+    q.add_argument("--timeout", type=float, default=10.0)
+    q.set_defaults(func=_cmd_query)
 
     return p
 

@@ -405,7 +405,7 @@ class DynamicMatching:
 
         new_matches = result.matched_edges
         self.structure.add_level0_batch(new_matches)
-        self.tracker.birth_batch((m.eid, 0, 1) for m in new_matches)
+        self.tracker.birth_batch((m.eid, 0, 1, m.vertices) for m in new_matches)
         stats.new_epochs += len(matched_ids)
 
         rest = [e for e in edges if e.eid not in matched_ids]
@@ -486,13 +486,16 @@ class DynamicMatching:
         if self._vec:
             levels = self.structure.install_match_batch(result.matches)
             self.tracker.birth_batch(
-                (m.edge.eid, lvl, len(m.samples))
+                (m.edge.eid, lvl, len(m.samples), m.edge.vertices)
                 for m, lvl in zip(result.matches, levels)
             )
         else:
             def _install(matched) -> None:
                 lvl = self.structure.install_match(matched.edge, matched.samples)
-                self.tracker.birth(matched.edge.eid, lvl, len(matched.samples))
+                self.tracker.birth(
+                    matched.edge.eid, lvl, len(matched.samples),
+                    matched.edge.vertices,
+                )
 
             parallel_for(self.ledger, result.matches, _install)
         rnd.new_matches = len(result.matches)

@@ -39,6 +39,13 @@ class Epoch:
     birth_batch: int
     death_batch: Optional[int] = None
     death_kind: Optional[str] = None  # NATURAL / STOLEN / BLOATED / None (alive)
+    # The matched edge's vertices, shared by reference with the Edge (no
+    # copy).  Together with ``EpochTracker.death_log`` this makes the
+    # tracker a complete event source: the matching/cover/level state at
+    # any batch boundary is a pure function of log prefixes, which is
+    # what lets the query tier materialize epoch snapshots lazily off
+    # the write path.
+    vertices: Tuple = ()
 
     @property
     def alive(self) -> bool:
@@ -94,12 +101,21 @@ class EpochTracker:
     def __init__(self) -> None:
         self.epochs: List[Epoch] = []
         self._live: Dict[EdgeId, int] = {}  # eid -> index into epochs
+        # Append-only death order, as indices into ``epochs`` (each entry
+        # names exactly which birth died).  ``epochs`` is the append-only
+        # birth log; deaths mutate records in place, so consumers that
+        # need the event stream (e.g. the query tier's lazy epoch
+        # capture) could not otherwise enumerate "what died since my
+        # last cursor" without an O(all epochs) scan.
+        self.death_log: List[int] = []
         self.batch_index = 0
 
     # ------------------------------------------------------------------ #
     # Events (called by DynamicMatching)
     # ------------------------------------------------------------------ #
-    def birth(self, eid: EdgeId, level: int, sample_size: int) -> Epoch:
+    def birth(
+        self, eid: EdgeId, level: int, sample_size: int, vertices: Tuple = ()
+    ) -> Epoch:
         if eid in self._live:
             raise ValueError(f"edge {eid} already has a live epoch")
         ep = Epoch(
@@ -107,13 +123,15 @@ class EpochTracker:
             level=level,
             sample_size=sample_size,
             birth_batch=self.batch_index,
+            vertices=vertices,
         )
         self._live[eid] = len(self.epochs)
         self.epochs.append(ep)
         return ep
 
-    def birth_batch(self, items: Iterable[Tuple[EdgeId, int, int]]) -> None:
-        """Record many births at once: ``(eid, level, sample_size)`` each.
+    def birth_batch(self, items: Iterable[Tuple]) -> None:
+        """Record many births at once: ``(eid, level, sample_size)`` or
+        ``(eid, level, sample_size, vertices)`` each.
 
         Identical semantics to calling :meth:`birth` per item (same
         validation, same epoch order); one tight loop for the dynamic
@@ -122,12 +140,18 @@ class EpochTracker:
         live = self._live
         epochs = self.epochs
         bi = self.batch_index
-        for eid, level, sample_size in items:
+        for eid, level, sample_size, *rest in items:
             if eid in live:
                 raise ValueError(f"edge {eid} already has a live epoch")
             live[eid] = len(epochs)
             epochs.append(
-                Epoch(eid=eid, level=level, sample_size=sample_size, birth_batch=bi)
+                Epoch(
+                    eid=eid,
+                    level=level,
+                    sample_size=sample_size,
+                    birth_batch=bi,
+                    vertices=rest[0] if rest else (),
+                )
             )
 
     def death(self, eid: EdgeId, kind: str) -> Epoch:
@@ -139,6 +163,7 @@ class EpochTracker:
         ep = self.epochs[idx]
         ep.death_batch = self.batch_index
         ep.death_kind = kind
+        self.death_log.append(idx)
         return ep
 
     def death_batch(self, eids: Iterable[EdgeId], kind: str) -> None:
@@ -149,6 +174,7 @@ class EpochTracker:
         pop = self._live.pop
         epochs = self.epochs
         bi = self.batch_index
+        log = self.death_log.append
         for eid in eids:
             idx = pop(eid, None)
             if idx is None:
@@ -156,6 +182,7 @@ class EpochTracker:
             ep = epochs[idx]
             ep.death_batch = bi
             ep.death_kind = kind
+            log(idx)
 
     def next_batch(self) -> None:
         self.batch_index += 1

@@ -147,7 +147,10 @@ def load_state(
             scap=entry.get("scap"),
             ccap=entry.get("ccap"),
         )
-        dm.tracker.birth(entry["eid"], entry["level"], entry["settle_size"])
+        dm.tracker.birth(
+            entry["eid"], entry["level"], entry["settle_size"],
+            tuple(entry["vertices"]),
+        )
 
     # Pass 3: wire sampled and cross edges (owners now exist).
     for entry in state["edges"]:

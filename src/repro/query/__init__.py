@@ -1,0 +1,52 @@
+"""Snapshot-isolated read-serving tier (docs/queries.md).
+
+The write path (``DynamicMatching`` / ``ShardedMatching`` behind
+``run_stream``) applies update batches; this package serves **reads** —
+``is_matched(v)``, ``match_of(v)``, matching size, per-level stats —
+against a consistent :class:`EpochView` published at every batch
+boundary, so readers never observe a half-applied batch and the write
+path never blocks on a reader.
+
+* :class:`EpochView` — immutable copy-on-publish snapshot of the
+  matched/cover/level columns, stamped with the epoch (applied batch
+  count) and a consistency fingerprint.
+* :class:`QueryService` — holds the newest view, publishes a fresh one
+  per applied batch, answers point/aggregate reads through an LRU result
+  cache, and enforces read-your-writes via ``read_at(epoch=...)``.
+* :func:`start_query_server` / :class:`QueryClient` — HTTP JSON endpoint
+  (``serve --query-port``) and its programmatic client.
+* :func:`oracle_view` — dict-backend oracle replay truncated at batch E,
+  the certification reference for every read.
+* :func:`replica_service` — recover a durability root (sharded or not)
+  into a read-serving replica, certified against a primary view.
+"""
+
+from repro.query.epoch import EpochSkew, EpochView, capture_view
+from repro.query.oracle import (
+    CertificationError,
+    certify_view,
+    oracle_view,
+    replay_view,
+    sharded_oracle_view,
+)
+from repro.query.replica import certify_replica, replica_service
+from repro.query.server import QueryClient, start_query_server
+from repro.query.service import EpochNotReady, LRUCache, QueryService
+
+__all__ = [
+    "CertificationError",
+    "EpochNotReady",
+    "EpochSkew",
+    "EpochView",
+    "LRUCache",
+    "QueryClient",
+    "QueryService",
+    "capture_view",
+    "certify_replica",
+    "certify_view",
+    "oracle_view",
+    "replay_view",
+    "replica_service",
+    "sharded_oracle_view",
+    "start_query_server",
+]

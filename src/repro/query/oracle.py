@@ -1,0 +1,151 @@
+"""Truncated oracle replay: the certification reference for every read.
+
+A read served at epoch ``E`` claims to reflect *exactly* the first ``E``
+batches of the update stream.  The oracle makes that claim falsifiable:
+replay the stream prefix ``stream[:E]`` into a **fresh dict-backend**
+instance (the behavioral reference backend) with the same configuration
+and seed, capture its view, and demand a bit-match —
+:func:`certify_view` compares the matched edge-id set, the vertex cover,
+the per-match levels, and the live-edge count field by field.
+
+Both structure backends produce the same matching trajectory for a fixed
+seed, so the dict oracle certifies array-backend (and vectorized)
+services too.  Sharded services are certified by
+:func:`sharded_oracle_view`, which replays the prefix through a fresh
+inline-transport router with the same K and seed (sharded trajectories
+differ from unsharded ones by design — the oracle must shard the same
+way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.query.epoch import EpochView, capture_view
+from repro.workloads.streams import UpdateBatch
+
+
+class CertificationError(AssertionError):
+    """A served view disagrees with the truncated oracle replay."""
+
+
+def _apply(algo, batch: UpdateBatch) -> None:
+    if batch.kind == "insert":
+        algo.insert_edges(list(batch.edges))
+    else:
+        algo.delete_edges(list(batch.eids))
+
+
+def replay_view(algo, stream: Sequence[UpdateBatch], epoch: int) -> EpochView:
+    """Apply ``stream[:epoch]`` to a fresh ``algo`` and capture its view."""
+    if not 0 <= epoch <= len(stream):
+        raise ValueError(
+            f"epoch {epoch} outside the stream's range [0, {len(stream)}]"
+        )
+    for batch in stream[:epoch]:
+        _apply(algo, batch)
+    return capture_view(algo, epoch)
+
+
+def oracle_view(
+    stream: Sequence[UpdateBatch],
+    epoch: int,
+    rank: int = 2,
+    seed: Optional[int] = None,
+    alpha: int = 2,
+    heavy_factor: float = 4.0,
+    backend: str = "dict",
+) -> EpochView:
+    """The reference view after exactly ``epoch`` batches (unsharded).
+
+    Replays the truncated prefix into a fresh dict-backend
+    :class:`~repro.core.DynamicMatching` built with the same seed and
+    knobs as the primary, so the trajectories are bit-identical.
+    """
+    from repro.core.dynamic_matching import DynamicMatching
+
+    algo = DynamicMatching(
+        rank=rank, seed=seed, alpha=alpha, heavy_factor=heavy_factor,
+        backend=backend,
+    )
+    return replay_view(algo, stream, epoch)
+
+
+def sharded_oracle_view(
+    stream: Sequence[UpdateBatch],
+    epoch: int,
+    shards: int,
+    rank: int = 2,
+    seed: int = 0,
+    alpha: int = 2,
+    heavy_factor: float = 4.0,
+    backend: str = "dict",
+) -> EpochView:
+    """The reference view for a K-sharded primary.
+
+    Sharded settling is not bit-identical to unsharded settling for
+    ``K >= 2`` (per-shard RNG streams; handoff-settled cross edges), so
+    the oracle replays the truncated prefix through a fresh
+    **inline-transport** router with the same K/seed — same trajectory
+    as the primary, no shard processes.
+    """
+    from repro.sharding.router import ShardedMatching
+
+    router = ShardedMatching(
+        shards=shards, rank=rank, seed=seed, alpha=alpha,
+        heavy_factor=heavy_factor, backend=backend, transport="inline",
+    )
+    try:
+        return replay_view(router, stream, epoch)
+    finally:
+        router.close()
+
+
+def certify_view(view: EpochView, oracle: EpochView) -> Dict[str, int]:
+    """Prove ``view`` bit-matches the truncated oracle replay.
+
+    Checks internal consistency of both views first (fingerprints), then
+    every content field: epoch, matched edge ids, vertex cover, match
+    levels, live-edge count.  Raises :class:`CertificationError` listing
+    every disagreement; returns a small report on success.
+    """
+    view.verify_consistent()
+    oracle.verify_consistent()
+
+    failures = []
+    if view.epoch != oracle.epoch:
+        failures.append(f"epoch {view.epoch} != oracle {oracle.epoch}")
+    if view.matched != oracle.matched:
+        failures.append(
+            "matched ids differ: only-view "
+            f"{sorted(view.matched - oracle.matched)}, only-oracle "
+            f"{sorted(oracle.matched - view.matched)}"
+        )
+    if dict(view.cover) != dict(oracle.cover):
+        diff = {
+            v: (view.cover.get(v), oracle.cover.get(v))
+            for v in set(view.cover) | set(oracle.cover)
+            if view.cover.get(v) != oracle.cover.get(v)
+        }
+        failures.append(f"cover differs at {len(diff)} vertices: {diff}")
+    if dict(view.levels) != dict(oracle.levels):
+        diff = {
+            e: (view.levels.get(e), oracle.levels.get(e))
+            for e in set(view.levels) | set(oracle.levels)
+            if view.levels.get(e) != oracle.levels.get(e)
+        }
+        failures.append(f"levels differ at {len(diff)} edges: {diff}")
+    if view.live_edges != oracle.live_edges:
+        failures.append(
+            f"live edges {view.live_edges} != oracle {oracle.live_edges}"
+        )
+    if failures:
+        raise CertificationError(
+            f"view at epoch {view.epoch} disagrees with the truncated "
+            "oracle replay:\n  - " + "\n  - ".join(failures)
+        )
+    return {
+        "epoch": view.epoch,
+        "matching_size": view.matching_size,
+        "live_edges": view.live_edges,
+    }

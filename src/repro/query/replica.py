@@ -1,0 +1,86 @@
+"""Read-serving recovery replicas.
+
+A durability root (sharded or not) can be recovered into a **replica**
+that serves reads through the same :class:`~repro.query.service.QueryService`
+front-end as the primary.  The replica's base epoch is the recovered
+applied-batch count ``R`` — it will happily serve ``read_at(epoch<=R)``
+and must **refuse** anything newer with
+:class:`~repro.query.service.EpochNotReady` rather than present stale
+state as fresh.  This is the contract the sharded ``--recover``
+regression tests pin down: a router journal that is missing, empty, or
+header-only recovers to epoch 0 (or fails outright), and every
+read-your-writes probe for ``epoch >= 1`` is rejected.
+
+:func:`certify_replica` proves the replica serves *exactly* what the
+primary would: it captures the primary's view at the replica's epoch and
+demands a field-by-field bit-match (:func:`repro.query.oracle.certify_view`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.query.epoch import capture_view
+from repro.query.oracle import certify_view
+from repro.query.service import QueryService
+
+
+def replica_service(
+    root: str,
+    backend: Optional[str] = None,
+    do_certify: bool = True,
+    cache_size: int = 1024,
+    observer=None,
+) -> Tuple[QueryService, Any]:
+    """Recover the durability root at ``root`` into a read-serving replica.
+
+    Autodetects sharded roots (``sharding.json`` manifest) and routes to
+    :func:`repro.sharding.recovery.recover_sharded`; plain roots go
+    through :func:`repro.durability.recover` (``backend`` overrides the
+    recovered structure backend there).  Returns ``(service, result)``
+    where ``service`` is a :class:`QueryService` based at the recovered
+    epoch and ``result`` is the underlying recovery result (it owns the
+    recovered algorithm; close the router via ``result.router.close()``
+    for sharded roots when done).
+
+    Recovery errors (missing root, unreadable journal, failed
+    certification) propagate — a replica that cannot prove its epoch
+    must not serve reads at all.
+    """
+    from repro.sharding.recovery import is_sharded_root, recover_sharded
+
+    if not os.path.isdir(root):
+        raise FileNotFoundError(f"durability root {root!r} does not exist")
+    if is_sharded_root(root):
+        result = recover_sharded(root, do_certify=do_certify)
+        algo = result.router
+    else:
+        from repro.durability.recovery import recover
+
+        result = recover(root, backend=backend, do_certify=do_certify)
+        algo = result.dm
+    service = QueryService(
+        algo,
+        base_epoch=result.applied,
+        cache_size=cache_size,
+        observer=observer,
+    )
+    return service, result
+
+
+def certify_replica(service: QueryService, primary) -> Dict[str, Any]:
+    """Prove a replica serves exactly the primary's state.
+
+    ``primary`` is the live algorithm (DynamicMatching or
+    ShardedMatching) at the same applied-batch count as the replica's
+    epoch.  Captures the primary's view at that epoch and demands a
+    bit-match against the replica's current view.  Raises
+    :class:`repro.query.oracle.CertificationError` on any disagreement.
+    """
+    view = service.view()
+    view.verify_consistent()
+    expected = capture_view(primary, view.epoch)
+    report = certify_view(view, expected)
+    report["replica_epoch"] = service.epoch
+    return report

@@ -1,0 +1,211 @@
+"""HTTP query endpoint (``serve --query-port``) and its client.
+
+A tiny JSON-over-HTTP front-end for :class:`~repro.query.service.QueryService`,
+served from a daemon thread so the write path never waits on a socket.
+Endpoints (all GET):
+
+* ``/epoch``            — the newest epoch's summary (``EpochView.to_dict``)
+* ``/size``             — ``{"epoch": E, "matching_size": n}``
+* ``/levels``           — ``{"epoch": E, "levels": {level: count}}``
+* ``/matched?v=<id>``   — ``{"epoch": E, "v": id, "matched": bool}``
+* ``/match_of?v=<id>``  — ``{"epoch": E, "v": id, "match": eid | null}``
+* ``/edge?eid=<id>``    — ``{"epoch": E, "eid": id, "matched": bool}``
+* ``/stats``            — service bookkeeping (QPS inputs, cache ratios)
+
+Every read endpoint accepts ``at_least=<epoch>`` (read-your-writes) and
+``wait=1&timeout=<s>``.  A request for an epoch newer than anything
+durable answers **409** with ``{"error": "epoch_not_ready", "requested":
+E, "newest": N}`` — the client can retry, wait, or degrade to the newest
+epoch; it is never silently served stale state it asked to avoid.
+
+:class:`QueryClient` wraps the endpoints with the same signatures as the
+service, using only the stdlib (``urllib``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any, Dict, Optional
+from urllib.error import HTTPError
+from urllib.parse import parse_qs, urlencode, urlsplit
+from urllib.request import urlopen
+
+from repro.query.service import EpochNotReady, QueryService
+
+CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+def _vertex_arg(raw: str):
+    """Vertices are ints throughout the workloads; fall back to the raw
+    string so exotic vertex labels still round-trip (as misses, worst
+    case)."""
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+class _QueryHandler(BaseHTTPRequestHandler):
+    service: QueryService  # set by start_query_server
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        url = urlsplit(self.path)
+        params = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            status, payload = self._dispatch(url.path, params)
+        except EpochNotReady as exc:
+            status, payload = 409, {
+                "error": "epoch_not_ready",
+                "requested": exc.requested,
+                "newest": exc.newest,
+            }
+        except (KeyError, ValueError) as exc:
+            status, payload = 400, {"error": "bad_request", "detail": str(exc)}
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, path: str, params: Dict[str, str]):
+        svc = self.service
+        kwargs = {
+            "at_least": int(params["at_least"]) if "at_least" in params else None,
+            "wait": params.get("wait", "0") not in ("0", "", "false"),
+            "timeout": float(params.get("timeout", 5.0)),
+        }
+        if path in ("/", "/epoch"):
+            view = (
+                svc.read_at(kwargs["at_least"], wait=kwargs["wait"],
+                            timeout=kwargs["timeout"])
+                if kwargs["at_least"] is not None else svc.view()
+            )
+            return 200, view.to_dict()
+        if path == "/size":
+            return 200, {"epoch": svc.epoch, "matching_size": svc.matching_size(**kwargs)}
+        if path == "/levels":
+            levels = svc.level_stats(**kwargs)
+            return 200, {
+                "epoch": svc.epoch,
+                "levels": {str(k): v for k, v in sorted(levels.items())},
+            }
+        if path == "/matched":
+            v = _vertex_arg(params["v"])
+            return 200, {"epoch": svc.epoch, "v": v, "matched": svc.is_matched(v, **kwargs)}
+        if path == "/match_of":
+            v = _vertex_arg(params["v"])
+            return 200, {"epoch": svc.epoch, "v": v, "match": svc.match_of(v, **kwargs)}
+        if path == "/edge":
+            eid = int(params["eid"])
+            return 200, {
+                "epoch": svc.epoch,
+                "eid": eid,
+                "matched": svc.is_matched_edge(eid, **kwargs),
+            }
+        if path == "/stats":
+            return 200, svc.stats
+        return 404, {"error": "not_found", "path": path}
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # silence stderr
+        pass
+
+
+class _ThreadedQueryServer(HTTPServer):
+    """Each request on its own thread: a reader blocked in ``wait=1``
+    must not head-of-line-block other readers."""
+
+    daemon_threads = True
+
+    def process_request(self, request, client_address) -> None:
+        thread = threading.Thread(
+            target=self._handle, args=(request, client_address), daemon=True
+        )
+        thread.start()
+
+    def _handle(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+
+
+def start_query_server(
+    service: QueryService, port: int = 0, host: str = "127.0.0.1"
+) -> HTTPServer:
+    """Serve the query endpoints in daemon threads; returns the server.
+
+    ``server.server_address[1]`` is the bound port (useful with
+    ``port=0``); call ``server.shutdown()`` to stop.
+    """
+    handler = type("Handler", (_QueryHandler,), {"service": service})
+    server = _ThreadedQueryServer((host, port), handler)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-query", daemon=True
+    )
+    thread.start()
+    return server
+
+
+class QueryClient:
+    """Programmatic client for the HTTP query endpoint (stdlib-only).
+
+    Raises :class:`~repro.query.service.EpochNotReady` on a 409, exactly
+    like the in-process service, so callers are transport-agnostic.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    def _get(self, path: str, **params) -> Dict[str, Any]:
+        clean = {k: v for k, v in params.items() if v is not None}
+        if clean.pop("wait", False):
+            clean["wait"] = 1
+        url = self.base + path + ("?" + urlencode(clean) if clean else "")
+        try:
+            with urlopen(url, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except HTTPError as exc:
+            detail = json.loads(exc.read().decode("utf-8"))
+            if exc.code == 409 and detail.get("error") == "epoch_not_ready":
+                raise EpochNotReady(
+                    requested=detail["requested"], newest=detail["newest"]
+                ) from None
+            raise RuntimeError(f"query endpoint error {exc.code}: {detail}") from exc
+
+    def epoch(self) -> Dict[str, Any]:
+        return self._get("/epoch")
+
+    def is_matched(self, v, at_least: Optional[int] = None,
+                   wait: bool = False, timeout: Optional[float] = None) -> bool:
+        return self._get("/matched", v=v, at_least=at_least, wait=wait,
+                         timeout=timeout)["matched"]
+
+    def match_of(self, v, at_least: Optional[int] = None,
+                 wait: bool = False, timeout: Optional[float] = None):
+        return self._get("/match_of", v=v, at_least=at_least, wait=wait,
+                         timeout=timeout)["match"]
+
+    def is_matched_edge(self, eid, at_least: Optional[int] = None,
+                        wait: bool = False, timeout: Optional[float] = None) -> bool:
+        return self._get("/edge", eid=eid, at_least=at_least, wait=wait,
+                         timeout=timeout)["matched"]
+
+    def matching_size(self, at_least: Optional[int] = None,
+                      wait: bool = False, timeout: Optional[float] = None) -> int:
+        return self._get("/size", at_least=at_least, wait=wait,
+                         timeout=timeout)["matching_size"]
+
+    def level_stats(self, at_least: Optional[int] = None,
+                    wait: bool = False, timeout: Optional[float] = None) -> Dict[int, int]:
+        levels = self._get("/levels", at_least=at_least, wait=wait,
+                           timeout=timeout)["levels"]
+        return {int(k): v for k, v in levels.items()}
+
+    def stats(self) -> Dict[str, Any]:
+        return self._get("/stats")

@@ -1,0 +1,379 @@
+"""QueryService: the snapshot-isolated read front-end.
+
+One service wraps one write-path algorithm (a
+:class:`~repro.core.DynamicMatching` or a
+:class:`~repro.sharding.ShardedMatching`).  The **writer** thread calls
+:meth:`QueryService.publish` once per applied batch (the workload runner
+does this when given ``query=service``); any number of **reader**
+threads call the query methods concurrently.
+
+Isolation contract (docs/queries.md):
+
+* Readers only ever touch immutable :class:`~repro.query.epoch.EpochView`
+  objects — a read never blocks a write, a write never tears a read.
+* **Read-your-writes** is keyed by batch id: ``read_at(epoch=E)``
+  returns a view with ``view.epoch >= E`` — blocking up to ``timeout``
+  when asked to wait, otherwise rejecting immediately with
+  :class:`EpochNotReady` carrying the newest durable epoch.
+* Plain reads serve the newest published view (staleness 0 batches from
+  the last *acknowledged* batch; in-flight batches are never visible).
+
+The LRU result cache is keyed by ``(epoch, kind, arg)`` and flushed on
+every publish — entries can never leak across epochs, and the flush
+keeps the cache from holding dead views alive.  ``repro_query_*``
+metrics (request counters by kind, cache hits/misses, newest epoch,
+epoch-lag histogram, publish rate and QPS gauges) register idempotently
+into any :class:`~repro.obs.registry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.hypergraph.edge import EdgeId, Vertex
+from repro.query.epoch import EpochView, make_captor
+
+#: Buckets for the epoch-lag histogram: how many batches behind the
+#: newest epoch a read's requested epoch was (0 = fully fresh).
+EPOCH_LAG_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class EpochNotReady(RuntimeError):
+    """``read_at`` asked for an epoch newer than anything published.
+
+    Carries the newest durable epoch so clients can retry or degrade."""
+
+    def __init__(self, requested: int, newest: int) -> None:
+        super().__init__(
+            f"epoch {requested} not yet published (newest durable epoch: "
+            f"{newest})"
+        )
+        self.requested = requested
+        self.newest = newest
+
+
+class LRUCache:
+    """A small LRU map with hit/miss accounting (not thread-safe; the
+    service serializes access under its lock)."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Tuple, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Tuple, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        if self._data:
+            self.invalidations += 1
+            self._data.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: Cache sentinel distinguishing "miss" from a cached ``None`` result.
+_MISS = object()
+
+
+class QueryService:
+    """Serve point and aggregate reads against per-batch epochs.
+
+    Parameters
+    ----------
+    algo:
+        The write-path algorithm to snapshot (DynamicMatching or
+        ShardedMatching).  The service never mutates it.
+    base_epoch:
+        Epoch of the *current* state at attach time — 0 for a fresh
+        structure, the recovered applied-batch count for a replica
+        (:func:`repro.query.replica.replica_service`).
+    cache_size:
+        LRU result-cache capacity (entries).
+    observer:
+        Optional :class:`repro.obs.Observer` (or bare registry) to
+        publish ``repro_query_*`` metrics into.
+    """
+
+    def __init__(
+        self,
+        algo,
+        base_epoch: int = 0,
+        cache_size: int = 1024,
+        observer=None,
+    ) -> None:
+        self.algo = algo
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.cache = LRUCache(cache_size)
+        self.requests: Dict[str, int] = {}
+        self.rejected = 0
+        self.publishes = 0
+        self._metrics = None
+        self._last_pub_time = time.monotonic()
+        self._last_pub_requests = 0
+        if observer is not None:
+            self.attach_observer(observer)
+        # O(1) writer-side publish; readers materialize epochs they
+        # actually look at (see EpochLogIndex).
+        self._capture = make_captor(algo)
+        # Publish the attach-time state so reads work before any batch.
+        self._current: EpochView = self._capture(base_epoch)
+        self._publish_metrics(self._current)
+
+    # ------------------------------------------------------------------ #
+    # Writer side
+    # ------------------------------------------------------------------ #
+    def publish(self) -> EpochView:
+        """Capture and publish the next epoch (writer thread only;
+        called at a batch boundary, after the batch is acknowledged)."""
+        view = self._capture(self._current.epoch + 1)
+        with self._cond:
+            self._current = view
+            self.cache.clear()
+            self.publishes += 1
+            self._cond.notify_all()
+        self._publish_metrics(view)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Reader side
+    # ------------------------------------------------------------------ #
+    @property
+    def epoch(self) -> int:
+        """Newest published (durable) epoch."""
+        return self._current.epoch
+
+    def view(self) -> EpochView:
+        """The newest published view (no waiting, never raises)."""
+        return self._current
+
+    def read_at(
+        self,
+        epoch: int,
+        wait: bool = False,
+        timeout: float = 5.0,
+    ) -> EpochView:
+        """A view reflecting at least ``epoch`` (read-your-writes).
+
+        Serving any view with ``view.epoch >= epoch`` satisfies
+        read-your-writes for a client that has seen batch ``epoch``
+        acknowledged; the service always serves the newest.  When the
+        requested epoch is not yet published: block up to ``timeout``
+        seconds if ``wait``, else raise :class:`EpochNotReady`
+        immediately (both paths surface the newest durable epoch).
+        """
+        view = self._current
+        if view.epoch >= epoch:
+            self._observe_lag(view.epoch - epoch)
+            return view
+        if wait:
+            deadline = time.monotonic() + timeout
+            with self._cond:
+                while self._current.epoch < epoch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        break
+            view = self._current
+            if view.epoch >= epoch:
+                self._observe_lag(view.epoch - epoch)
+                return view
+        with self._lock:
+            self.rejected += 1
+            if self._metrics is not None:
+                self._metrics["rejected"].inc()
+        raise EpochNotReady(requested=epoch, newest=self._current.epoch)
+
+    # -- cached point/aggregate queries -------------------------------- #
+    def _cached(self, kind: str, arg, compute: Callable[[EpochView], Any],
+                at_least: Optional[int], wait: bool, timeout: float) -> Any:
+        view = (
+            self.read_at(at_least, wait=wait, timeout=timeout)
+            if at_least is not None
+            else self._current
+        )
+        key = (view.epoch, kind, arg)
+        with self._lock:
+            self.requests[kind] = self.requests.get(kind, 0) + 1
+            value = self.cache.get(key, _MISS)
+            if value is not _MISS:
+                self._count_request(kind, hit=True)
+                return value
+        value = compute(view)
+        with self._lock:
+            self.cache.put(key, value)
+            self._count_request(kind, hit=False)
+        return value
+
+    def is_matched(self, v: Vertex, at_least: Optional[int] = None,
+                   wait: bool = False, timeout: float = 5.0) -> bool:
+        """Is vertex ``v`` covered by the matching?"""
+        return self._cached(
+            "is_matched", v, lambda view: view.is_matched(v),
+            at_least, wait, timeout,
+        )
+
+    def match_of(self, v: Vertex, at_least: Optional[int] = None,
+                 wait: bool = False, timeout: float = 5.0) -> Optional[EdgeId]:
+        """The matched edge covering ``v``, or None."""
+        return self._cached(
+            "match_of", v, lambda view: view.match_of(v),
+            at_least, wait, timeout,
+        )
+
+    def is_matched_edge(self, eid: EdgeId, at_least: Optional[int] = None,
+                        wait: bool = False, timeout: float = 5.0) -> bool:
+        """Is edge ``eid`` in the matching?"""
+        return self._cached(
+            "is_matched_edge", eid, lambda view: view.is_matched_edge(eid),
+            at_least, wait, timeout,
+        )
+
+    def matching_size(self, at_least: Optional[int] = None,
+                      wait: bool = False, timeout: float = 5.0) -> int:
+        """Current maximal matching size."""
+        return self._cached(
+            "matching_size", None, lambda view: view.matching_size,
+            at_least, wait, timeout,
+        )
+
+    def level_stats(self, at_least: Optional[int] = None,
+                    wait: bool = False, timeout: float = 5.0) -> Dict[int, int]:
+        """Matches per structure level."""
+        return self._cached(
+            "level_stats", None, lambda view: view.level_stats(),
+            at_least, wait, timeout,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """One-shot bookkeeping summary (tests, CLI serve summary)."""
+        return {
+            "epoch": self.epoch,
+            "publishes": self.publishes,
+            "requests": dict(self.requests),
+            "requests_total": sum(self.requests.values()),
+            "rejected": self.rejected,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_ratio": self.cache.hit_ratio,
+            "cache_evictions": self.cache.evictions,
+            "cache_invalidations": self.cache.invalidations,
+        }
+
+    def attach_observer(self, observer) -> None:
+        """Register the ``repro_query_*`` catalog (idempotent per
+        registry) and start publishing.  Accepts an Observer or a bare
+        MetricsRegistry."""
+        reg = getattr(observer, "registry", observer)
+        self._metrics = {
+            "requests": reg.counter(
+                "repro_query_requests_total",
+                "Read queries served, by query kind", ("kind",),
+            ),
+            "cache_hits": reg.counter(
+                "repro_query_cache_hits_total", "Query results served from the LRU cache"
+            ),
+            "cache_misses": reg.counter(
+                "repro_query_cache_misses_total", "Query results computed from the view"
+            ),
+            "cache_hit_ratio": reg.gauge(
+                "repro_query_cache_hit_ratio", "Running cache hit ratio"
+            ),
+            "epoch": reg.gauge(
+                "repro_query_epoch", "Newest published (durable) epoch"
+            ),
+            "lag": reg.histogram(
+                "repro_query_epoch_lag",
+                "Batches between a read's requested epoch and the newest",
+                buckets=EPOCH_LAG_BUCKETS,
+            ),
+            "publishes": reg.counter(
+                "repro_query_publishes_total", "Epoch views published"
+            ),
+            "invalidations": reg.counter(
+                "repro_query_cache_invalidations_total",
+                "Cache flushes triggered by epoch publishes",
+            ),
+            "rejected": reg.counter(
+                "repro_query_rejected_total",
+                "Reads rejected because the requested epoch was not durable",
+            ),
+            "qps": reg.gauge(
+                "repro_query_qps",
+                "Read queries per second over the last publish interval",
+            ),
+            "matching_size": reg.gauge(
+                "repro_query_matching_size", "Matching size at the newest epoch"
+            ),
+        }
+        self._published_cache = {"hits": 0, "misses": 0, "invalidations": 0}
+
+    def _count_request(self, kind: str, hit: bool) -> None:
+        # Called under self._lock.
+        m = self._metrics
+        if m is None:
+            return
+        m["requests"].labels(kind=kind).inc()
+        (m["cache_hits"] if hit else m["cache_misses"]).inc()
+        total = self.cache.hits + self.cache.misses
+        if total:
+            m["cache_hit_ratio"].set(self.cache.hits / total)
+
+    def _observe_lag(self, lag: int) -> None:
+        if self._metrics is not None:
+            with self._lock:
+                self._metrics["lag"].observe(float(lag))
+
+    def _publish_metrics(self, view: EpochView) -> None:
+        m = self._metrics
+        if m is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            m["epoch"].set(view.epoch)
+            m["matching_size"].set(view.matching_size)
+            m["publishes"].inc()
+            inv_delta = self.cache.invalidations - self._published_cache["invalidations"]
+            if inv_delta > 0:
+                m["invalidations"].inc(inv_delta)
+            self._published_cache["invalidations"] = self.cache.invalidations
+            total_requests = sum(self.requests.values())
+            dt = now - self._last_pub_time
+            if dt > 0:
+                m["qps"].set((total_requests - self._last_pub_requests) / dt)
+            self._last_pub_time = now
+            self._last_pub_requests = total_requests

@@ -155,6 +155,34 @@ class Shard:
             if eid not in matched
         ]
 
+    def query_snapshot(self) -> Dict[str, Any]:
+        """Columns the query tier merges into a cross-shard EpochView.
+
+        ``applied`` is this shard's epoch: the durable acknowledged-batch
+        count when journaling, else the in-memory batch count.  Shard
+        journals record every router batch (including empty sub-batches),
+        so all shards of a healthy service report the same value — the
+        router's epoch-vector reconciliation rejects anything else.
+        """
+        s = self.dm.structure
+        cover: Dict[Vertex, EdgeId] = {}
+        levels: Dict[EdgeId, int] = {}
+        matched = list(s.matched)
+        for mid in matched:
+            levels[mid] = s.level_of_match(mid)
+            for v in s.edge_of(mid).vertices:
+                cover[v] = mid
+        return {
+            "applied": (
+                self.manager.applied if self.manager is not None
+                else self.stats["batches"]
+            ),
+            "matched": matched,
+            "cover": cover,
+            "levels": levels,
+            "live_edges": len(self.dm),
+        }
+
     def check_invariants(self) -> bool:
         self.dm.check_invariants()
         return True

@@ -66,6 +66,7 @@ def run_stream(
     check: bool = False,
     durability=None,
     observer=None,
+    query=None,
 ) -> List[RunRecord]:
     """Apply every batch in order; return per-batch records.
 
@@ -81,6 +82,11 @@ def run_stream(
     ``observer`` selects where batch spans and metrics go: ``None``
     (default) publishes to :func:`repro.obs.default_observer`, ``False``
     disables observation, anything else is used as the observer.
+
+    ``query`` (a :class:`repro.query.QueryService`) attaches the
+    read-serving tier: after each batch is applied and acknowledged, the
+    service publishes a fresh epoch view, so concurrent readers see the
+    batch exactly when it becomes durable — never mid-apply.
     """
     if observer is None:
         from repro.obs.observer import default_observer
@@ -141,6 +147,9 @@ def run_stream(
                     live_edges=len(mirror) if mirror is not None else len(algo),
                 )
                 records.append(record)
+                if query is not None:
+                    with tracer.span("query.publish") if tracer else nullcontext():
+                        query.publish()
                 if obs is not None:
                     obs.finish_batch(
                         span,

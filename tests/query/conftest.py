@@ -1,0 +1,37 @@
+"""Shared helpers for the query-tier test package."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.hypergraph.edge import Edge
+from repro.workloads.streams import UpdateBatch
+
+
+def churn_stream(
+    batches: int = 10,
+    batch_size: int = 6,
+    n_vertices: int = 30,
+    seed: int = 7,
+    delete_every: int = 3,
+) -> List[UpdateBatch]:
+    """A deterministic insert/delete churn stream for query-tier tests."""
+    rng = random.Random(seed)
+    eid = 0
+    alive: List[int] = []
+    stream: List[UpdateBatch] = []
+    for i in range(batches):
+        if i % delete_every == delete_every - 1 and alive:
+            kill = rng.sample(alive, min(batch_size // 2 + 1, len(alive)))
+            alive = [e for e in alive if e not in kill]
+            stream.append(UpdateBatch.delete(kill))
+        else:
+            edges = []
+            for _ in range(batch_size):
+                u, v = rng.sample(range(n_vertices), 2)
+                edges.append(Edge(eid, (u, v)))
+                alive.append(eid)
+                eid += 1
+            stream.append(UpdateBatch.insert(edges))
+    return stream

@@ -1,0 +1,115 @@
+"""CLI plumbing for the query tier: serve --query-port and `repro query`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+from repro.query import QueryService, start_query_server
+from repro.workloads.io import write_stream
+
+from tests.query.conftest import churn_stream
+
+pytestmark = pytest.mark.query
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.txt"
+    write_stream(str(path), churn_stream(batches=6, batch_size=5, seed=31))
+    return str(path)
+
+
+def test_serve_journal_with_query_port(tmp_path, stream_file, capsys):
+    root = str(tmp_path / "state")
+    rc = main(["serve", "--journal", root, "--stream", stream_file,
+               "--seed", "31", "--query-port", "0", "--no-fsync"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "queries: http://127.0.0.1:" in out
+    assert "query tier: epoch 6" in out
+    assert "cache hit ratio" in out
+
+
+def test_serve_sharded_journal_with_query_port(tmp_path, stream_file, capsys):
+    root = str(tmp_path / "state")
+    rc = main(["serve", "--journal", root, "--stream", stream_file,
+               "--seed", "31", "--shards", "2", "--shard-transport", "inline",
+               "--query-port", "0", "--no-fsync"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "queries: http://127.0.0.1:" in out
+    assert "query tier: epoch 6" in out
+
+
+def test_recover_with_query_port_reports_replica_epoch(tmp_path, stream_file, capsys):
+    root = str(tmp_path / "state")
+    assert main(["serve", "--journal", root, "--stream", stream_file,
+                 "--seed", "31", "--no-fsync"]) == 0
+    capsys.readouterr()
+    rc = main(["serve", "--recover", root, "--certify", "--query-port", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "certified against uninterrupted oracle ✓" in out
+    assert "query tier: epoch 6" in out
+
+
+@pytest.fixture
+def live_endpoint():
+    dm = DynamicMatching(rank=2, seed=3)
+    dm.insert_edges([Edge(0, (1, 2)), Edge(1, (3, 4)), Edge(2, (1, 3))])
+    service = QueryService(dm)
+    service.publish()
+    server = start_query_server(service)
+    yield service, server.server_address[1]
+    server.shutdown()
+
+
+def test_query_subcommand_point_reads(live_endpoint, capsys):
+    service, port = live_endpoint
+    assert main(["query", "--port", str(port), "--v", "1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["v"] == 1
+    assert payload["matched"] == service.is_matched(1)
+    assert payload["match"] == service.match_of(1)
+
+    assert main(["query", "--port", str(port), "--eid", "0"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["matched"] == service.is_matched_edge(0)
+
+
+def test_query_subcommand_aggregates(live_endpoint, capsys):
+    service, port = live_endpoint
+    assert main(["query", "--port", str(port), "--size"]) == 0
+    assert json.loads(capsys.readouterr().out)["matching_size"] == service.matching_size()
+
+    assert main(["query", "--port", str(port), "--levels"]) == 0
+    levels = json.loads(capsys.readouterr().out)["levels"]
+    assert levels == {str(k): v for k, v in service.level_stats().items()}
+
+    assert main(["query", "--port", str(port)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["epoch"] == service.epoch
+    assert payload["epoch_vector"] == [service.epoch]
+
+
+def test_query_subcommand_epoch_not_ready(live_endpoint, capsys):
+    service, port = live_endpoint
+    rc = main(["query", "--port", str(port), "--size",
+               "--at-least", str(service.epoch + 7)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert f"epoch {service.epoch + 7} not yet durable" in out
+    assert f"newest: {service.epoch}" in out
+
+
+def test_query_subcommand_read_your_writes_satisfied(live_endpoint, capsys):
+    service, port = live_endpoint
+    rc = main(["query", "--port", str(port), "--size",
+               "--at-least", str(service.epoch), "--wait"])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["matching_size"] == service.matching_size()

@@ -1,0 +1,108 @@
+"""`repro_query_*` metrics: catalog, values, and exposition round-trip.
+
+Extends the PR 3 hypothesis round-trip (the ``\\r``-in-label-value parser
+bug class) to the query-tier metric families: whatever bytes end up in a
+``kind`` label must survive render → parse bit-exactly, alongside the
+epoch gauge and the epoch-lag histogram.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic_matching import DynamicMatching
+from repro.obs import MetricsRegistry, Observer, parse_prometheus_text, render_prometheus
+from repro.query import EpochNotReady, QueryService
+from repro.workloads.runner import run_stream
+
+from tests.query.conftest import churn_stream
+
+pytestmark = pytest.mark.query
+
+hostile_label_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_categories=("Cs",), max_codepoint=0x2FF
+    ),
+    max_size=12,
+)
+
+
+@given(
+    kinds=st.dictionaries(hostile_label_values, st.integers(0, 50), max_size=5),
+    epoch=st.integers(0, 10_000),
+    lags=st.lists(st.integers(0, 200), max_size=20),
+)
+@settings(max_examples=60)
+def test_query_families_round_trip_hostile_labels(kinds, epoch, lags):
+    """Control chars (\\r, \\n), quotes and backslashes in a query `kind`
+    label survive the exposition round-trip on the query families."""
+    from repro.query.service import EPOCH_LAG_BUCKETS
+
+    reg = MetricsRegistry()
+    fam = reg.counter("repro_query_requests_total", "reads", ("kind",))
+    for kind, n in kinds.items():
+        fam.labels(kind=kind).inc(n)
+    reg.gauge("repro_query_epoch", "epoch").set(epoch)
+    lag = reg.histogram("repro_query_epoch_lag", buckets=EPOCH_LAG_BUCKETS).labels()
+    for v in lags:
+        lag.observe(float(v))
+
+    parsed = parse_prometheus_text(render_prometheus(reg))
+
+    for kind, n in kinds.items():
+        key = ("repro_query_requests_total", frozenset([("kind", kind)]))
+        assert parsed[key] == pytest.approx(n)
+    assert parsed[("repro_query_epoch", frozenset())] == pytest.approx(epoch)
+    assert parsed[("repro_query_epoch_lag_count", frozenset())] == len(lags)
+    inf_key = ("repro_query_epoch_lag_bucket", frozenset([("le", "+Inf")]))
+    assert parsed[inf_key] == len(lags)
+
+
+def test_service_populates_query_metrics():
+    """End-to-end: a served run + reads populate every family with the
+    values the service's own stats report, and they round-trip."""
+    obs = Observer()
+    stream = churn_stream(batches=6, batch_size=5, seed=17)
+    dm = DynamicMatching(rank=2, seed=9)
+    service = QueryService(dm, observer=obs)
+    run_stream(dm, stream, query=service, observer=obs)
+
+    service.matching_size()
+    service.matching_size()  # cache hit
+    service.is_matched(0)
+    service.match_of(0, at_least=2)  # lag = epoch - 2
+    with pytest.raises(EpochNotReady):
+        service.read_at(len(stream) + 5)
+
+    reg = obs.registry
+    assert reg.get("repro_query_requests_total").value(kind="matching_size") == 2
+    assert reg.get("repro_query_requests_total").value(kind="is_matched") == 1
+    assert reg.get("repro_query_requests_total").value(kind="match_of") == 1
+    assert reg.get("repro_query_cache_hits_total").value() == service.stats["cache_hits"]
+    assert reg.get("repro_query_cache_misses_total").value() == service.stats["cache_misses"]
+    assert reg.get("repro_query_epoch").value() == len(stream)
+    assert reg.get("repro_query_publishes_total").value() == len(stream) + 1  # + epoch 0
+    assert reg.get("repro_query_rejected_total").value() == 1
+    assert reg.get("repro_query_matching_size").value() == service.view().matching_size
+
+    (_, lag_child), = reg.get("repro_query_epoch_lag").samples()
+    assert lag_child.count >= 1  # the at_least read observed its lag
+
+    parsed = parse_prometheus_text(render_prometheus(reg))
+    key = ("repro_query_requests_total", frozenset([("kind", "matching_size")]))
+    assert parsed[key] == 2
+    assert parsed[("repro_query_epoch", frozenset())] == len(stream)
+
+
+def test_attach_observer_is_idempotent_per_registry():
+    """Two services on one registry co-register the same catalog."""
+    obs = Observer()
+    dm1 = DynamicMatching(rank=2, seed=1)
+    dm2 = DynamicMatching(rank=2, seed=2)
+    s1 = QueryService(dm1, observer=obs)
+    s2 = QueryService(dm2, observer=obs)
+    s1.matching_size()
+    s2.matching_size()
+    assert obs.registry.get("repro_query_requests_total").value(kind="matching_size") == 2

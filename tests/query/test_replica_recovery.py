@@ -1,0 +1,165 @@
+"""Recovery replicas serving reads, and the stale-epoch refusal contract.
+
+Regression tests for sharded ``--recover`` autodetect when the router
+journal directory exists but its journal is missing, empty, or
+header-only.  The contract: a replica that cannot prove an epoch must
+**refuse** to serve it — recovery either fails cleanly (unreadable
+journal ⇒ no service at all) or recovers to the provable epoch and
+rejects every ``read_at`` beyond it with ``EpochNotReady``; it never
+presents stale state as fresh to the query tier.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.durability.journal import JOURNAL_FILE, JournalError
+from repro.query import (
+    EpochNotReady,
+    certify_replica,
+    certify_view,
+    replica_service,
+    sharded_oracle_view,
+)
+from repro.sharding import ShardedMatching
+from repro.sharding.router import ROUTER_DIR
+from repro.workloads.runner import run_stream
+
+from tests.query.conftest import churn_stream
+
+pytestmark = pytest.mark.query
+
+SEED = 21
+
+
+def _make_sharded_root(root: str, stream) -> None:
+    router = ShardedMatching(
+        shards=2, seed=SEED, transport="inline", durability_root=root,
+        fsync=False,
+    )
+    try:
+        run_stream(router, stream, observer=False)
+    finally:
+        router.close()
+
+
+def _router_journal(root: str) -> str:
+    return os.path.join(root, ROUTER_DIR, JOURNAL_FILE)
+
+
+def test_replica_serves_certified_reads(tmp_path):
+    stream = churn_stream(batches=8, batch_size=6, seed=2)
+    root = str(tmp_path / "state")
+    _make_sharded_root(root, stream)
+
+    service, result = replica_service(root, do_certify=True)
+    try:
+        assert service.epoch == len(stream)
+        view = service.view()
+        view.verify_consistent()
+        certify_view(
+            view, sharded_oracle_view(stream, len(stream), shards=2, seed=SEED)
+        )
+        # certify_replica: the replica equals its own recovered primary.
+        report = certify_replica(service, result.router)
+        assert report["replica_epoch"] == len(stream)
+        # Beyond the durable epoch: refused, never served stale-as-fresh.
+        with pytest.raises(EpochNotReady) as exc:
+            service.read_at(len(stream) + 1)
+        assert exc.value.newest == len(stream)
+    finally:
+        result.router.close()
+
+
+def test_empty_router_journal_refuses_to_serve(tmp_path):
+    """Journal file exists but is empty (0 bytes): recovery must fail —
+    there is no provable epoch, so no replica may serve reads."""
+    stream = churn_stream(batches=6, batch_size=6, seed=4)
+    root = str(tmp_path / "state")
+    _make_sharded_root(root, stream)
+
+    with open(_router_journal(root), "w", encoding="utf-8"):
+        pass  # truncate to zero bytes
+    with pytest.raises(JournalError):
+        replica_service(root)
+
+
+def test_missing_router_journal_refuses_to_serve(tmp_path):
+    """Router directory exists but holds no journal file at all."""
+    stream = churn_stream(batches=4, batch_size=6, seed=6)
+    root = str(tmp_path / "state")
+    _make_sharded_root(root, stream)
+
+    os.unlink(_router_journal(root))
+    assert os.path.isdir(os.path.join(root, ROUTER_DIR))
+    with pytest.raises((JournalError, FileNotFoundError)):
+        replica_service(root)
+
+
+def test_header_only_router_journal_recovers_to_epoch_zero(tmp_path):
+    """Header-only router journal: the provable epoch is 0.  Shards that
+    ran ahead are rebuilt to empty, and every read-your-writes probe for
+    epoch >= 1 is rejected."""
+    stream = churn_stream(batches=6, batch_size=6, seed=8)
+    root = str(tmp_path / "state")
+    _make_sharded_root(root, stream)
+
+    path = _router_journal(root)
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(header)
+
+    service, result = replica_service(root, do_certify=True)
+    try:
+        assert result.applied == 0
+        assert service.epoch == 0
+        view = service.view()
+        view.verify_consistent()
+        assert view.matching_size == 0
+        assert view.live_edges == 0
+        # The shards had applied batches; the rebuild must have reset them.
+        assert all(info["rebuilt"] for info in result.per_shard)
+        for epoch in (1, len(stream)):
+            with pytest.raises(EpochNotReady) as exc:
+                service.read_at(epoch)
+            assert exc.value.newest == 0
+    finally:
+        result.router.close()
+
+
+def test_cli_recover_empty_sharded_journal_fails_cleanly(tmp_path, capsys):
+    """`serve --recover` on an unreadable sharded root: clean one-line
+    refusal and exit code 1, not a traceback."""
+    stream = churn_stream(batches=4, batch_size=6, seed=10)
+    root = str(tmp_path / "state")
+    _make_sharded_root(root, stream)
+    with open(_router_journal(root), "w", encoding="utf-8"):
+        pass
+
+    rc = main(["serve", "--recover", root])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "cannot recover sharded root" in out
+    assert "refusing to serve reads from an unproven epoch" in out
+
+
+def test_cli_recover_unsharded_bad_journal_fails_cleanly(tmp_path, capsys):
+    """Same refusal contract on a plain (unsharded) durability root."""
+    root = tmp_path / "state"
+    root.mkdir()
+    (root / JOURNAL_FILE).write_text("")  # journal exists, no header
+
+    rc = main(["serve", "--recover", str(root)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "cannot recover" in out
+    assert "refusing to serve reads from an unproven epoch" in out
+
+
+def test_replica_missing_root_raises():
+    with pytest.raises(FileNotFoundError):
+        replica_service("/nonexistent/durability/root")

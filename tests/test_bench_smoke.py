@@ -1,11 +1,11 @@
 """Smoke-mode runs of the benchmark harnesses.
 
-``REPRO_BENCH_SMOKE=1`` caps every sweep in ``benchmarks/bench_hotpath.py``
-and ``benchmarks/bench_dynamic.py`` to tiny sizes, so CI can exercise the
-full harnesses — workload generation, replay, ledger capture, JSON
-output, and the identity/comparison assertions — in seconds without
-timing anything meaningful.  Deselect with ``-m "not bench_smoke"`` if
-even that is too much.
+``REPRO_BENCH_SMOKE=1`` caps every sweep in ``benchmarks/bench_hotpath.py``,
+``benchmarks/bench_dynamic.py`` and ``benchmarks/bench_queries.py`` to tiny
+sizes, so CI can exercise the full harnesses — workload generation, replay,
+ledger capture, JSON output, and the identity/comparison/certification
+assertions — in seconds without timing anything meaningful.  Deselect with
+``-m "not bench_smoke"`` if even that is too much.
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ import pytest
 REPO = Path(__file__).resolve().parent.parent
 BENCH = REPO / "benchmarks" / "bench_hotpath.py"
 BENCH_DYNAMIC = REPO / "benchmarks" / "bench_dynamic.py"
+BENCH_QUERIES = REPO / "benchmarks" / "bench_queries.py"
 
 
 def _run(label: str, out: Path) -> subprocess.CompletedProcess:
@@ -103,3 +104,42 @@ def test_bench_dynamic_smoke(tmp_path):
         assert r["ledger_identical"] is True
         assert set(r["updates_per_sec"]) == {"object", "vector", "vector+engine"}
     assert "overhead_fraction" in record["engine_overhead_w1"]
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_SMOKE") == "0",
+    reason="REPRO_BENCH_SMOKE=0 explicitly disables the bench smoke run",
+)
+def test_bench_queries_smoke(tmp_path):
+    out = tmp_path / "bench_queries.json"
+    env = dict(os.environ)
+    if not env.get("REPRO_BENCH_SMOKE"):
+        env["REPRO_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, str(BENCH_QUERIES),
+            "--label", "smoke", "--out", str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    data = json.loads(out.read_text())
+    record = data["smoke"]
+    assert record["smoke"] is True
+    # The harness certifies before writing a row (sampled reads against
+    # truncated oracle replays, the write-overhead bound); re-check the
+    # output so a silently weakened harness still fails here.
+    qps = record["qps"]
+    assert qps["reads"] > 0 and qps["epochs_published"] == record["batches"]
+    assert qps["certified_samples"] > 0
+    assert qps["final_view_certified"] is True
+    assert record["http_qps"]["final_view_certified"] is True
+    wo = record["write_overhead"]
+    assert wo["overhead_fraction"] <= wo["asserted_bound"]
