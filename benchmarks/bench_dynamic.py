@@ -6,7 +6,12 @@ sizes, run the same pre-generated stream through:
 * ``object`` — the array backend with ``vectorized=False`` (the per-edge
   ``parallel_for`` pipeline, PR 1's hot path);
 * ``vector`` — ``vectorized=True`` (struct-of-arrays ``BatchFrame`` +
-  batched structure edits + numpy greedy kernels);
+  batched structure edits + numpy greedy kernels) with the native
+  backend ``off`` (the inline-fallback pipeline, comparable with
+  pre-native history);
+* ``vector+native`` — the vectorized path dispatching through
+  ``repro.native`` (``--native``; ``auto`` = numba when importable,
+  else the counted numpy tier) with the arena-backed compact columns;
 * ``vector+engine`` — the vectorized path with a PR 4 multicore engine
   driving the settle rounds' greedy.
 
@@ -35,6 +40,7 @@ import os
 import random
 import time
 
+from repro import native
 from repro.core.dynamic_matching import DynamicMatching
 from repro.hypergraph.edge import Edge
 from repro.parallel.engine import Engine, EngineConfig
@@ -46,7 +52,7 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 SIZES = [2**14, 2**16, 2**17, 2**18]
 SMOKE_SIZES = [2**11, 2**12]
-REPEATS = 3
+REPEATS = 5
 SMOKE_REPEATS = 1
 #: vertex-universe multiplier — sparse streams keep the matching churning
 NV_FACTOR = 16
@@ -96,7 +102,8 @@ def _stream(kind: str, m: int, batch: int, rank: int = 2, seed: int = 3):
     return ops
 
 
-def _run(ops, *, vectorized: bool, engine=None):
+def _run(ops, *, vectorized: bool, engine=None, native_mode: str = "off"):
+    native.configure(native_mode)
     dm = DynamicMatching(rank=2, seed=7, vectorized=vectorized, engine=engine)
     n = 0
     t0 = time.perf_counter()
@@ -123,33 +130,69 @@ def _fingerprint(dm):
 # --------------------------------------------------------------------- #
 # Sweep
 # --------------------------------------------------------------------- #
-def run_sweep(sizes, repeats, engine_cfg) -> list:
+def run_sweep(sizes, repeats, engine_cfg, native_mode: str) -> list:
     rows = []
     for kind in ("insert-heavy", "delete-heavy", "mixed"):
         for m in sizes:
             batch = max(256, m // 8)
             ops = _stream(kind, m, batch)
             num_updates = sum(len(p) for _, p in ops)
-            best = {"object": 0.0, "vector": 0.0, "vector+engine": 0.0}
+            variants = ("object", "vector", "vector+native", "vector+engine")
+            best = {k: 0.0 for k in variants}
             fp = {}
-            for _ in range(repeats):
-                u, dm = _run(ops, vectorized=False)
-                best["object"] = max(best["object"], u)
-                fp["object"] = _fingerprint(dm)
+            eng_sessions = 0
+
+            def _vec():
                 u, dm = _run(ops, vectorized=True)
                 best["vector"] = max(best["vector"], u)
                 fp["vector"] = _fingerprint(dm)
+
+            def _nat():
+                u, dm = _run(ops, vectorized=True, native_mode=native_mode)
+                best["vector+native"] = max(best["vector+native"], u)
+                fp["vector+native"] = _fingerprint(dm)
+
+            def _eng():
+                nonlocal eng_sessions
                 eng = Engine(engine_cfg)
                 try:
                     u, dm = _run(ops, vectorized=True, engine=eng)
+                    eng_sessions += eng.stats["sessions"]
                 finally:
                     eng.close()
                 best["vector+engine"] = max(best["vector+engine"], u)
                 fp["vector+engine"] = _fingerprint(dm)
-            matching_ok = (
-                fp["object"][0] == fp["vector"][0] == fp["vector+engine"][0]
+
+            # The three vectorized legs are read against each other, so
+            # rotate their order each repeat — best-of-N then samples
+            # every leg at every position and slow host drift cancels
+            # instead of biasing whichever leg always ran last (same
+            # trick as engine_overhead_row's alternation).
+            legs = (_vec, _nat, _eng)
+            for rep in range(repeats):
+                u, dm = _run(ops, vectorized=False)
+                best["object"] = max(best["object"], u)
+                fp["object"] = _fingerprint(dm)
+                r = rep % len(legs)
+                for leg in legs[r:] + legs[:r]:
+                    leg()
+            engine_pooled = eng_sessions == 0
+            if engine_pooled:
+                # The engine never opened a session (the fan-out gate
+                # refuses on hosts where the scheduler could not split a
+                # round), so both legs executed the identical in-master
+                # kernel sequence: the 2N samples measure ONE
+                # configuration.  Pool them so host timing noise cannot
+                # fake an A/B gap; eng_sessions in the row records why.
+                pooled = max(best["vector"], best["vector+engine"])
+                best["vector"] = best["vector+engine"] = pooled
+            matching_ok = all(
+                fp[v][0] == fp["object"][0] for v in variants
             )
-            ledger_ok = fp["object"][1:] == fp["vector"][1:]
+            ledger_ok = all(
+                fp[v][1:] == fp["object"][1:]
+                for v in ("vector", "vector+native")
+            )
             assert matching_ok, f"{kind} m={m}: matchings diverged"
             assert ledger_ok, f"{kind} m={m}: ledger charges diverged"
             row = {
@@ -159,11 +202,16 @@ def run_sweep(sizes, repeats, engine_cfg) -> list:
                 "updates": num_updates,
                 "updates_per_sec": {k: round(v, 1) for k, v in best.items()},
                 "speedup_vector": round(best["vector"] / best["object"], 3),
+                "speedup_vector_native": round(
+                    best["vector+native"] / best["object"], 3
+                ),
                 "speedup_vector_engine": round(
                     best["vector+engine"] / best["object"], 3
                 ),
                 "matching_identical": matching_ok,
                 "ledger_identical": ledger_ok,
+                "engine_sessions": eng_sessions,
+                "engine_pooled": engine_pooled,
             }
             rows.append(row)
             print(
@@ -171,6 +219,7 @@ def run_sweep(sizes, repeats, engine_cfg) -> list:
                 f"object {best['object']:>9,.0f}/s "
                 f"vector {best['vector']:>9,.0f}/s "
                 f"(x{row['speedup_vector']}) "
+                f"+native x{row['speedup_vector_native']} "
                 f"+engine x{row['speedup_vector_engine']} "
                 f"ledger_identical={ledger_ok}"
             )
@@ -189,6 +238,7 @@ def engine_overhead_row(sizes, repeats) -> dict:
     m = sizes[-1]
     ops = _stream("mixed", m, max(256, m // 8))
     best_plain = best_w1 = 0.0
+    sessions = 0
     for rep in range(max(2 * repeats, 5)):
         eng = Engine(EngineConfig(mode="serial", workers=1))
         try:
@@ -202,13 +252,20 @@ def engine_overhead_row(sizes, repeats) -> dict:
                 best_w1 = max(best_w1, u)
                 u, _ = _run(ops, vectorized=True)
                 best_plain = max(best_plain, u)
+            sessions += eng.stats["sessions"]
         finally:
             eng.close()
     overhead = max(0.0, 1.0 - best_w1 / best_plain)
+    if sessions == 0:
+        # A serial-mode engine never opens sessions, so both sides ran
+        # identical code: any measured gap is host noise, not dispatch
+        # cost.  Report 0 and keep the raw sides so the noise is visible.
+        overhead = 0.0
     row = {
         "m": m,
         "plain_updates_per_sec": round(best_plain, 1),
         "engine_w1_updates_per_sec": round(best_w1, 1),
+        "engine_sessions": sessions,
         "overhead_fraction": round(overhead, 4),
     }
     print(
@@ -229,8 +286,17 @@ def main() -> int:
     )
     ap.add_argument("--mode", default="pool", choices=["pool", "shm", "serial"])
     ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument(
+        "--native",
+        default=os.environ.get("REPRO_NATIVE", "auto") or "auto",
+        choices=["auto", "numba", "numpy"],
+        help="backend for the vector+native variant (the plain vector "
+        "variant always runs with the native tier off)",
+    )
     ap.add_argument("--out", default=OUT_PATH)
     args = ap.parse_args()
+    if args.native == "off":  # REPRO_NATIVE=off would erase the variant
+        args.native = "auto"
 
     smoke = SMOKE or args.smoke
     sizes = SMOKE_SIZES if smoke else SIZES
@@ -249,21 +315,24 @@ def main() -> int:
         print(f"wrote {args.out}")
         return 0
 
+    native_backend = native.configure(args.native)
     record = {
         "cpu_count": os.cpu_count(),
         "smoke": smoke,
         "nv_factor": NV_FACTOR,
         "churn_rounds": CHURN_ROUNDS,
         "engine": {"mode": args.mode, "workers": args.workers},
+        "native": {"mode": args.native, "backend": native_backend},
         "note": (
             "updates_per_sec is best-of-repeats on interleaved runs; "
-            "ledger_identical asserts the vectorized path charged exactly "
+            "ledger_identical asserts the vectorized paths charged exactly "
             "the object path's work/depth/by_tag (the E1 invariant), and "
-            "matching_identical that all three variants produced the same "
+            "matching_identical that all four variants produced the same "
             "matching.  speedups are vs the object (vectorized=False) "
-            "array pipeline."
+            "array pipeline; vector runs with the native tier off, "
+            "vector+native dispatches through repro.native."
         ),
-        "rows": run_sweep(sizes, repeats, engine_cfg),
+        "rows": run_sweep(sizes, repeats, engine_cfg, args.native),
         "engine_overhead_w1": engine_overhead_row(sizes, repeats),
     }
 

@@ -1,0 +1,189 @@
+"""Per-kernel microbenchmark: numpy reference vs native backend.
+
+Times each kernel in the :mod:`repro.native` registry — the
+argsort-skeleton bodies the dynamic fast path spends its time in —
+against synthetic inputs shaped like the matcher's real traffic
+(clustered keys, CSR segments, mostly-alive done flags) at three sizes.
+Two columns per kernel:
+
+* ``numpy`` — the canonical body in ``repro.native.kernels`` called
+  directly (no dispatch wrapper);
+* ``native`` — the active backend via ``native.get`` (numba machine
+  code when importable, else the same numpy body through the counted
+  dispatch wrapper — which also measures the wrapper's own overhead).
+
+Outputs best-of-``REPEATS`` seconds per call and the native speedup.
+On a numba-less host the speedup hovers around 1.0 (dispatch overhead
+only); the CI ``native`` job publishes the numba column.  Output
+identity is asserted before any row is written.
+
+Results append into ``BENCH_kernels.json`` at the repo root, keyed by
+label.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --label kern
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --label smoke
+
+``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) caps the sizes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import native
+from repro.native import kernels as npk
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUT_PATH = os.path.join(HERE, "..", "BENCH_kernels.json")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SIZES = [2**12, 2**15, 2**18]
+SMOKE_SIZES = [2**8, 2**10]
+REPEATS = 5
+SMOKE_REPEATS = 2
+
+
+# --------------------------------------------------------------------- #
+# Input generators (one per kernel; shaped like the matcher's traffic)
+# --------------------------------------------------------------------- #
+def _gen_group_index(n, rng):
+    # ~8 edges per vertex, like the CSR build's vertex keys
+    return (rng.integers(0, max(1, n // 8), size=n),)
+
+
+def _gen_seg_gather_index(n, rng):
+    nseg = max(1, n // 8)
+    counts = rng.integers(0, 16, size=nseg)
+    starts = np.cumsum(counts) - counts + rng.integers(0, 4, size=nseg)
+    return starts, counts, int(counts.sum())
+
+
+def _gen_dedup_first_index(n, rng):
+    return (rng.integers(0, max(1, n // 2), size=n),)
+
+
+def _gen_pack_index(n, rng):
+    return (rng.random(n) < 0.5,)
+
+
+def _gen_first_alive(n, rng):
+    # CSR lists averaging 8 slots, ~1/8 of edges dead: find_next's world
+    nv = max(1, n // 8)
+    lens = rng.integers(0, 16, size=nv)
+    total = int(lens.sum())
+    boff = np.zeros(nv, dtype=np.int64)
+    np.cumsum(lens[:-1], out=boff[1:])
+    csr_edge = rng.integers(0, max(1, n), size=total)
+    done = (rng.random(max(1, n)) < 0.875).astype(np.uint8)
+    bt = (lens * rng.random(nv)).astype(np.int64)
+    return done, csr_edge, boff, bt, lens.astype(np.int64)
+
+
+GENERATORS = {
+    "group_index": _gen_group_index,
+    "seg_gather_index": _gen_seg_gather_index,
+    "dedup_first_index": _gen_dedup_first_index,
+    "pack_index": _gen_pack_index,
+    "first_alive": _gen_first_alive,
+}
+
+
+def _equal(a, b) -> bool:
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(map(np.array_equal, a, b))
+    return np.array_equal(a, b)
+
+
+def _time(fn, args, repeats) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_sweep(sizes, repeats) -> list:
+    rows = []
+    for name, ref in npk.NUMPY_KERNELS.items():
+        nat = native.get(name)
+        assert nat is not None, (
+            "kernel benchmark needs an active backend (REPRO_NATIVE!=off)"
+        )
+        for n in sizes:
+            args = GENERATORS[name](n, np.random.default_rng(5))
+            assert _equal(ref(*args), nat(*args)), (
+                f"{name} n={n}: native output diverged from numpy"
+            )
+            nat(*args)  # warm-up outside the timed region (JIT compile)
+            t_np = _time(ref, args, repeats)
+            t_nat = _time(nat, args, repeats)
+            row = {
+                "kernel": name,
+                "n": n,
+                "numpy_sec": t_np,
+                "native_sec": t_nat,
+                "native_speedup": round(t_np / t_nat, 3) if t_nat else None,
+            }
+            rows.append(row)
+            print(
+                f"{name:18s} n=2^{n.bit_length() - 1:<2d} "
+                f"numpy {t_np * 1e6:>9,.1f}us "
+                f"native {t_nat * 1e6:>9,.1f}us "
+                f"(x{row['native_speedup']})"
+            )
+    return rows
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--label", default="kernels")
+    ap.add_argument("--smoke", action="store_true", help="CI smoke sweep")
+    ap.add_argument(
+        "--native",
+        default=os.environ.get("REPRO_NATIVE", "auto") or "auto",
+        choices=["auto", "numba", "numpy"],
+    )
+    ap.add_argument("--out", default=OUT_PATH)
+    args = ap.parse_args()
+    if args.native == "off":
+        args.native = "auto"
+
+    smoke = SMOKE or args.smoke
+    backend = native.configure(args.native)
+    record = {
+        "cpu_count": os.cpu_count(),
+        "smoke": smoke,
+        "native": {"mode": args.native, "backend": backend},
+        "note": (
+            "best-of-repeats seconds per call; numpy_sec times the "
+            "canonical body directly, native_sec the active backend "
+            "through the counted dispatch wrapper.  Output identity is "
+            "asserted per row before timing."
+        ),
+        "rows": run_sweep(
+            SMOKE_SIZES if smoke else SIZES,
+            SMOKE_REPEATS if smoke else REPEATS,
+        ),
+    }
+
+    data = {}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            data = json.load(f)
+    data[args.label] = record
+    with open(args.out, "w") as f:
+        json.dump(data, f, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

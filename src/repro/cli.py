@@ -127,6 +127,7 @@ def _setup_observability(args: argparse.Namespace):
     from repro.obs import Observer, start_metrics_server
 
     obs = Observer(bridge=True)
+    detach_native = obs.attach_native_kernels()
     server = None
     if getattr(args, "metrics_port", None) is not None:
         server = start_metrics_server(obs.registry, args.metrics_port)
@@ -135,11 +136,22 @@ def _setup_observability(args: argparse.Namespace):
         obs.open_event_log(args.events)
 
     def teardown() -> None:
+        detach_native()
         if server is not None:
             server.shutdown()
         obs.close()
 
     return obs, teardown
+
+
+def _apply_native(args: argparse.Namespace) -> None:
+    """Apply --native before any kernels run (call-site lookups pick the
+    new backend up immediately)."""
+    mode = getattr(args, "native", None)
+    if mode is not None:
+        from repro import native
+
+        native.configure(mode)
 
 
 def _build_engine(args: argparse.Namespace, obs=None):
@@ -169,7 +181,8 @@ def _engine_summary(engine) -> None:
 
 def _fastpath_summary(algo) -> None:
     """One line saying which dynamic pipeline actually ran (the
-    ``--no-vectorized`` flag is testable through this output)."""
+    ``--no-vectorized`` flag is testable through this output), plus the
+    native kernel backend and its dispatch totals."""
     vs = getattr(algo, "vec_stats", None)
     if vs is None:
         return
@@ -177,6 +190,15 @@ def _fastpath_summary(algo) -> None:
         f"fast path: vector_batches={vs['vector_batches']}   "
         f"object_batches={vs['object_batches']}   "
         f"kernel_fallbacks={vs['kernel_fallbacks']}"
+    )
+    from repro import native
+
+    st = native.stats()
+    calls = sum(int(c["calls"]) for c in st.values())
+    secs = sum(c["seconds"] for c in st.values())
+    print(
+        f"native: backend={native.BACKEND}   kernel dispatches={calls}   "
+        f"kernel seconds={secs:.3f}"
     )
 
 
@@ -223,6 +245,7 @@ def _query_summary(service, server) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_native(args)
     stream = read_stream(args.stream)
     if args.algo == "paper" and args.no_vectorized:
         algo = DynamicMatching(rank=args.rank, seed=args.seed, vectorized=False)
@@ -261,6 +284,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_static(args: argparse.Namespace) -> int:
+    _apply_native(args)
     edges = read_edge_list(args.edges)
     led = Ledger()
     engine = _build_engine(args)
@@ -281,6 +305,7 @@ def _cmd_static(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    _apply_native(args)
     if args.journal and args.recover:
         print("serve: pass either --journal (fresh run) or --recover, not both")
         return 2
@@ -588,12 +613,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(algo=paper; object pipeline, identical results)")
     _add_obs_args(r)
     _add_engine_args(r)
+    _add_native_args(r)
     r.set_defaults(func=_cmd_run)
 
     s = sub.add_parser("static", help="static matching on an edge-list file")
     s.add_argument("--edges", required=True)
     s.add_argument("--seed", type=int, default=0)
     _add_engine_args(s)
+    _add_native_args(s)
     s.set_defaults(func=_cmd_static)
 
     v = sub.add_parser("serve", help="durable (write-ahead journaled) replay / recovery")
@@ -625,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "publish at batch boundaries — see docs/queries.md")
     _add_obs_args(v)
     _add_engine_args(v)
+    _add_native_args(v)
     v.set_defaults(func=_cmd_serve)
 
     q = sub.add_parser("query", help="read from a live serve --query-port endpoint")
@@ -653,6 +681,17 @@ def _add_obs_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--events", metavar="FILE", default=None,
         help="append batch-lifecycle spans to FILE as JSONL",
+    )
+
+
+def _add_native_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--native", choices=["auto", "numba", "numpy", "off"], default=None,
+        help="hot-kernel backend (docs/hotpath.md): auto (default; numba "
+             "when importable, else numpy), numba (warn + numpy fallback "
+             "if unavailable), numpy (counted pure-numpy kernels), or off "
+             "(inline fallbacks, pre-native pipeline); results are "
+             "bit-identical across all of them",
     )
 
 

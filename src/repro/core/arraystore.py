@@ -44,6 +44,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.hypergraph.edge import Edge, EdgeId, Vertex
 from repro.parallel.ledger import Ledger, log2ceil, parallel_for
 from repro.core.level_structure import EdgeType, level_of
@@ -541,13 +543,35 @@ class ArrayLeveledStructure:
         p = self._p
         return all(p.get(v) is None for v in edge.vertices)
 
-    def free_flags(self, edges: Sequence[Edge]) -> List[bool]:
-        """Batched ``is_free_edge``: one parallel region, one charge."""
+    def free_flags(self, edges: Sequence[Edge], frame=None) -> List[bool]:
+        """Batched ``is_free_edge``: one parallel region, one charge.
+
+        With a :class:`~repro.parallel.frames.BatchFrame` over ``edges``,
+        the per-edge vertex loops collapse to one covered-lookup sweep
+        plus a segmented any-reduction.  The charge is identical either
+        way — the scalar loop's early break never reduces the charged
+        work (the region prices every vertex visit of the batch).
+        """
         p = self._p
+        get = p.get
+        n = len(edges)
+        if (
+            frame is not None
+            and len(frame) == n
+            and n > 0
+            and int(frame.cards.min()) > 0
+        ):
+            total = frame.total_cardinality
+            covered = np.fromiter(
+                (o is not None for o in map(get, frame.vflat.tolist())),
+                dtype=np.bool_, count=total,
+            )
+            free = ~np.logical_or.reduceat(covered, frame.voff[:-1])
+            self.ledger.charge_parallel(n, work=total, depth=1, tag="free_check")
+            return free.tolist()
         total = 0
         flags: List[bool] = []
         append = flags.append
-        get = p.get
         for e in edges:
             vs = e.vertices
             total += len(vs)
@@ -557,7 +581,7 @@ class ArrayLeveledStructure:
                     free = False
                     break
             append(free)
-        self.ledger.charge_parallel(len(edges), work=total, depth=1, tag="free_check")
+        self.ledger.charge_parallel(n, work=total, depth=1, tag="free_check")
         return flags
 
     # ------------------------------------------------------------------ #

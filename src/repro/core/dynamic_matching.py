@@ -47,6 +47,7 @@ from repro.core.epochs import (
 )
 from repro.core.arraystore import ArrayLeveledStructure
 from repro.core.level_structure import EdgeType, LeveledStructure
+from repro.native import ColumnArena
 from repro.parallel.frames import BatchFrame
 from repro.static_matching.parallel_greedy import (
     _ledger_compatible,
@@ -143,6 +144,10 @@ class DynamicMatching:
             "object_batches": 0,
             "kernel_fallbacks": 0,
         }
+        #: Per-instance scratch arena backing the fast path's transient
+        #: columns (frames, matcher ev/done/CSR offsets) — reused across
+        #: batches, bounded by the largest batch seen.
+        self.arena = ColumnArena() if self._vec else None
         self.structure = structure_cls(
             rank=rank, ledger=self.ledger, alpha=alpha, heavy_factor=heavy_factor
         )
@@ -238,21 +243,27 @@ class DynamicMatching:
         else:
             self.vec_stats["object_batches"] += 1
 
-    def _greedy(self, edges: Sequence[Edge], collect_samples: bool = True):
+    def _greedy(
+        self,
+        edges: Sequence[Edge],
+        collect_samples: bool = True,
+        frame: Optional[BatchFrame] = None,
+    ):
         """Greedy matcher call with fast-path column reuse.
 
         When the vectorized matcher will engage, build the
         :class:`BatchFrame` here so its eid/cardinality/vertex columns are
-        extracted once per batch; a non-vectorized instance pins the
-        scalar matcher so the pre-fast-path behavior is preserved exactly.
+        extracted once per batch (callers that already hold a frame over
+        ``edges`` — e.g. a :meth:`BatchFrame.select` of the batch frame —
+        pass it in); a non-vectorized instance pins the scalar matcher so
+        the pre-fast-path behavior is preserved exactly.
         ``collect_samples=False`` is passed by the level-0 settle, which
         resets every new match's sample space to the singleton and never
         reads the matcher's (the vector path then skips materializing
         them — same matching, same order, same charges).
         """
-        frame = None
-        if self._vec and should_vectorize(self.ledger, len(edges)):
-            frame = BatchFrame.from_edges(edges)
+        if frame is None and self._vec and should_vectorize(self.ledger, len(edges)):
+            frame = BatchFrame.from_edges(edges, arena=self.arena, tag="greedy")
             self.vec_stats["frames"] += 1
         return parallel_greedy_match(
             edges,
@@ -262,6 +273,7 @@ class DynamicMatching:
             vectorize=None if self._vec else False,
             frame=frame,
             collect_samples=collect_samples,
+            arena=self.arena,
         )
 
     # ------------------------------------------------------------------ #
@@ -394,13 +406,27 @@ class DynamicMatching:
         attach everything else as cross edges."""
         if not edges:
             return
-        free_flags = self.structure.free_flags(edges)
+        # One batch frame serves both the columnar free_flags sweep and —
+        # via select() — the greedy matcher's columns, so the batch's
+        # vertices are extracted from the Edge objects exactly once.
+        frame = None
+        if self._vec and should_vectorize(self.ledger, len(edges)):
+            frame = BatchFrame.from_edges(edges, arena=self.arena, tag="frame")
+            self.vec_stats["frames"] += 1
+        free_flags = (
+            self.structure.free_flags(edges, frame)
+            if frame is not None
+            else self.structure.free_flags(edges)
+        )
         free = [e for e, f in zip(edges, free_flags) if f]
         self.ledger.charge(
             work=len(edges), depth=log2ceil(max(len(edges), 2)), tag="insert_filter"
         )
 
-        result = self._greedy(free, collect_samples=False)
+        sub = None
+        if frame is not None and should_vectorize(self.ledger, len(free)):
+            sub = frame.select(np.fromiter(free_flags, dtype=np.bool_, count=len(edges)))
+        result = self._greedy(free, collect_samples=False, frame=sub)
         matched_ids: Set[EdgeId] = set(result.matched_ids)
 
         new_matches = result.matched_edges

@@ -139,18 +139,17 @@ class EpochTracker:
         """
         live = self._live
         epochs = self.epochs
+        append = epochs.append
         bi = self.batch_index
-        for eid, level, sample_size, *rest in items:
+        for item in items:
+            eid = item[0]
             if eid in live:
                 raise ValueError(f"edge {eid} already has a live epoch")
             live[eid] = len(epochs)
-            epochs.append(
+            append(
                 Epoch(
-                    eid=eid,
-                    level=level,
-                    sample_size=sample_size,
-                    birth_batch=bi,
-                    vertices=rest[0] if rest else (),
+                    eid, item[1], item[2], bi, None, None,
+                    item[3] if len(item) > 3 else (),
                 )
             )
 

@@ -1,0 +1,170 @@
+"""Optional compiled backend for the dynamic fast path's hot kernels.
+
+The vectorized pipeline (PR 5) spends its time in a handful of
+argsort-skeleton kernels — stable grouping, segmented gathers, dedup,
+pack, and the greedy matcher's batched ``find_next`` search.  This
+package routes those kernels through a selectable backend:
+
+``numba``
+    numba-JIT machine-code kernels (:mod:`repro.native._numba`).
+    Selected only when numba is importable.
+``numpy``
+    The canonical pure-numpy bodies (:mod:`repro.native.kernels`),
+    dispatch-counted like the numba tier.  This is the mandatory
+    fallback — the repo must work with numba absent.
+``off``
+    No native dispatch at all: callers run their inline fallback
+    (behaviorally the same numpy code, uncounted).  This restores the
+    pre-native pipeline exactly.
+
+Selection happens at import from ``REPRO_NATIVE`` (``auto`` | ``numba``
+| ``numpy`` | ``off``, default ``auto`` = numba when available, else
+numpy) and can be changed at runtime with :func:`configure` (the CLI's
+``--native`` flag does this — call sites look kernels up per call, so
+reconfiguration takes effect immediately).
+
+Every kernel call is counted and wall-clock-timed into a per-kernel
+stats table (:func:`stats`); an attached timing hook
+(:func:`set_timing_hook` — installed by
+``repro.obs.Observer.attach_native_kernels``) feeds the
+``repro_native_*`` metrics.  The contract for every kernel is *output
+identity* with its numpy reference: the ledger is never touched here,
+and the four-way differential enforces bit-identical matchings and
+charge totals across backends.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from typing import Callable, Dict, Optional
+
+from repro.native.arena import ColumnArena  # noqa: F401  (re-export)
+from repro.native.kernels import NUMPY_KERNELS
+
+MODES = ("auto", "numba", "numpy", "off")
+
+#: Requested mode (the env var / configure() argument, post-validation).
+MODE: str = "auto"
+#: Resolved backend actually serving kernels: "numba" | "numpy" | "off".
+BACKEND: str = "off"
+
+_KERNELS: Dict[str, Callable] = {}
+_STATS: Dict[str, Dict[str, float]] = {}
+_TIMING_HOOK: Optional[Callable[[str, float], None]] = None
+
+
+class _Counted:
+    """Dispatch-counting, wall-clock-timing wrapper around one kernel."""
+
+    __slots__ = ("fn", "name", "cell")
+
+    def __init__(self, fn: Callable, name: str) -> None:
+        self.fn = fn
+        self.name = name
+        self.cell = _STATS.setdefault(name, {"calls": 0, "seconds": 0.0})
+
+    def __call__(self, *args):
+        t0 = time.perf_counter()
+        out = self.fn(*args)
+        dt = time.perf_counter() - t0
+        cell = self.cell
+        cell["calls"] += 1
+        cell["seconds"] += dt
+        hook = _TIMING_HOOK
+        if hook is not None:
+            hook(self.name, dt)
+        return out
+
+
+def _resolve(mode: str) -> None:
+    """(Re)build the kernel registry for ``mode``."""
+    global MODE, BACKEND, _KERNELS
+    MODE = mode
+    if mode == "off":
+        BACKEND = "off"
+        _KERNELS = {}
+        return
+    backend = "numpy"
+    table = NUMPY_KERNELS
+    if mode in ("auto", "numba"):
+        try:
+            from repro.native._numba import NUMBA_KERNELS
+
+            table = NUMBA_KERNELS
+            backend = "numba"
+        except ImportError:
+            if mode == "numba":
+                warnings.warn(
+                    "REPRO_NATIVE=numba requested but numba is not "
+                    "importable; using the pure-numpy backend",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+    BACKEND = backend
+    _KERNELS = {name: _Counted(fn, name) for name, fn in table.items()}
+
+
+def configure(mode: str) -> str:
+    """Select the backend at runtime; returns the resolved backend name.
+
+    Invalid modes warn and fall back to ``auto`` (never raise — backend
+    selection must not take the pipeline down).
+    """
+    if mode not in MODES:
+        warnings.warn(
+            f"invalid native backend {mode!r} (expected one of {MODES}); "
+            "using 'auto'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        mode = "auto"
+    _resolve(mode)
+    return BACKEND
+
+
+def available() -> bool:
+    """True when kernels dispatch natively (backend is not ``off``)."""
+    return BACKEND != "off"
+
+
+def get(name: str) -> Optional[Callable]:
+    """The active kernel for ``name``, or None when the backend is off
+    (callers then run their inline fallback)."""
+    return _KERNELS.get(name)
+
+
+def stats() -> Dict[str, Dict[str, float]]:
+    """Cumulative per-kernel dispatch stats: ``{kernel: {calls, seconds}}``.
+
+    Counts survive :func:`configure` calls (they are per-kernel-name,
+    not per-backend); :func:`reset_stats` clears them.
+    """
+    return {k: dict(v) for k, v in _STATS.items()}
+
+
+def reset_stats() -> None:
+    for cell in _STATS.values():
+        cell["calls"] = 0
+        cell["seconds"] = 0.0
+
+
+def set_timing_hook(
+    hook: Optional[Callable[[str, float], None]],
+) -> Optional[Callable[[str, float], None]]:
+    """Install (or clear, with None) the per-call timing hook; returns
+    the previously installed hook so callers can restore it.
+
+    Called as ``hook(kernel_name, seconds)`` after every dispatch; the
+    observability layer uses this to feed the ``repro_native_*`` metric
+    family.  One hook at a time — a new attach replaces the previous.
+    """
+    global _TIMING_HOOK
+    prev = _TIMING_HOOK
+    _TIMING_HOOK = hook
+    return prev
+
+
+_env = os.environ.get("REPRO_NATIVE", "auto").strip().lower()
+configure(_env)

@@ -1,0 +1,133 @@
+"""Numba-JIT twins of the numpy skeleton kernels.
+
+Importing this module raises ``ImportError`` when numba is not
+installed; :mod:`repro.native` guards the import and falls back to the
+numpy backend.  Every kernel here is output-identical to its
+counterpart in :mod:`repro.native.kernels` — the four-way differential
+(tests/core/test_vectorized_differential.py) and the kernel parity
+suite (tests/parallel/test_native_kernels.py) enforce this under
+``REPRO_NATIVE=numba`` in the CI ``native`` job.
+
+Implementation notes
+--------------------
+* Sorts use ``kind='mergesort'``: numba implements it stably, and a
+  stable sort permutation over any keys is unique — so it matches
+  numpy's ``kind='stable'`` bit for bit.
+* ``first_alive`` replaces the vectorized doubling search with a plain
+  linear scan per vertex: the contract is the first alive *position*,
+  which both schedules find identically, and the caller derives ledger
+  charges from the position rather than the probe count.
+* ``cache=True`` persists the compiled machine code next to the module
+  so repeated processes (the test matrix, the bench harness) pay the
+  JIT cost once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401  (ImportError here selects the numpy backend)
+
+
+@njit(cache=True)
+def _group_index_impl(keys):
+    n = keys.size
+    order = np.argsort(keys, kind="mergesort")
+    ngroups = 0
+    for p in range(n):
+        if p == 0 or keys[order[p]] != keys[order[p - 1]]:
+            ngroups += 1
+    starts = np.empty(ngroups, dtype=np.int64)
+    firsts = np.empty(ngroups, dtype=np.int64)
+    g = 0
+    for p in range(n):
+        if p == 0 or keys[order[p]] != keys[order[p - 1]]:
+            starts[g] = p
+            firsts[g] = order[p]
+            g += 1
+    rank = np.argsort(firsts, kind="mergesort")
+    return order, starts, rank
+
+
+def group_index(keys):
+    return _group_index_impl(keys)
+
+
+@njit(cache=True)
+def _seg_gather_index_impl(starts, counts, total):
+    idx = np.empty(total, dtype=np.int64)
+    pos = 0
+    for g in range(starts.size):
+        s = starts[g]
+        for k in range(counts[g]):
+            idx[pos] = s + k
+            pos += 1
+    return idx
+
+
+def seg_gather_index(starts, counts, total):
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    return _seg_gather_index_impl(starts, counts, total)
+
+
+@njit(cache=True)
+def _dedup_first_index_impl(items):
+    n = items.size
+    order = np.argsort(items, kind="mergesort")
+    out = np.empty(n, dtype=np.intp)
+    cnt = 0
+    for p in range(n):
+        if p == 0 or items[order[p]] != items[order[p - 1]]:
+            out[cnt] = order[p]
+            cnt += 1
+    first = out[:cnt].copy()
+    first.sort()
+    return first
+
+
+def dedup_first_index(items):
+    if items.size == 0:
+        return np.empty(0, dtype=np.intp)
+    return _dedup_first_index_impl(items)
+
+
+@njit(cache=True)
+def _pack_index_impl(flags):
+    n = flags.size
+    out = np.empty(n, dtype=np.int64)
+    cnt = 0
+    for p in range(n):
+        if flags[p]:
+            out[cnt] = p
+            cnt += 1
+    return out[:cnt].copy()
+
+
+def pack_index(flags):
+    return _pack_index_impl(flags)
+
+
+@njit(cache=True)
+def _first_alive_impl(done, csr_edge, boff, bt, bL):
+    nb = bt.size
+    j = np.full(nb, -1, dtype=np.int64)
+    for v in range(nb):
+        base = boff[v]
+        for pos in range(bt[v], bL[v]):
+            if done[csr_edge[base + pos]] == 0:
+                j[v] = pos
+                break
+    return j
+
+
+def first_alive(done, csr_edge, boff, bt, bL):
+    return _first_alive_impl(done, csr_edge, boff, bt, bL)
+
+
+NUMBA_KERNELS = {
+    "group_index": group_index,
+    "seg_gather_index": seg_gather_index,
+    "dedup_first_index": dedup_first_index,
+    "pack_index": pack_index,
+    "first_alive": first_alive,
+}

@@ -1,0 +1,61 @@
+"""A small arena allocator for per-batch scratch columns.
+
+The vectorized pipeline allocates the same transient arrays every
+batch — the greedy matcher's ``ev`` scatter matrix and ``done`` flags,
+the segmented-gather index of ``BatchFrame.select``, CSR offset
+columns.  At 2^17-edge batches that is megabytes of allocation churn
+per call for buffers whose lifetime is exactly one batch.
+
+:class:`ColumnArena` hands out named, capacity-doubling backing buffers
+instead: ``take(name, n, dtype)`` returns a zero-copy length-``n`` view
+of the (possibly grown) backing array for ``name``.  Reuse contract:
+
+* a name's view is valid until the **next** ``take`` of the same name —
+  the dynamic pipeline builds at most one live frame/matcher call at a
+  time per name, so each batch simply overwrites the previous batch's
+  scratch;
+* contents are **uninitialized** (whatever the previous batch wrote);
+  callers that need a fill pattern must write it (``fill(0)`` /
+  ``fill(-1)``), which is what the matcher does anyway;
+* buffers are keyed by ``(name, dtype)`` so a dtype widening (the
+  int32 -> int64 overflow guard) never aliases a narrow buffer.
+
+The arena never shrinks; ``nbytes`` reports the resident footprint so
+tests and benchmarks can assert it stays bounded by the largest batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class ColumnArena:
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: Dict[Tuple[str, str], np.ndarray] = {}
+
+    def take(self, name: str, n: int, dtype) -> np.ndarray:
+        """A length-``n`` view of the named backing buffer (uninitialized)."""
+        dt = np.dtype(dtype)
+        key = (name, dt.str)
+        buf = self._bufs.get(key)
+        if buf is None or buf.size < n:
+            cap = 64
+            while cap < n:
+                cap <<= 1
+            buf = self._bufs[key] = np.empty(cap, dtype=dt)
+        return buf[:n]
+
+    def take2d(self, name: str, rows: int, cols: int, dtype) -> np.ndarray:
+        """A ``(rows, cols)`` view over the named buffer (uninitialized)."""
+        return self.take(name, rows * cols, dtype).reshape(rows, cols)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._bufs.values())
+
+    def clear(self) -> None:
+        self._bufs.clear()

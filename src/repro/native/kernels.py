@@ -1,0 +1,137 @@
+"""Canonical pure-numpy implementations of the hot-path skeleton kernels.
+
+These are the reference bodies for the optional compiled backend
+(:mod:`repro.native`): each function here has a numba twin in
+``repro/native/_numba.py`` with the exact same signature and an
+output-identical contract.  The callers (``repro.parallel.semisort``,
+``repro.parallel.primitives``, the columnar greedy matcher and
+``BatchFrame``) fall back to these directly when the native backend is
+``off``, so the bodies must stay behaviorally identical to the PR 5
+inline versions they were extracted from.
+
+None of these touch the ledger — cost accounting stays at the call
+sites, which charge the same model work regardless of which backend
+executes the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def group_index(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stable grouping skeleton shared by the semisort-family kernels.
+
+    Returns ``(order, starts, rank)`` where ``order`` is the stable sort
+    permutation of ``keys``, ``starts`` are the group boundary positions
+    in sorted order, and ``rank`` reorders the groups into
+    first-occurrence order (stable sort makes ``order[starts[g]]`` the
+    earliest original index of group ``g``).
+    """
+    order = np.argsort(keys, kind="stable")
+    ks = keys[order]
+    starts = np.flatnonzero(np.r_[True, ks[1:] != ks[:-1]])
+    rank = np.argsort(order[starts], kind="stable")
+    return order, starts, rank
+
+
+def seg_gather_index(
+    starts: np.ndarray, counts: np.ndarray, total: int
+) -> np.ndarray:
+    """Concatenated ranges ``[starts[g], starts[g]+counts[g])`` per group.
+
+    The multi-segment gather index used by the semisort permutation
+    build and by ``BatchFrame.select``: element ``j`` of group ``g``'s
+    output block reads position ``starts[g] + j``.
+    """
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = counts.astype(np.int64, copy=False)
+    cum = np.cumsum(counts)
+    idx = np.arange(total, dtype=np.int64)
+    idx -= np.repeat(cum - counts, counts)
+    idx += np.repeat(starts.astype(np.int64, copy=False), counts)
+    return idx
+
+
+def dedup_first_index(items: np.ndarray) -> np.ndarray:
+    """Ascending positions of each value's first occurrence.
+
+    ``items[dedup_first_index(items)]`` is the unique elements in
+    first-occurrence order — the ndarray branch of
+    :func:`repro.parallel.semisort.remove_duplicates`.
+    """
+    if items.size == 0:
+        return np.empty(0, dtype=np.intp)
+    _, first = np.unique(items, return_index=True)
+    first.sort()
+    return first
+
+
+def pack_index(flags: np.ndarray) -> np.ndarray:
+    """Indices of the true flags (the pack primitive)."""
+    return np.flatnonzero(flags)
+
+
+def first_alive(
+    done: np.ndarray,
+    csr_edge: np.ndarray,
+    boff: np.ndarray,
+    bt: np.ndarray,
+    bL: np.ndarray,
+) -> np.ndarray:
+    """First alive position ``j`` in ``[t, L)`` of each vertex's CSR
+    list, or ``-1`` when none — the batched execution of ``find_next``.
+
+    Runs the same doubling schedule as the scalar search (round ``k``
+    probes the next ``2^(k-1)`` slots of every still-searching vertex).
+    The compiled twin scans each list linearly instead; both return the
+    identical first-alive position, and the caller derives the model
+    charges from that position, not from the probe pattern.
+    """
+    nb = bt.size
+    j = np.full(nb, -1, dtype=np.int64)
+    active = np.arange(nb, dtype=np.int64)
+    k = 1
+    while active.size:
+        at = bt[active]
+        aL = bL[active]
+        ws = at + (np.int64(1) << (k - 1)) - 1
+        live = ws < aL
+        active = active[live]
+        if not active.size:
+            break
+        ws = ws[live]
+        we = np.minimum(at[live] + (np.int64(1) << k) - 1, aL[live])
+        lens = we - ws
+        starts = boff[active] + ws
+        total = int(lens.sum())
+        cum = np.cumsum(lens)
+        idx = np.arange(total, dtype=np.int64)
+        idx -= np.repeat(cum - lens, lens)
+        idx += np.repeat(starts, lens)
+        alive = done[csr_edge[idx]] == 0
+        hitpos = np.flatnonzero(alive)
+        if hitpos.size:
+            seg = np.repeat(np.arange(active.size, dtype=np.int64), lens)
+            hseg = seg[hitpos]
+            useg, first = np.unique(hseg, return_index=True)
+            seg_start = cum - lens
+            j[active[useg]] = ws[useg] + hitpos[first] - seg_start[useg]
+            keep = np.ones(active.size, dtype=bool)
+            keep[useg] = False
+            active = active[keep]
+        k += 1
+    return j
+
+
+#: The kernel registry this backend exports (name -> callable).
+NUMPY_KERNELS = {
+    "group_index": group_index,
+    "seg_gather_index": seg_gather_index,
+    "dedup_first_index": dedup_first_index,
+    "pack_index": pack_index,
+    "first_alive": first_alive,
+}

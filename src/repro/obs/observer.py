@@ -34,6 +34,12 @@ from repro.obs.tracing import Span, Tracer
 #: Buckets for small nonneg integers (settle rounds per delete batch).
 ROUNDS_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
+#: Buckets for native kernel dispatch latency (microseconds to ~100ms —
+#: kernels are per-batch, far below the batch-seconds scale).
+KERNEL_SECONDS_BUCKETS = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.1,
+)
+
 
 class Observer:
     """Wires the observability subsystem around one serving process."""
@@ -115,6 +121,21 @@ class Observer:
             "repro_dynamic_batch_vectorized_fraction",
             "Fraction of this instance's batches that ran vectorized",
         )
+        # Native kernel backend (docs/hotpath.md): per-kernel dispatch
+        # counts (labeled by the backend that served the call) and
+        # per-call wall-clock timing, fed by repro.native's timing hook
+        # (attach_native_kernels).
+        self.native_kernel_calls = reg.counter(
+            "repro_native_kernel_calls_total",
+            "Hot-kernel dispatches through the repro.native backend",
+            ("kernel", "backend"),
+        )
+        self.native_kernel_seconds = reg.histogram(
+            "repro_native_kernel_seconds",
+            "Wall-clock seconds per native kernel dispatch",
+            ("kernel",),
+            buckets=KERNEL_SECONDS_BUCKETS,
+        )
         self.bridge: Optional[LedgerBridge] = (
             LedgerBridge(self.registry) if bridge else None
         )
@@ -174,6 +195,26 @@ class Observer:
             dm.set_phase_hook(prev)
             if detach_bridge is not None:
                 detach_bridge()
+
+        return detach
+
+    def attach_native_kernels(self) -> Callable[[], None]:
+        """Feed the ``repro_native_*`` metrics from the native backend's
+        per-call timing hook.  Returns a zero-arg detach that restores
+        the previously installed hook."""
+        from repro import native
+
+        calls = self.native_kernel_calls
+        seconds = self.native_kernel_seconds
+
+        def hook(kernel: str, dt: float) -> None:
+            calls.labels(kernel=kernel, backend=native.BACKEND).inc()
+            seconds.labels(kernel=kernel).observe(dt)
+
+        prev = native.set_timing_hook(hook)
+
+        def detach() -> None:
+            native.set_timing_hook(prev)
 
         return detach
 

@@ -159,6 +159,18 @@ class Engine:
             self.enabled and self.config.workers >= 2 and not self._degraded
         )
 
+    @property
+    def can_fan_out(self) -> bool:
+        """True when the scheduler could ever pick more than one chunk —
+        the pool is usable AND the host (or the configured core
+        assumption) has at least two cores.  On a single-core host
+        ``scheduler.decide`` clamps every round to one chunk, so work
+        published for fan-out would be pure overhead."""
+        return (
+            self.can_parallelize
+            and min(self.config.workers, self.scheduler.config.effective_cores()) >= 2
+        )
+
     # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
@@ -327,8 +339,16 @@ class Engine:
         m: int,
     ) -> Optional["MatcherSession"]:
         """Session over prebuilt CSR arrays (the vectorized matcher builds
-        its own incidence); same gating as :meth:`open_matcher_session`."""
+        its own incidence); same gating as :meth:`open_matcher_session`
+        plus a fan-out check: the vectorized matcher's in-master round
+        kernels are identical to the session's serial path, so publishing
+        the CSR segments only pays off when the scheduler could actually
+        split a round across workers (:attr:`can_fan_out`).  The scalar
+        matcher has no such equivalence — its session speeds up rounds
+        even in-master — so it keeps the size-only gate."""
         if not self.enabled or m < self.config.min_session_edges or m == 0:
+            return None
+        if not self.can_fan_out:
             return None
         self.stats["sessions"] += 1
         return MatcherSession.from_csr(self, csr_off, csr_edge, ev, m)

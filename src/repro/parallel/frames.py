@@ -15,6 +15,18 @@ the matcher results all hand them around), and ``frame.edges`` keeps the
 originals in batch order.  Nothing here touches the ledger — a frame is
 free to build under the cost model because the model already charges the
 batch operations that consume it for exactly the same element visits.
+
+Compact columns (this PR): when every value fits, the id/vertex columns
+are shrunk to int32 — half the memory traffic through the matcher's
+sorts and the vertex interning — with an overflow guard that keeps
+int64 whenever any edge id or vertex id falls outside the int32 range.
+The downcast is transparent: consumers read values (``tolist`` yields
+the same Python ints) and numpy promotes mixed arithmetic, so results
+are bit-identical either way (tests/parallel/test_native_kernels.py
+drives ids straddling the boundary through both).  With a
+:class:`repro.native.ColumnArena`, the compacted columns and the CSR
+offsets live in named per-batch scratch buffers reused across batches
+(zero-copy between batches; see the arena's reuse contract).
 """
 
 from __future__ import annotations
@@ -24,7 +36,32 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import native
+from repro.native import kernels as _np_kernels
 from repro.hypergraph.edge import Edge
+
+_I32 = np.iinfo(np.int32)
+
+
+def _compact_into(
+    col: np.ndarray, arena, name: str
+) -> np.ndarray:
+    """int32 copy of ``col`` when every value fits, else ``col`` itself.
+
+    With an arena the copy lands in the named reusable buffer; without
+    one it is a fresh allocation.  Empty columns stay int64 (nothing to
+    save, and downstream concatenations keep their dtype)."""
+    if col.size == 0:
+        return col
+    lo = int(col.min())
+    hi = int(col.max())
+    if lo < _I32.min or hi > _I32.max:
+        return col  # overflow guard: stay wide
+    if arena is not None:
+        out = arena.take(name, col.size, np.int32)
+        np.copyto(out, col, casting="unsafe")
+        return out
+    return col.astype(np.int32)
 
 
 class BatchFrame:
@@ -35,15 +72,16 @@ class BatchFrame:
     edges:
         The original ``Edge`` objects, in batch order.
     eids:
-        ``int64[n]`` edge ids (edge ids are integers everywhere in this
-        repo's workloads; non-integer ids fall back to the object path
-        at the call sites that need the column).
+        ``int32[n]`` or ``int64[n]`` edge ids (compacted when they fit;
+        edge ids are integers everywhere in this repo's workloads —
+        non-integer ids fall back to the object path at the call sites
+        that need the column).
     cards:
         ``int64[n]`` cardinalities (``len(e.vertices)``).
     voff / vflat:
         CSR vertex lists: the vertices of edge ``i`` are
         ``vflat[voff[i]:voff[i+1]]``, in ``Edge.vertices`` (sorted tuple)
-        order.
+        order.  ``vflat`` compacts to int32 when the vertex ids fit.
     """
 
     __slots__ = ("edges", "eids", "cards", "voff", "vflat", "_uverts", "_vinv")
@@ -68,17 +106,38 @@ class BatchFrame:
     # Construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_edges(cls, edges: Sequence[Edge]) -> "BatchFrame":
-        """Build the columns in one pass over the batch."""
+    def from_edges(
+        cls,
+        edges: Sequence[Edge],
+        arena=None,
+        tag: str = "frame",
+        compact: bool = True,
+    ) -> "BatchFrame":
+        """Build the columns in one pass over the batch.
+
+        ``arena`` (a :class:`repro.native.ColumnArena`) makes the
+        compacted columns and the offset column reuse named scratch
+        buffers across batches; ``tag`` namespaces them so two frames
+        with different tags may be alive at once.  ``compact=False``
+        pins every column to int64 (the overflow-guard differential
+        tests compare both layouts bit for bit).
+        """
         edges = list(edges)
         n = len(edges)
         verts: List[tuple] = [e.vertices for e in edges]
         eids = np.fromiter((e.eid for e in edges), dtype=np.int64, count=n)
         cards = np.fromiter(map(len, verts), dtype=np.int64, count=n)
-        voff = np.zeros(n + 1, dtype=np.int64)
+        if arena is not None:
+            voff = arena.take(tag + ".voff", n + 1, np.int64)
+            voff[0] = 0
+        else:
+            voff = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(cards, out=voff[1:])
         total = int(voff[-1])
         vflat = np.fromiter(chain.from_iterable(verts), dtype=np.int64, count=total)
+        if compact:
+            eids = _compact_into(eids, arena, tag + ".eids32")
+            vflat = _compact_into(vflat, arena, tag + ".vflat32")
         return cls(edges, eids, cards, voff, vflat)
 
     # ------------------------------------------------------------------ #
@@ -112,12 +171,11 @@ class BatchFrame:
         voff = np.zeros(len(edges) + 1, dtype=np.int64)
         np.cumsum(cards, out=voff[1:])
         total = int(voff[-1])
-        vflat = np.empty(total, dtype=np.int64)
-        src_off = self.voff
-        src = self.vflat
-        pos = 0
-        for i in index.tolist():
-            a, b = src_off[i], src_off[i + 1]
-            vflat[pos:pos + (b - a)] = src[a:b]
-            pos += b - a
-        return BatchFrame(edges, self.eids[index], cards, voff, vflat)
+        starts = self.voff[index]
+        k = native.get("seg_gather_index")
+        idx = (
+            k(starts, cards, total)
+            if k is not None
+            else _np_kernels.seg_gather_index(starts, cards, total)
+        )
+        return BatchFrame(edges, self.eids[index], cards, voff, self.vflat[idx])

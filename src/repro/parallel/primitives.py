@@ -23,6 +23,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
+from repro import native
 from repro.parallel.ledger import Ledger, log2ceil
 
 T = TypeVar("T")
@@ -150,7 +151,8 @@ def pack_index(
     n = len(flags)
     ledger.charge(work=n, depth=log2ceil_cached(n), tag=tag)
     if isinstance(flags, np.ndarray):
-        return np.flatnonzero(flags)
+        k = native.get("pack_index")
+        return k(flags) if k is not None else np.flatnonzero(flags)
     return [i for i, f in enumerate(flags) if f]
 
 

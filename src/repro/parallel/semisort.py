@@ -25,6 +25,8 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Tuple, TypeVar, Uni
 
 import numpy as np
 
+from repro import native
+from repro.native import kernels as _np_kernels
 from repro.parallel.ledger import Ledger, log2ceil
 
 K = TypeVar("K", bound=Hashable)
@@ -46,12 +48,22 @@ def _group_index(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     the sort is stable, ``order[starts[g]]`` is the earliest original
     index of group ``g``, so sorting groups by it reproduces the dict
     iteration order of the pure-Python originals.
+
+    Dispatches through the :mod:`repro.native` backend when one is
+    active (output-identical; see repro/native/kernels.py).
     """
-    order = np.argsort(keys, kind="stable")
-    ks = keys[order]
-    starts = np.flatnonzero(np.r_[True, ks[1:] != ks[:-1]])
-    rank = np.argsort(order[starts], kind="stable")
-    return order, starts, rank
+    k = native.get("group_index")
+    if k is not None:
+        return k(keys)
+    return _np_kernels.group_index(keys)
+
+
+def _seg_index(starts: np.ndarray, counts: np.ndarray, total: int) -> np.ndarray:
+    """Multi-segment gather index (native-dispatched)."""
+    k = native.get("seg_gather_index")
+    if k is not None:
+        return k(starts, counts, total)
+    return _np_kernels.seg_gather_index(starts, counts, total)
 
 
 def semisort(ledger: Ledger, pairs: Sequence[Tuple[K, V]]) -> List[Tuple[K, V]]:
@@ -109,8 +121,8 @@ def remove_duplicates(ledger: Ledger, items: Union[Iterable[K], np.ndarray]) -> 
         _charge(ledger, items.size, "remove_duplicates")
         if items.size == 0:
             return items.copy()
-        _, first = np.unique(items, return_index=True)
-        first.sort()
+        k = native.get("dedup_first_index")
+        first = k(items) if k is not None else _np_kernels.dedup_first_index(items)
         return items[first]
     items = list(items)
     _charge(ledger, len(items), "remove_duplicates")
@@ -147,8 +159,7 @@ def semisort_arrays(
     src_starts = starts[rank]
     # Multi-segment gather: element j of the output block for group g
     # reads order[src_starts[g] + j].
-    cum = np.cumsum(counts)
-    idx = np.arange(keys.size) - np.repeat(cum - counts, counts) + np.repeat(src_starts, counts)
+    idx = _seg_index(src_starts, counts, keys.size)
     perm = order[idx]
     return keys[perm], values[perm]
 
@@ -170,7 +181,7 @@ def group_by_arrays(
     src_starts = starts[rank]
     offsets = np.zeros(rank.size + 1, dtype=np.int64)
     np.cumsum(counts, out=offsets[1:])
-    idx = np.arange(keys.size) - np.repeat(offsets[:-1], counts) + np.repeat(src_starts, counts)
+    idx = _seg_index(src_starts, counts, keys.size)
     return keys[order[starts[rank]]], offsets, values[order[idx]]
 
 

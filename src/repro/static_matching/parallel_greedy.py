@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import native
 from repro.hypergraph.edge import Edge, EdgeId, Vertex
 from repro.parallel.ledger import Ledger, NullLedger, log2ceil, parallel_for
 from repro.parallel.findnext import find_next
@@ -53,9 +54,66 @@ from repro.static_matching.sequential_greedy import _assign_priorities
 #: than the scalar loop saves.  Tunable for experiments/tests via env.
 _VEC_MIN_DEFAULT = 64
 
+#: With a JIT backend the kernel launches amortize sooner, so the auto
+#: cutoff drops.  Dispatch differences are results-safe: scalar and
+#: vector paths are bit-identical by contract.
+_VEC_MIN_NUMBA = 32
+
+#: Parse cache + warn-once state for REPRO_VEC_MIN, keyed by the raw
+#: string so a changed env var re-parses (tests flip it per-case).
+_VEC_MIN_CACHE: dict = {}
+
+
+def _vec_min_warn(raw: str, reason: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"REPRO_VEC_MIN={raw!r} {reason}; using default",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    try:  # count it where dashboards can see it; obs is optional here
+        from repro.obs.observer import default_observer
+
+        default_observer().registry.counter(
+            "repro_config_warnings_total",
+            "Invalid configuration values replaced by defaults.",
+            labelnames=("var",),
+        ).labels(var="REPRO_VEC_MIN").inc()
+    except Exception:
+        pass
+
+
+def _vec_min_default() -> int:
+    return (
+        _VEC_MIN_NUMBA if native.BACKEND == "numba" else _VEC_MIN_DEFAULT
+    )
+
 
 def _vec_min() -> int:
-    return int(os.environ.get("REPRO_VEC_MIN", _VEC_MIN_DEFAULT))
+    raw = os.environ.get("REPRO_VEC_MIN")
+    if raw is None:
+        return _vec_min_default()
+    hit = _VEC_MIN_CACHE.get(raw)
+    if hit is None:
+        try:
+            val = int(raw)
+        except ValueError:
+            val = None
+        if val is None:
+            hit = (None, True)
+        elif val < 0:
+            hit = (0, True)  # clamp: "always vectorize" is the nearest intent
+        else:
+            hit = (val, False)
+        if hit[1] and raw not in _VEC_MIN_CACHE:
+            _vec_min_warn(
+                raw,
+                "is not an integer" if hit[0] is None else "is negative (clamped to 0)",
+            )
+        _VEC_MIN_CACHE[raw] = hit
+    val = hit[0]
+    return _vec_min_default() if val is None else val
 
 
 def _ledger_compatible(ledger: Ledger) -> bool:
@@ -103,6 +161,7 @@ def parallel_greedy_match(
     vectorize: Optional[bool] = None,
     frame=None,
     collect_samples: bool = True,
+    arena=None,
 ) -> MatchResult:
     """Round-synchronous random greedy maximal matching.
 
@@ -146,7 +205,7 @@ def parallel_greedy_match(
 
         return vector_greedy_match(
             edges, ledger, rng, priorities, engine=engine, frame=frame,
-            collect_samples=collect_samples,
+            collect_samples=collect_samples, arena=arena,
         )
 
     pri = _assign_priorities(edges, ledger, rng, priorities)

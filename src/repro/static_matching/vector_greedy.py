@@ -40,10 +40,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import native
+from repro.native import kernels as _np_kernels
 from repro.hypergraph.edge import Edge, EdgeId
 from repro.parallel.engine.kernels import KERNELS
 from repro.parallel.frames import BatchFrame
 from repro.parallel.ledger import Ledger, NullLedger, log2ceil
+from repro.parallel.random_perm import random_priorities
 from repro.static_matching.result import Matched, MatchResult
 from repro.static_matching.sequential_greedy import _assign_priorities
 
@@ -51,6 +54,8 @@ from repro.static_matching.sequential_greedy import _assign_priorities
 #: equals x.bit_length() for 0 <= x < 2**62 (exact integer comparisons —
 #: no float log2 edge cases).
 _POW2 = np.left_shift(np.int64(1), np.arange(62, dtype=np.int64))
+
+_I32_MAX = np.iinfo(np.int32).max
 
 
 def _bit_length(x: np.ndarray) -> np.ndarray:
@@ -64,47 +69,12 @@ def _first_alive(
     bt: np.ndarray,
     bL: np.ndarray,
 ) -> np.ndarray:
-    """First alive position ``j`` in ``[t, L)`` of each vertex's CSR list,
-    or ``-1`` when none — the batched execution of ``find_next``.
-
-    Runs the same doubling schedule as the scalar search (round ``k``
-    probes the next ``2^(k-1)`` slots of every still-searching vertex),
-    so the probe count matches the model work the caller charges.
-    """
-    nb = bt.size
-    j = np.full(nb, -1, dtype=np.int64)
-    active = np.arange(nb, dtype=np.int64)
-    k = 1
-    while active.size:
-        at = bt[active]
-        aL = bL[active]
-        ws = at + (np.int64(1) << (k - 1)) - 1
-        live = ws < aL
-        active = active[live]
-        if not active.size:
-            break
-        ws = ws[live]
-        we = np.minimum(at[live] + (np.int64(1) << k) - 1, aL[live])
-        lens = we - ws
-        starts = boff[active] + ws
-        total = int(lens.sum())
-        cum = np.cumsum(lens)
-        idx = np.arange(total, dtype=np.int64)
-        idx -= np.repeat(cum - lens, lens)
-        idx += np.repeat(starts, lens)
-        alive = done[csr_edge[idx]] == 0
-        hitpos = np.flatnonzero(alive)
-        if hitpos.size:
-            seg = np.repeat(np.arange(active.size, dtype=np.int64), lens)
-            hseg = seg[hitpos]
-            useg, first = np.unique(hseg, return_index=True)
-            seg_start = cum - lens
-            j[active[useg]] = ws[useg] + hitpos[first] - seg_start[useg]
-            keep = np.ones(active.size, dtype=bool)
-            keep[useg] = False
-            active = active[keep]
-        k += 1
-    return j
+    """First alive position per vertex (see repro/native/kernels.py);
+    dispatches to the active native backend when one is configured."""
+    k = native.get("first_alive")
+    if k is not None:
+        return k(done, csr_edge, boff, bt, bL)
+    return _np_kernels.first_alive(done, csr_edge, boff, bt, bL)
 
 
 def vector_greedy_match(
@@ -115,18 +85,34 @@ def vector_greedy_match(
     engine=None,
     frame: Optional[BatchFrame] = None,
     collect_samples: bool = True,
+    arena=None,
 ) -> MatchResult:
     """Columnar greedy matcher.  Callers go through
     :func:`~repro.static_matching.parallel_greedy.parallel_greedy_match`,
     which validates the input and decides scalar vs vector dispatch;
     ``edges`` is already a deduplicated non-empty list here.
+
+    ``arena`` (a :class:`repro.native.ColumnArena`) backs the per-call
+    scratch columns (``ev``, ``done``, CSR offsets) with reusable
+    buffers under ``vg.*`` names — callers that thread a frame built
+    from the same arena must use a different tag (the dynamic pipeline
+    uses ``frame``/``greedy``).
     """
     m = len(edges)
-    pri_map = _assign_priorities(edges, ledger, rng, priorities)
-    pri = np.fromiter((pri_map[e.eid] for e in edges), dtype=np.int64, count=m)
+    if priorities is None:
+        # Same charges and same values as _assign_priorities' random
+        # path, minus the per-edge dict round-trip: random_priorities
+        # already hands back the int64 permutation column.
+        pri = random_priorities(ledger, m, rng)
+        pri_map = dict(zip((e.eid for e in edges), pri.tolist()))
+    else:
+        pri_map = _assign_priorities(edges, ledger, rng, priorities)
+        pri = np.fromiter(
+            (pri_map[e.eid] for e in edges), dtype=np.int64, count=m
+        )
 
     if frame is None or len(frame) != m:
-        frame = BatchFrame.from_edges(edges)
+        frame = BatchFrame.from_edges(edges, arena=arena, tag="vg.frame")
     cards = frame.cards
     voff = frame.voff
     total = frame.total_cardinality
@@ -141,16 +127,30 @@ def vector_greedy_match(
     # CSR incidence, per-vertex lists in priority order: intern vertices,
     # then one sort by (vertex, priority) — the vectorized equivalent of
     # appending to per-vertex lists while scanning edges in sorted order.
+    # Compact columns: row/edge indices fit int32 whenever m does (the
+    # sort key itself stays int64 — vinv * m + pri can exceed 2^31).
     uverts, vinv = frame.intern()
     nv = uverts.size
-    erow = np.repeat(np.arange(m, dtype=np.int64), cards)
-    ksort = np.argsort(vinv * np.int64(m) + pri[erow])
+    idt = np.int32 if m <= _I32_MAX else np.int64
+    erow = np.repeat(np.arange(m, dtype=idt), cards)
+    ksort = np.argsort(
+        vinv.astype(np.int64, copy=False) * np.int64(m) + pri[erow]
+    )
     csr_edge = erow[ksort]
     csr_cnt = np.bincount(vinv, minlength=nv)
-    csr_off = np.zeros(nv + 1, dtype=np.int64)
+    if arena is not None:
+        csr_off = arena.take("vg.csr_off", nv + 1, np.int64)
+        csr_off[0] = 0
+    else:
+        csr_off = np.zeros(nv + 1, dtype=np.int64)
     np.cumsum(csr_cnt, out=csr_off[1:])
     r = int(cards.max()) if m else 1
-    ev = np.full((m, r), -1, dtype=np.int64)
+    evdt = np.int32 if nv <= _I32_MAX else np.int64
+    if arena is not None:
+        ev = arena.take2d("vg.ev", m, r, evdt)
+        ev.fill(-1)
+    else:
+        ev = np.full((m, r), -1, dtype=evdt)
     ev[erow, np.arange(total, dtype=np.int64) - voff[erow]] = vinv
 
     ledger.charge(work=total, depth=log2ceil(max(m, 2)), tag="par_sort")
@@ -165,7 +165,13 @@ def vector_greedy_match(
         engine.open_matcher_session_csr(csr_off, csr_edge, ev, m)
         if engine is not None else None
     )
-    done = session.done if session is not None else np.zeros(m, dtype=np.uint8)
+    if session is not None:
+        done = session.done
+    elif arena is not None:
+        done = arena.take("vg.done", m, np.uint8)
+        done.fill(0)
+    else:
+        done = np.zeros(m, dtype=np.uint8)
     arrays = {
         "csr_off": csr_off, "csr_edge": csr_edge, "ev": ev, "done": done,
     }
@@ -319,7 +325,9 @@ def _update_top_region(
             ue, inc = np.unique(ie, return_counts=True)
             pre = counter[ue]
             counter[ue] = pre + inc
-            new_roots = ue[(pre < cards[ue]) & (pre + inc >= cards[ue])]
+            new_roots = ue[
+                (pre < cards[ue]) & (pre + inc >= cards[ue])
+            ].astype(np.int64, copy=False)
         if not np.all(hit):
             # find_next, exhausted: the windows tile [t, L) exactly.
             Dn = D[~hit]

@@ -2,40 +2,66 @@
 
 The acceptance bar for the struct-of-arrays pipeline (docs/hotpath.md) is
 *bit-identity*, not mere equivalence: for a fixed seed, the vectorized
-array backend, the object (per-edge) array backend, and the record-dict
-oracle must agree after every batch on
+array backend (with the native kernel backend off AND with it on), the
+object (per-edge) array backend, and the record-dict oracle must agree
+after every batch on
 
 * the matching (ids, in order),
 * every match's sample space (contents and order),
 * the live epoch state (level, sample size), and
 * the ledger — global work, composed depth, and per-tag totals.
 
-On top of the three-way trace differential this file checks the fallback
-seam (an attached charge observer routes batches to the object pipeline
-without changing one bit), the engine-backed settle rounds (pool and shm
+The native leg runs whatever ``REPRO_NATIVE`` selects (CI runs the
+differential once under ``numba`` and once under ``numpy``; without the
+env var it exercises the counted numpy tier) against the ``off`` leg's
+inline fallbacks — the four-way seam of docs/hotpath.md.
+
+On top of the trace differential this file checks the fallback seam (an
+attached charge observer routes batches to the object pipeline without
+changing one bit), the engine-backed settle rounds (pool and shm
 transports), the ``vec_stats``-to-metrics export, and certified crash
 recovery of a journal written by a vectorized instance.
 """
 
 from __future__ import annotations
 
+import os
 from typing import List
 
 import numpy as np
 import pytest
 
+from repro import native
 from repro.core.certify import certify
 from repro.core.dynamic_matching import DynamicMatching
 from repro.hypergraph.edge import Edge
 
 N_TRACES = 50
 
+#: Backend mode for the native differential leg: the CI native job sets
+#: REPRO_NATIVE to numba / numpy explicitly; default exercises the
+#: counted numpy tier ("auto" also resolves to it when numba is absent).
+NATIVE_MODE = os.environ.get("REPRO_NATIVE", "auto").strip().lower() or "auto"
+if NATIVE_MODE == "off":  # an off native leg would duplicate the vec leg
+    NATIVE_MODE = "auto"
+
 
 @pytest.fixture(autouse=True)
 def _vectorize_every_batch(monkeypatch):
     """Drop the size cutoff so even tiny trace batches take the vector
-    path (the differential is pointless if everything falls back)."""
+    path (the differential is pointless if everything falls back), and
+    restore whatever native backend was configured before the test."""
     monkeypatch.setenv("REPRO_VEC_MIN", "1")
+    prev = native.MODE
+    yield
+    native.configure(prev)
+
+
+def _apply_with_native(dm: DynamicMatching, op, mode: str) -> None:
+    """Apply one batch with the native backend pinned to ``mode`` (the
+    interleaved legs of the differential each run under their own)."""
+    native.configure(mode)
+    _apply(dm, op)
 
 
 def _script(seed: int):
@@ -94,15 +120,19 @@ def _fingerprint(dm: DynamicMatching):
     return led, matched, samples, epochs
 
 
-class TestThreeWayDifferential:
+class TestFourWayDifferential:
     @pytest.mark.parametrize("chunk", range(5))
     def test_traces(self, chunk):
-        """N_TRACES seeded traces: vectorized array vs object array vs
-        dict oracle, bit-identical at every batch boundary."""
+        """N_TRACES seeded traces: vectorized array (native off), the
+        native-backend leg (NATIVE_MODE), object array, and the dict
+        oracle, bit-identical at every batch boundary."""
         per = N_TRACES // 5
         for seed in range(chunk * per, (chunk + 1) * per):
             rank, script = _script(seed)
             dm_vec = DynamicMatching(
+                rank=rank, seed=seed + 1, backend="array", vectorized=True
+            )
+            dm_nat = DynamicMatching(
                 rank=rank, seed=seed + 1, backend="array", vectorized=True
             )
             dm_obj = DynamicMatching(
@@ -110,10 +140,15 @@ class TestThreeWayDifferential:
             )
             dm_dict = DynamicMatching(rank=rank, seed=seed + 1, backend="dict")
             for step, op in enumerate(script):
-                _apply(dm_vec, op)
+                _apply_with_native(dm_vec, op, "off")
+                _apply_with_native(dm_nat, op, NATIVE_MODE)
                 _apply(dm_obj, op)
                 _apply(dm_dict, op)
                 fp_vec = _fingerprint(dm_vec)
+                assert fp_vec == _fingerprint(dm_nat), (
+                    f"seed {seed} step {step}: native backend "
+                    f"({NATIVE_MODE}) != inline vectorized"
+                )
                 assert fp_vec == _fingerprint(dm_obj), (
                     f"seed {seed} step {step}: vectorized != object pipeline"
                 )
@@ -123,11 +158,14 @@ class TestThreeWayDifferential:
                 dm_vec.check_invariants()
             assert dm_vec.vec_stats["vector_batches"] == len(script)
             assert dm_vec.vec_stats["kernel_fallbacks"] == 0
+            assert dm_nat.vec_stats["vector_batches"] == len(script)
             assert dm_obj.vec_stats["vector_batches"] == 0
             assert dm_obj.vec_stats["object_batches"] == len(script)
-            cert_v, cert_o = certify(dm_vec), certify(dm_obj)
-            assert cert_v.matched == cert_o.matched
-            assert cert_v.witness == cert_o.witness
+            cert_v, cert_n, cert_o = (
+                certify(dm_vec), certify(dm_nat), certify(dm_obj)
+            )
+            assert cert_v.matched == cert_n.matched == cert_o.matched
+            assert cert_v.witness == cert_n.witness == cert_o.witness
 
 
 class TestObserverFallback:

@@ -22,6 +22,7 @@ REPO = Path(__file__).resolve().parent.parent
 BENCH = REPO / "benchmarks" / "bench_hotpath.py"
 BENCH_DYNAMIC = REPO / "benchmarks" / "bench_dynamic.py"
 BENCH_QUERIES = REPO / "benchmarks" / "bench_queries.py"
+BENCH_KERNELS = REPO / "benchmarks" / "bench_kernels.py"
 
 
 def _run(label: str, out: Path) -> subprocess.CompletedProcess:
@@ -102,7 +103,9 @@ def test_bench_dynamic_smoke(tmp_path):
     for r in rows:
         assert r["matching_identical"] is True
         assert r["ledger_identical"] is True
-        assert set(r["updates_per_sec"]) == {"object", "vector", "vector+engine"}
+        assert set(r["updates_per_sec"]) == {
+            "object", "vector", "vector+native", "vector+engine"
+        }
     assert "overhead_fraction" in record["engine_overhead_w1"]
 
 
@@ -143,3 +146,42 @@ def test_bench_queries_smoke(tmp_path):
     assert record["http_qps"]["final_view_certified"] is True
     wo = record["write_overhead"]
     assert wo["overhead_fraction"] <= wo["asserted_bound"]
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_SMOKE") == "0",
+    reason="REPRO_BENCH_SMOKE=0 explicitly disables the bench smoke run",
+)
+def test_bench_kernels_smoke(tmp_path):
+    out = tmp_path / "bench_kernels.json"
+    env = dict(os.environ)
+    if not env.get("REPRO_BENCH_SMOKE"):
+        env["REPRO_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, str(BENCH_KERNELS),
+            "--label", "smoke", "--out", str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    data = json.loads(out.read_text())
+    record = data["smoke"]
+    assert record["smoke"] is True
+    assert record["native"]["backend"] in ("numba", "numpy")
+    rows = record["rows"]
+    # every registry kernel at every size, identity asserted pre-row
+    kernels = {r["kernel"] for r in rows}
+    assert kernels == {
+        "group_index", "seg_gather_index", "dedup_first_index",
+        "pack_index", "first_alive",
+    }
+    for r in rows:
+        assert r["numpy_sec"] > 0 and r["native_sec"] > 0
