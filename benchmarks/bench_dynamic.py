@@ -11,7 +11,12 @@ sizes, run the same pre-generated stream through:
   pre-native history);
 * ``vector+native`` — the vectorized path dispatching through
   ``repro.native`` (``--native``; ``auto`` = numba when importable,
-  else the counted numpy tier) with the arena-backed compact columns;
+  else the counted numpy tier) with the arena-backed compact columns
+  but the batched edit kernels forced off (``REPRO_EDIT_KERNELS=off``
+  — the pre-edit-kernel baseline path, byte for byte);
+* ``vector+native+edits`` — the same native tier plus the columnar
+  structure-edit kernels and the interned vertex table
+  (``REPRO_EDIT_KERNELS=auto``);
 * ``vector+engine`` — the vectorized path with a PR 4 multicore engine
   driving the settle rounds' greedy.
 
@@ -102,18 +107,35 @@ def _stream(kind: str, m: int, batch: int, rank: int = 2, seed: int = 3):
     return ops
 
 
-def _run(ops, *, vectorized: bool, engine=None, native_mode: str = "off"):
+def _run(
+    ops,
+    *,
+    vectorized: bool,
+    engine=None,
+    native_mode: str = "off",
+    edit_kernels: str = "off",
+):
     native.configure(native_mode)
-    dm = DynamicMatching(rank=2, seed=7, vectorized=vectorized, engine=engine)
-    n = 0
-    t0 = time.perf_counter()
-    for kind, payload in ops:
-        if kind == "ins":
-            dm.insert_edges(payload)
+    prev = os.environ.get("REPRO_EDIT_KERNELS")
+    os.environ["REPRO_EDIT_KERNELS"] = edit_kernels
+    try:
+        dm = DynamicMatching(
+            rank=2, seed=7, vectorized=vectorized, engine=engine
+        )
+        n = 0
+        t0 = time.perf_counter()
+        for kind, payload in ops:
+            if kind == "ins":
+                dm.insert_edges(payload)
+            else:
+                dm.delete_edges(payload)
+            n += len(payload)
+        dt = time.perf_counter() - t0
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_EDIT_KERNELS", None)
         else:
-            dm.delete_edges(payload)
-        n += len(payload)
-    dt = time.perf_counter() - t0
+            os.environ["REPRO_EDIT_KERNELS"] = prev
     return n / dt, dm
 
 
@@ -137,7 +159,10 @@ def run_sweep(sizes, repeats, engine_cfg, native_mode: str) -> list:
             batch = max(256, m // 8)
             ops = _stream(kind, m, batch)
             num_updates = sum(len(p) for _, p in ops)
-            variants = ("object", "vector", "vector+native", "vector+engine")
+            variants = (
+                "object", "vector", "vector+native",
+                "vector+native+edits", "vector+engine",
+            )
             best = {k: 0.0 for k in variants}
             fp = {}
             eng_sessions = 0
@@ -152,6 +177,18 @@ def run_sweep(sizes, repeats, engine_cfg, native_mode: str) -> list:
                 best["vector+native"] = max(best["vector+native"], u)
                 fp["vector+native"] = _fingerprint(dm)
 
+            def _edt():
+                u, dm = _run(
+                    ops,
+                    vectorized=True,
+                    native_mode=native_mode,
+                    edit_kernels="auto",
+                )
+                best["vector+native+edits"] = max(
+                    best["vector+native+edits"], u
+                )
+                fp["vector+native+edits"] = _fingerprint(dm)
+
             def _eng():
                 nonlocal eng_sessions
                 eng = Engine(engine_cfg)
@@ -163,12 +200,12 @@ def run_sweep(sizes, repeats, engine_cfg, native_mode: str) -> list:
                 best["vector+engine"] = max(best["vector+engine"], u)
                 fp["vector+engine"] = _fingerprint(dm)
 
-            # The three vectorized legs are read against each other, so
+            # The vectorized legs are read against each other, so
             # rotate their order each repeat — best-of-N then samples
             # every leg at every position and slow host drift cancels
             # instead of biasing whichever leg always ran last (same
             # trick as engine_overhead_row's alternation).
-            legs = (_vec, _nat, _eng)
+            legs = (_vec, _nat, _edt, _eng)
             for rep in range(repeats):
                 u, dm = _run(ops, vectorized=False)
                 best["object"] = max(best["object"], u)
@@ -191,7 +228,7 @@ def run_sweep(sizes, repeats, engine_cfg, native_mode: str) -> list:
             )
             ledger_ok = all(
                 fp[v][1:] == fp["object"][1:]
-                for v in ("vector", "vector+native")
+                for v in ("vector", "vector+native", "vector+native+edits")
             )
             assert matching_ok, f"{kind} m={m}: matchings diverged"
             assert ledger_ok, f"{kind} m={m}: ledger charges diverged"
@@ -204,6 +241,12 @@ def run_sweep(sizes, repeats, engine_cfg, native_mode: str) -> list:
                 "speedup_vector": round(best["vector"] / best["object"], 3),
                 "speedup_vector_native": round(
                     best["vector+native"] / best["object"], 3
+                ),
+                "speedup_vector_native_edits": round(
+                    best["vector+native+edits"] / best["object"], 3
+                ),
+                "speedup_edits_vs_native": round(
+                    best["vector+native+edits"] / best["vector+native"], 3
                 ),
                 "speedup_vector_engine": round(
                     best["vector+engine"] / best["object"], 3
@@ -220,6 +263,8 @@ def run_sweep(sizes, repeats, engine_cfg, native_mode: str) -> list:
                 f"vector {best['vector']:>9,.0f}/s "
                 f"(x{row['speedup_vector']}) "
                 f"+native x{row['speedup_vector_native']} "
+                f"+edits x{row['speedup_vector_native_edits']} "
+                f"(vs native x{row['speedup_edits_vs_native']}) "
                 f"+engine x{row['speedup_vector_engine']} "
                 f"ledger_identical={ledger_ok}"
             )
@@ -327,10 +372,12 @@ def main() -> int:
             "updates_per_sec is best-of-repeats on interleaved runs; "
             "ledger_identical asserts the vectorized paths charged exactly "
             "the object path's work/depth/by_tag (the E1 invariant), and "
-            "matching_identical that all four variants produced the same "
+            "matching_identical that all five variants produced the same "
             "matching.  speedups are vs the object (vectorized=False) "
             "array pipeline; vector runs with the native tier off, "
-            "vector+native dispatches through repro.native."
+            "vector+native dispatches through repro.native with the edit "
+            "kernels forced off, vector+native+edits adds the columnar "
+            "structure-edit kernels and the interned vertex table."
         ),
         "rows": run_sweep(sizes, repeats, engine_cfg, args.native),
         "engine_overhead_w1": engine_overhead_row(sizes, repeats),

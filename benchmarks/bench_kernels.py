@@ -86,12 +86,118 @@ def _gen_first_alive(n, rng):
     return done, csr_edge, boff, bt, lens.astype(np.int64)
 
 
+def _gen_edit_add_level0(n, rng):
+    # n//8 fresh level-0 matches (cardinality 2-3, pairwise-disjoint
+    # vertices — it's a matching) over an n-slot column space
+    nm = max(1, n // 8)
+    slots = rng.permutation(n)[:nm].astype(np.int32)
+    cards = rng.integers(2, 4, size=nm)
+    total = int(cards.sum())
+    nvtx = 4 * n
+    dflat = rng.permutation(nvtx)[:total].astype(np.int32)
+    tarr = np.zeros(n, dtype=np.int32)
+    larr = np.full(n, -1, dtype=np.int32)
+    sarr = np.zeros(n, dtype=np.int32)
+    osl = np.full(n, -1, dtype=np.int32)
+    scap = np.zeros(n, dtype=np.int64)
+    ccap = np.zeros(n, dtype=np.int64)
+    pcol = np.full(nvtx, -1, dtype=np.int32)
+    return slots, cards, dflat, tarr, larr, sarr, osl, scap, ccap, pcol
+
+
+def _gen_edit_cross_scan(n, rng):
+    # matches at slots [0, nm), cross batch at [nm, nm+ne); every vertex
+    # covered so the scan takes its success path
+    nm = max(1, n // 8)
+    ne = max(1, n // 8)
+    nvtx = 2 * n
+    slots = np.arange(nm, nm + ne, dtype=np.int32)
+    cards = rng.integers(2, 4, size=ne)
+    total = int(cards.sum())
+    dflat = rng.integers(0, nvtx, size=total).astype(np.int32)
+    pcol = rng.integers(0, nm, size=nvtx).astype(np.int32)
+    larr = np.full(n, -1, dtype=np.int32)
+    larr[:nm] = rng.integers(0, 10, size=nm)
+    tarr = np.zeros(n, dtype=np.int32)
+    tarr[:nm] = 1
+    osl = np.full(n, -1, dtype=np.int32)
+    osl[:nm] = np.arange(nm, dtype=np.int32)
+    return slots, cards, dflat, pcol, larr, tarr, osl
+
+
+def _gen_edit_cross_sim(n, rng):
+    # ~8 inserts per owner group; caps start at _MIN_CAP with the
+    # len <= cap*0.75 invariant, so growth fires on most groups
+    u = max(1, n // 8)
+    inv = rng.integers(0, u, size=n)
+    lens = rng.integers(0, 7, size=u)
+    caps = np.full(u, 8, dtype=np.int64)
+    return inv, lens, caps
+
+
+def _gen_edit_remove_match(n, rng):
+    # n//8 dying matches plus n//8 owned cross edges; ~10% of covers
+    # already stolen by another match (the pcol == slot guard's job)
+    nm = max(1, n // 8)
+    nc = max(1, n // 8)
+    nvtx = 4 * n
+    mslots = np.arange(nm, dtype=np.int32)
+    own_slots = np.arange(nm, nm + nc, dtype=np.int32)
+    mcards = rng.integers(2, 4, size=nm)
+    total = int(mcards.sum())
+    mdflat = rng.permutation(nvtx)[:total].astype(np.int32)
+    premask = rng.random(nm) < 0.9
+    card = rng.integers(2, 4, size=n)
+    tarr = np.zeros(n, dtype=np.int32)
+    tarr[mslots] = 1
+    tarr[own_slots] = 3
+    osl = np.full(n, -1, dtype=np.int32)
+    osl[mslots] = mslots
+    osl[own_slots] = rng.integers(0, nm, size=nc).astype(np.int32)
+    larr = np.zeros(n, dtype=np.int32)
+    sarr = np.ones(n, dtype=np.int32)
+    pcol = np.full(nvtx, -1, dtype=np.int32)
+    rep = np.repeat(mslots, mcards)
+    steal = rng.random(total) < 0.1
+    pcol[mdflat] = np.where(steal, (rep + 1) % np.int32(nm), rep)
+    return (
+        mslots, mcards, mdflat, premask, own_slots,
+        tarr, osl, larr, sarr, card, pcol,
+    )
+
+
+def _gen_intern_localize(n, rng):
+    # a batch column hitting ~half the interner table
+    table = max(1, n // 2)
+    dense = rng.integers(0, table, size=n).astype(np.int32)
+    stamp = np.zeros(table, dtype=np.int64)
+    label = np.zeros(table, dtype=np.int32)
+    return dense, stamp, label, 1
+
+
 GENERATORS = {
     "group_index": _gen_group_index,
     "seg_gather_index": _gen_seg_gather_index,
     "dedup_first_index": _gen_dedup_first_index,
     "pack_index": _gen_pack_index,
     "first_alive": _gen_first_alive,
+    "edit_add_level0": _gen_edit_add_level0,
+    "edit_cross_scan": _gen_edit_cross_scan,
+    "edit_cross_sim": _gen_edit_cross_sim,
+    "edit_remove_match": _gen_edit_remove_match,
+    "intern_localize": _gen_intern_localize,
+}
+
+#: Kernels that mutate their argument arrays (the columnar structure
+#: edits).  The sweep feeds them identically-seeded fresh argument
+#: tuples per call and asserts identity of outputs AND post-call
+#: argument state; timing regenerates arguments outside the clock.
+STATEFUL = {
+    "edit_add_level0",
+    "edit_cross_scan",
+    "edit_cross_sim",
+    "edit_remove_match",
+    "intern_localize",
 }
 
 
@@ -101,9 +207,10 @@ def _equal(a, b) -> bool:
     return np.array_equal(a, b)
 
 
-def _time(fn, args, repeats) -> float:
+def _time(fn, make_args, repeats) -> float:
     best = float("inf")
     for _ in range(repeats):
+        args = make_args()
         t0 = time.perf_counter()
         fn(*args)
         best = min(best, time.perf_counter() - t0)
@@ -118,13 +225,30 @@ def run_sweep(sizes, repeats) -> list:
             "kernel benchmark needs an active backend (REPRO_NATIVE!=off)"
         )
         for n in sizes:
-            args = GENERATORS[name](n, np.random.default_rng(5))
-            assert _equal(ref(*args), nat(*args)), (
-                f"{name} n={n}: native output diverged from numpy"
-            )
-            nat(*args)  # warm-up outside the timed region (JIT compile)
-            t_np = _time(ref, args, repeats)
-            t_nat = _time(nat, args, repeats)
+            gen = GENERATORS[name]
+            if name in STATEFUL:
+                # fresh identically-seeded args per call; mutated arrays
+                # are part of the contract, so compare them too
+                def make_args(n=n, gen=gen):
+                    return gen(n, np.random.default_rng(5))
+
+                a_ref = make_args()
+                a_nat = make_args()
+                assert _equal(ref(*a_ref), nat(*a_nat)) and _equal(
+                    a_ref, a_nat
+                ), f"{name} n={n}: native output diverged from numpy"
+            else:
+                args = gen(n, np.random.default_rng(5))
+
+                def make_args(args=args):
+                    return args
+
+                assert _equal(ref(*args), nat(*args)), (
+                    f"{name} n={n}: native output diverged from numpy"
+                )
+            nat(*make_args())  # warm-up outside the timed region (JIT)
+            t_np = _time(ref, make_args, repeats)
+            t_nat = _time(nat, make_args, repeats)
             row = {
                 "kernel": name,
                 "n": n,

@@ -200,6 +200,15 @@ def _fastpath_summary(algo) -> None:
         f"native: backend={native.BACKEND}   kernel dispatches={calls}   "
         f"kernel seconds={secs:.3f}"
     )
+    per = "   ".join(
+        f"{name}={int(cell['calls'])}"
+        for name, cell in sorted(st.items())
+        if cell["calls"]
+    )
+    if per:
+        # Per-kernel dispatch counts: argsort-skeleton kernels plus the
+        # columnar structure-edit kernels (edit_*, intern_localize).
+        print(f"native kernels: {per}")
 
 
 def _shard_summary(router) -> None:

@@ -42,11 +42,17 @@ surface on top of the arrays.
 
 from __future__ import annotations
 
+import os
+from array import array
+from itertools import chain, repeat
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import native
 from repro.hypergraph.edge import Edge, EdgeId, Vertex
+from repro.native import kernels as _npk
+from repro.parallel.interning import VertexInterner
 from repro.parallel.ledger import Ledger, log2ceil, parallel_for
 from repro.core.level_structure import EdgeType, level_of
 
@@ -169,7 +175,19 @@ class _RecProxy:
 
     @owner.setter
     def owner(self, value: Optional[EdgeId]) -> None:
-        self._s._owner[self._i] = value
+        s = self._s
+        s._owner[self._i] = value
+        if value is None:
+            s._ownslot[self._i] = -1
+        else:
+            j = s._slot.get(value)
+            if j is None:
+                # White-box poke naming an unregistered owner: the dict
+                # view stays authoritative, the columnar mirror is out of
+                # sync — disable the edit kernels for this structure.
+                s._pcol_dirty = True
+            else:
+                s._ownslot[self._i] = j
 
     @property
     def level(self) -> int:
@@ -256,7 +274,23 @@ class _VertProxy:
 
     @p.setter
     def p(self, value: Optional[EdgeId]) -> None:
-        self._s._p[self._v] = value
+        s = self._s
+        s._p[self._v] = value
+        d = s.interner.get(self._v)
+        if d is None:
+            # A vertex no registered edge touches can never be read
+            # through the columnar plane unless covered — only a
+            # non-None cover desynchronizes it.
+            if value is not None:
+                s._pcol_dirty = True
+        elif value is None:
+            s._pcol[d] = -1
+        else:
+            j = s._slot.get(value)
+            if j is None:
+                s._pcol_dirty = True
+            else:
+                s._pcol[d] = j
 
     @property
     def P(self) -> Dict[int, dict]:
@@ -315,18 +349,44 @@ class ArrayLeveledStructure:
         # record-dict backend exposes through recs.values().
         self._slot: Dict[EdgeId, int] = {}
         self._free: List[int] = []
-        # Slot-parallel arrays.
+        # Slot-parallel arrays.  Object state (edges, vertex tuples,
+        # owner eids, sample/cross dicts) stays in Python lists; the
+        # scalar state forms the *columnar edit plane*: ``array.array``
+        # typecode 'i' (int32) / 'q' (int64) columns whose scalar reads
+        # and writes behave exactly like lists, but which expose
+        # zero-copy writable numpy views (``np.frombuffer``) to the
+        # batched edit kernels.  Views are always taken per-operation
+        # and never cached — ``array.extend`` is a realloc and raises
+        # ``BufferError`` while a view is exporting the buffer.
         self._edge: List[Optional[Edge]] = []
         self._verts: List[Tuple[Vertex, ...]] = []
-        self._card: List[int] = []
-        self._type: List[int] = []
+        self._card = array("i")
+        self._type = array("i")
         self._owner: List[Optional[EdgeId]] = []
-        self._level: List[int] = []
-        self._settle: List[int] = []
+        self._level = array("i")
+        self._settle = array("i")
         self._samples: List[Optional[Dict[EdgeId, None]]] = []
-        self._scap: List[int] = []
+        self._scap = array("q")
         self._cross: List[Optional[Dict[EdgeId, None]]] = []
-        self._ccap: List[int] = []
+        self._ccap = array("q")
+        # Owner *slot* mirror of ``_owner`` (-1 = None).  Slots are
+        # int32-safe by construction (bounded by the slot count), while
+        # edge ids may straddle int32 — hence the twin representation.
+        self._ownslot = array("i")
+        # Interned vertex table + columnar vertex state.  Raw vertex
+        # ids of any type/magnitude live only as dict keys; the int32
+        # plane sees dense ids.  ``_pcol[d]`` is the covering match
+        # slot of dense vertex ``d`` (-1 = uncovered), mirroring
+        # ``_p``; ``_vd_flat``/``_vd_off`` is a CSR pool of each
+        # slot's dense vertex ids (segment length = ``_card``).
+        self.interner = VertexInterner()
+        self._pcol = array("i")
+        self._vd_off = array("q")
+        self._vd_flat = array("i")
+        self._vd_live = 0
+        # Set when a white-box poke writes state the columnar mirrors
+        # cannot represent; the edit kernels then stand down for good.
+        self._pcol_dirty = False
         # Vertex state.
         self.matched: Set[EdgeId] = set()
         self._p: Dict[Vertex, Optional[EdgeId]] = {}
@@ -355,6 +415,81 @@ class ArrayLeveledStructure:
     # ------------------------------------------------------------------ #
     # Registry
     # ------------------------------------------------------------------ #
+    # ------------------------------------------------------------------ #
+    # Columnar edit plane
+    # ------------------------------------------------------------------ #
+    def _edits_on(self) -> bool:
+        """True when the batched edit kernels may run.
+
+        Requires clean columnar mirrors, ``REPRO_EDIT_KERNELS`` not
+        set to ``off``, and an active native backend (``REPRO_NATIVE``
+        resolves the numpy or numba twin).
+        """
+        if self._pcol_dirty:
+            return False
+        mode = os.environ.get("REPRO_EDIT_KERNELS", "auto").strip().lower()
+        if mode in ("off", "0", "false", "no"):
+            return False
+        return native.get("edit_add_level0") is not None
+
+    def _vd_store(self, i: int, vertices: Tuple[Vertex, ...]) -> None:
+        """Intern ``vertices`` and append their dense ids to the pool."""
+        idx = self.interner._index
+        pcol = self._pcol
+        vd = self._vd_flat
+        off = len(vd)
+        for v in vertices:
+            d = idx.get(v)
+            if d is None:
+                d = len(idx)
+                idx[v] = d
+                pcol.append(-1)
+            vd.append(d)
+        vd_off = self._vd_off
+        if i < len(vd_off):
+            vd_off[i] = off
+        else:
+            vd_off.append(off)
+        self._vd_live += len(vertices)
+
+    def _vd_compact(self) -> None:
+        """Rebuild the dense-vertex pool, dropping leaked segments.
+
+        Slot recycling always appends a fresh segment, so churn leaks
+        pool space; compaction (triggered from ``register_batch`` when
+        the pool is 4x the live footprint) squeezes it back.  Pure
+        representation maintenance — never charged to the ledger.
+        """
+        freed = set(self._free)
+        old = self._vd_flat
+        new = array("i")
+        vd_off = self._vd_off
+        card = self._card
+        for i in range(len(self._edge)):
+            if i in freed or self._edge[i] is None:
+                continue
+            o = vd_off[i]
+            vd_off[i] = len(new)
+            new.extend(old[o : o + card[i]])
+        self._vd_flat = new
+
+    def frame_dense(self, frame) -> np.ndarray:
+        """Dense vertex ids (int32) aligned with ``frame.vflat``.
+
+        Every edge in the frame must be registered; gathers from the
+        CSR pool, so no per-vertex dict traffic.
+        """
+        eids = frame.eids.tolist()
+        slots = np.fromiter(
+            map(self._slot.__getitem__, eids), dtype=np.int64, count=len(eids)
+        )
+        vd_off = np.frombuffer(self._vd_off, dtype=np.int64)
+        starts = vd_off[slots]
+        cards = frame.cards.astype(np.int64, copy=False)
+        kern = native.get("seg_gather_index") or _npk.seg_gather_index
+        idx = kern(starts, cards, int(frame.total_cardinality))
+        return np.frombuffer(self._vd_flat, dtype=np.int32)[idx]
+
     def _alloc(self, edge: Edge) -> int:
         eid = edge.eid
         if eid in self._slot:
@@ -371,6 +506,7 @@ class ArrayLeveledStructure:
             self._card[i] = card
             self._type[i] = _T_UNSETTLED
             self._owner[i] = None
+            self._ownslot[i] = -1
             self._level[i] = -1
             self._settle[i] = 0
             self._samples[i] = None
@@ -382,6 +518,7 @@ class ArrayLeveledStructure:
             self._card.append(card)
             self._type.append(_T_UNSETTLED)
             self._owner.append(None)
+            self._ownslot.append(-1)
             self._level.append(-1)
             self._settle.append(0)
             self._samples.append(None)
@@ -389,6 +526,7 @@ class ArrayLeveledStructure:
             self._cross.append(None)
             self._ccap.append(_MIN_CAP)
         self._slot[eid] = i
+        self._vd_store(i, edge.vertices)
         return i
 
     def register(self, edge: Edge) -> _RecProxy:
@@ -433,6 +571,26 @@ class ArrayLeveledStructure:
             self.ledger.charge_parallel(n, work=total, depth=1, tag="register")
             return
         cards = [len(vs) for vs in verts]
+        # Columnar plane: intern the batch's vertices once, bulk-append
+        # their dense ids to the CSR pool (compacting first when churn
+        # has left it 4x the live footprint), grow the cover column for
+        # fresh vertices.  All C-level; no per-vertex Python.
+        vd = self._vd_flat
+        if len(vd) > 4 * max(self._vd_live, 4096):
+            self._vd_compact()
+            vd = self._vd_flat
+        intern = self.interner
+        vchain = list(chain.from_iterable(verts))
+        prev = intern.count
+        dense = intern.add_ids(vchain)
+        grown = intern.count - prev
+        if grown:
+            self._pcol.extend([-1] * grown)
+        coff = len(vd)
+        vd.frombytes(dense.tobytes())
+        self._vd_live += dense.size
+        vd_off = self._vd_off
+        oslc = self._ownslot
         k = min(len(free), n)
         for j in range(k):
             i = free.pop()
@@ -441,11 +599,14 @@ class ArrayLeveledStructure:
             carr[i] = cards[j]
             tarr[i] = _T_UNSETTLED
             oarr[i] = None
+            oslc[i] = -1
             larr[i] = -1
             sarr[i] = 0
             smp[i] = None
             crs[i] = None
             slot[ids[j]] = i
+            vd_off[i] = coff
+            coff += cards[j]
         if k < n:
             m0 = len(earr)
             r = n - k
@@ -454,14 +615,18 @@ class ArrayLeveledStructure:
             carr.extend(cards[k:])
             tarr.extend([_T_UNSETTLED] * r)
             oarr.extend([None] * r)
+            oslc.extend([-1] * r)
             larr.extend([-1] * r)
             sarr.extend([0] * r)
             smp.extend([None] * r)
             scap.extend([_MIN_CAP] * r)
             crs.extend([None] * r)
             ccap.extend([_MIN_CAP] * r)
+            vd_off.extend([0] * r)
             for j in range(k, n):
                 slot[ids[j]] = m0
+                vd_off[m0] = coff
+                coff += cards[j]
                 m0 += 1
         self.ledger.charge_parallel(n, work=sum(cards), depth=1, tag="register")
 
@@ -472,6 +637,7 @@ class ArrayLeveledStructure:
         self._samples[i] = None
         self._cross[i] = None
         self._free.append(i)
+        self._vd_live -= card
         self.ledger.charge(work=card, depth=1, tag="register")
 
     def unregister_batch(self, eids: Sequence[EdgeId]) -> None:
@@ -491,6 +657,7 @@ class ArrayLeveledStructure:
             smp[i] = None
             crs[i] = None
             fapp(i)
+        self._vd_live -= total
         self.ledger.charge_parallel(len(eids), work=total, depth=1, tag="register")
 
     # ------------------------------------------------------------------ #
@@ -562,10 +729,18 @@ class ArrayLeveledStructure:
             and int(frame.cards.min()) > 0
         ):
             total = frame.total_cardinality
-            covered = np.fromiter(
-                (o is not None for o in map(get, frame.vflat.tolist())),
-                dtype=np.bool_, count=total,
-            )
+            dense = getattr(frame, "dense", None)
+            if dense is not None and not self._pcol_dirty and len(self._pcol):
+                # Columnar path: the frame carries interned dense ids,
+                # so coverage is a single int32 gather — no per-vertex
+                # dict traffic at all.
+                pcol = np.frombuffer(self._pcol, dtype=np.int32)
+                covered = pcol[dense] >= 0
+            else:
+                covered = np.fromiter(
+                    (o is not None for o in map(get, frame.vflat.tolist())),
+                    dtype=np.bool_, count=total,
+                )
             free = ~np.logical_or.reduceat(covered, frame.voff[:-1])
             self.ledger.charge_parallel(n, work=total, depth=1, tag="free_check")
             return free.tolist()
@@ -708,15 +883,21 @@ class ArrayLeveledStructure:
         slot = self._slot
         tarr = self._type
         oarr = self._owner
+        oslc = self._ownslot
         for s in samples:
             j = slot[s.eid]
             tarr[j] = _T_SAMPLED
             oarr[j] = eid
+            oslc[j] = i
         tarr[i] = _T_MATCHED
         oarr[i] = eid
+        oslc[i] = i
         p = self._p
+        pcol = self._pcol
+        vid = self.interner._index
         for v in edge.vertices:
             p[v] = eid
+            pcol[vid[v]] = i
         self.ledger.charge(
             work=k + edge.cardinality, depth=log2ceil(max(k, 2)), tag="add_match"
         )
@@ -742,8 +923,63 @@ class ArrayLeveledStructure:
         larr = self._level
         tarr = self._type
         oarr = self._owner
+        oslc = self._ownslot
         card = self._card
         p = self._p
+        pcol = self._pcol
+        if self._edits_on():
+            ids = [e.eid for e in edges]
+            ok = len(set(ids)) == n and matched.isdisjoint(ids)
+            slots = None
+            if ok:
+                try:
+                    slots = np.fromiter(
+                        map(slot.__getitem__, ids), dtype=np.int32, count=n
+                    )
+                except KeyError:
+                    ok = False
+            if ok:
+                kern = native.get("edit_add_level0")
+                slots_l = slots.tolist()
+                carr_np = np.frombuffer(card, dtype=np.int32)
+                cards = carr_np[slots].astype(np.int64)
+                total_c = int(cards.sum())
+                vd_off = np.frombuffer(self._vd_off, dtype=np.int64)
+                gather = native.get("seg_gather_index") or _npk.seg_gather_index
+                idx = gather(vd_off[slots], cards, total_c)
+                dflat = np.frombuffer(self._vd_flat, dtype=np.int32)[idx]
+                total = kern(
+                    slots,
+                    cards,
+                    dflat,
+                    np.frombuffer(tarr, dtype=np.int32),
+                    np.frombuffer(larr, dtype=np.int32),
+                    np.frombuffer(sarr, dtype=np.int32),
+                    np.frombuffer(oslc, dtype=np.int32),
+                    np.frombuffer(scap, dtype=np.int64),
+                    np.frombuffer(ccap, dtype=np.int64),
+                    np.frombuffer(pcol, dtype=np.int32),
+                )
+                # Object-side residue the kernel cannot touch: the
+                # sample/cross dicts, the owner-eid column, the matched
+                # set and the authoritative cover dict (bulk-updated at
+                # C level; matches are vertex-disjoint, so write order
+                # is immaterial).
+                for i, eid in zip(slots_l, ids):
+                    smp[i] = {eid: None}
+                    crs[i] = {}
+                    oarr[i] = eid
+                matched.update(ids)
+                vchain = list(chain.from_iterable(e.vertices for e in edges))
+                p.update(
+                    zip(vchain, chain.from_iterable(map(repeat, ids, cards.tolist())))
+                )
+                self.ledger.charge_parallel(n, work=n, depth=1, tag="dict_batch")
+                self.ledger.charge_parallel(n, work=total, depth=1, tag="add_match")
+                return
+            # Validation failed: replay the scalar loop below so the
+            # error (and partial-application semantics) match exactly.
+        vid = self.interner._index
         madd = matched.add
         total = 0
         for e in edges:
@@ -760,8 +996,10 @@ class ArrayLeveledStructure:
             larr[i] = 0
             tarr[i] = _T_MATCHED
             oarr[i] = eid
+            oslc[i] = i
             for v in e.vertices:
                 p[v] = eid
+                pcol[vid[v]] = i
             total += 1 + card[i]
         self.ledger.charge_parallel(n, work=n, depth=1, tag="dict_batch")
         self.ledger.charge_parallel(n, work=total, depth=1, tag="add_match")
@@ -788,6 +1026,7 @@ class ArrayLeveledStructure:
         verts = self._verts
         tarr = self._type
         oarr = self._owner
+        oslc = self._ownslot
         edges = self._edge
         cards = self._card
         P = self._P
@@ -827,15 +1066,19 @@ class ArrayLeveledStructure:
                     del Pv[lvl]
             tarr[j] = _T_UNSETTLED
             oarr[j] = None
+            oslc[j] = -1
             out.append(edges[j])
             w_rm += cards[j]
             if bd > max_bd:
                 max_bd = bd
         d_total += max_bd
         p = self._p
+        pcol = self._pcol
+        vid = self.interner._index
         for v in verts[i]:
             if p.get(v) == eid:
                 p[v] = None
+                pcol[vid[v]] = -1
         self._samples[i] = None
         self._cross[i] = None
         self._level[i] = -1
@@ -843,6 +1086,7 @@ class ArrayLeveledStructure:
         if tarr[i] == _T_MATCHED:
             tarr[i] = _T_UNSETTLED
             oarr[i] = None
+            oslc[i] = -1
         w_rm += cards[i]
         no = len(owned)
         d_total += (no - 1).bit_length() if no > 1 else 1
@@ -894,6 +1138,7 @@ class ArrayLeveledStructure:
         self._type[i] = _T_CROSS
         self._owner[i] = best
         bi = slot[best]
+        self._ownslot[i] = bi
         cd = self._cross[bi]
         n = len(cd)
         w_batch = 1.0
@@ -1002,6 +1247,7 @@ class ArrayLeveledStructure:
                 del Pv[lvl]
         self._type[i] = _T_UNSETTLED
         self._owner[i] = None
+        self._ownslot[i] = -1
         card = self._card[i]
         d_total += 1
         led = self.ledger
@@ -1030,6 +1276,7 @@ class ArrayLeveledStructure:
             self.sample_discard(self._owner[i], eid)
             self._type[i] = _T_UNSETTLED
             self._owner[i] = None
+            self._ownslot[i] = -1
         else:  # pragma: no cover — structure guarantees settled types
             raise AssertionError(f"unsettled edge {eid} in structure")
 
@@ -1170,6 +1417,7 @@ class ArrayLeveledStructure:
                 del Pv[lvl]
         self._type[i] = _T_UNSETTLED
         self._owner[i] = None
+        self._ownslot[i] = -1
         return w_batch, w_rehash, self._card[i], bd + 1
 
     def _sdisc_acc(self, mid: EdgeId, eid: EdgeId) -> Tuple[float, int]:
@@ -1196,6 +1444,124 @@ class ArrayLeveledStructure:
             self._scap[i] = cap
         return w_rehash, bd
 
+    def _kernel_add_cross(self, edges: Sequence[Edge]) -> bool:
+        """Columnar fast path for :meth:`add_cross_edge_batch`.
+
+        Returns True when the batch was fully applied (mutations and
+        charges bit-identical to the legacy loop); False when a
+        validation fails, in which case *nothing user-visible changed*
+        beyond idempotent type/owner-slot column writes and the caller
+        must replay the legacy loop for exact error and
+        partial-application semantics.
+        """
+        n = len(edges)
+        ids = [e.eid for e in edges]
+        if len(set(ids)) != n or len(self._pcol) == 0:
+            return False
+        slot = self._slot
+        try:
+            slots = np.fromiter(
+                map(slot.__getitem__, ids), dtype=np.int32, count=n
+            )
+        except KeyError:
+            return False
+        slots_l = slots.tolist()
+        carr_np = np.frombuffer(self._card, dtype=np.int32)
+        cards = carr_np[slots].astype(np.int64)
+        total_c = int(cards.sum())
+        if total_c == 0:
+            return False
+        vd_off = np.frombuffer(self._vd_off, dtype=np.int64)
+        gather = native.get("seg_gather_index") or _npk.seg_gather_index
+        idx = gather(vd_off[slots], cards, total_c)
+        dflat = np.frombuffer(self._vd_flat, dtype=np.int32)[idx]
+        scan = native.get("edit_cross_scan")
+        best, ok = scan(
+            slots,
+            cards,
+            dflat,
+            np.frombuffer(self._pcol, dtype=np.int32),
+            np.frombuffer(self._level, dtype=np.int32),
+            np.frombuffer(self._type, dtype=np.int32),
+            np.frombuffer(self._ownslot, dtype=np.int32),
+        )
+        if not ok:
+            # Some edge has no incident match; the legacy loop raises
+            # the exact error after applying the preceding edges.
+            return False
+        crs = self._cross
+        best_l = best.tolist()
+        for eid, bs in zip(ids, best_l):
+            if eid in crs[bs]:
+                # Duplicate insert would not grow the dict, breaking the
+                # capacity sim; replay legacy (its scan re-derives the
+                # same owners, so the column writes above are idempotent).
+                return False
+        ub, inv = np.unique(best, return_inverse=True)
+        ub_l = ub.tolist()
+        lens = np.fromiter(
+            map(len, map(crs.__getitem__, ub_l)),
+            dtype=np.int64,
+            count=len(ub_l),
+        )
+        ccv = np.frombuffer(self._ccap, dtype=np.int64)
+        caps = ccv[ub]
+        sim = native.get("edit_cross_sim")
+        bd0, w_rehash = sim(inv.astype(np.int64, copy=False), lens, caps)
+        ccv[ub] = caps
+        bd0_l = bd0.tolist()
+        oarr = self._owner
+        earr = self._edge
+        larr = self._level
+        P = self._P
+        max_bd = 0
+        for k in range(n):
+            edge = edges[k]
+            eid = ids[k]
+            bs = best_l[k]
+            oarr[slots_l[k]] = earr[bs].eid
+            crs[bs][eid] = None
+            best_lvl = larr[bs]
+            bd = bd0_l[k]
+            for v in edge.vertices:
+                Pv = P.get(v)
+                if Pv is None:
+                    Pv = P[v] = {}
+                b = Pv.get(best_lvl)
+                if b is None:
+                    Pv[best_lvl] = [{eid: None}, _MIN_CAP]
+                    bd += 1
+                    continue
+                d = b[0]
+                nd = len(d)
+                bd += nd.bit_length() if nd >= 2 else 1
+                d[eid] = None
+                nd = len(d)
+                cap = b[1]
+                if nd > cap * _GROW_AT:
+                    dg = (nd - 1).bit_length() if nd > 1 else 1
+                    while nd > cap * _GROW_AT:
+                        cap *= 2
+                        w_rehash += cap * _GROW_AT
+                        bd += dg
+                    b[1] = cap
+            bd += 1
+            if bd > max_bd:
+                max_bd = bd
+        # Every edge pays 1 + cardinality dict_batch work unconditionally,
+        # so the batch total collapses to a constant.
+        w_batch = float(n + total_c)
+        w_card = float(total_c)
+        led = self.ledger
+        led.work += w_batch + w_rehash + w_card
+        led._stack[-1].depth += max_bd
+        bt = led.by_tag
+        bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+        if w_rehash:
+            bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+        bt["add_cross_edge"] = bt.get("add_cross_edge", 0.0) + w_card
+        return True
+
     def add_cross_edge_batch(self, edges: Sequence[Edge]) -> None:
         """Batched ``add_cross_edge`` over one parallel region."""
         if not edges:
@@ -1204,11 +1570,14 @@ class ArrayLeveledStructure:
         if not (self._fast and led._observer is None):
             parallel_for(led, edges, self.add_cross_edge)
             return
+        if self._edits_on() and self._kernel_add_cross(edges):
+            return
         slot = self._slot
         p = self._p
         level = self._level
         tarr = self._type
         oarr = self._owner
+        oslc = self._ownslot
         cross = self._cross
         ccap = self._ccap
         cards = self._card
@@ -1242,6 +1611,7 @@ class ArrayLeveledStructure:
             tarr[i] = _T_CROSS
             oarr[i] = best
             bi = owner_memo[best][0]
+            oslc[i] = bi
             cd = cross[bi]
             n = len(cd)
             wb = 1.0
@@ -1330,6 +1700,7 @@ class ArrayLeveledStructure:
         slot = self._slot
         tarr = self._type
         oarr = self._owner
+        oslc = self._ownslot
         edges = self._edge
         w_batch = 0.0
         w_rehash = 0.0
@@ -1349,6 +1720,7 @@ class ArrayLeveledStructure:
                 w_rehash += wr
                 tarr[i] = _T_UNSETTLED
                 oarr[i] = None
+                oslc[i] = -1
             else:  # pragma: no cover — structure guarantees settled types
                 raise AssertionError(f"unsettled edge {eid} in structure")
             if bd > max_bd:
@@ -1430,6 +1802,162 @@ class ArrayLeveledStructure:
         bt["dict_elements"] = bt.get("dict_elements", 0.0) + w
         return out
 
+    def _kernel_remove_match(self, eids: Sequence[EdgeId]) -> Optional[List[Edge]]:
+        """Columnar fast path for :meth:`remove_match_batch`.
+
+        Returns the owned-edge list on success, or ``None`` when a
+        validation fails — the prelude is pure, so the caller can replay
+        the legacy loop for exact error and partial-state semantics.
+        The int32/pcol column resets and the owned-card work total move
+        into the edit kernel; the P-bucket unlink loop (whose charges
+        depend on evolving dict sizes) stays in Python in the exact
+        legacy order.
+        """
+        n = len(eids)
+        ids = list(eids)
+        matched = self.matched
+        if len(set(ids)) != n or not matched.issuperset(ids):
+            return None
+        slot = self._slot
+        try:
+            mslots = np.fromiter(
+                map(slot.__getitem__, ids), dtype=np.int32, count=n
+            )
+        except KeyError:
+            return None
+        slots_l = mslots.tolist()
+        crs = self._cross
+        owned_lists: List[list] = []
+        had_cd: List[bool] = []
+        for i in slots_l:
+            cd = crs[i]
+            if cd is None:
+                owned_lists.append([])
+                had_cd.append(False)
+            else:
+                owned_lists.append(list(cd))
+                had_cd.append(True)
+        n_own = sum(map(len, owned_lists))
+        try:
+            own_slots = np.fromiter(
+                map(slot.__getitem__, chain.from_iterable(owned_lists)),
+                dtype=np.int32,
+                count=n_own,
+            )
+        except KeyError:
+            return None
+        own_flat_l = own_slots.tolist()
+        carr_np = np.frombuffer(self._card, dtype=np.int32)
+        mcards = carr_np[mslots].astype(np.int64)
+        total_c = int(mcards.sum())
+        vd_off = np.frombuffer(self._vd_off, dtype=np.int64)
+        gather = native.get("seg_gather_index") or _npk.seg_gather_index
+        idx = gather(vd_off[mslots], mcards, total_c)
+        mdflat = np.frombuffer(self._vd_flat, dtype=np.int32)[idx]
+        tarr_np = np.frombuffer(self._type, dtype=np.int32)
+        # Cross-dict members are always CROSS-typed, so a match that is
+        # MATCHED at batch start cannot be reset by an earlier
+        # iteration's owned sweep — the start-state mask equals the
+        # legacy at-turn check.
+        premask = tarr_np[mslots] == _T_MATCHED
+        larr = self._level
+        lvls = [larr[i] for i in slots_l]
+        kern = native.get("edit_remove_match")
+        w_rm = kern(
+            mslots,
+            mcards,
+            mdflat,
+            premask,
+            own_slots,
+            tarr_np,
+            np.frombuffer(self._ownslot, dtype=np.int32),
+            np.frombuffer(larr, dtype=np.int32),
+            np.frombuffer(self._settle, dtype=np.int32),
+            carr_np,
+            np.frombuffer(self._pcol, dtype=np.int32),
+        )
+        matched.difference_update(ids)
+        premask_l = premask.tolist()
+        verts = self._verts
+        oarr = self._owner
+        edges_arr = self._edge
+        smp = self._samples
+        P = self._P
+        p = self._p
+        Pget = P.get
+        pget = p.get
+        w_elems = 0.0
+        w_batch = 0.0
+        w_rehash = 0.0
+        max_d = 0
+        for k in range(n):
+            eid = ids[k]
+            i = slots_l[k]
+            owned = owned_lists[k]
+            if had_cd[k]:
+                no = len(owned)
+                w_elems += float(max(no, 1))
+                d_total = (no - 1).bit_length() if no > 1 else 1
+            else:
+                d_total = 0
+            lvl = lvls[k]
+            max_bd = 0
+            for ceid in owned:
+                j = slot[ceid]
+                bd = 1
+                for v in verts[j]:
+                    Pv = Pget(v)
+                    if Pv is None:
+                        continue
+                    b = Pv.get(lvl)
+                    if b is None:
+                        continue
+                    d = b[0]
+                    nd = len(d)
+                    w_batch += 1.0
+                    bd += nd.bit_length() if nd >= 2 else 1
+                    d.pop(ceid, None)
+                    nd = len(d)
+                    cap = b[1]
+                    if cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                        ws = max(nd, 1)
+                        ds = (nd - 1).bit_length() if nd > 1 else 1
+                        while cap > _MIN_CAP and nd < cap * _SHRINK_AT:
+                            cap //= 2
+                            w_rehash += ws
+                            bd += ds
+                        b[1] = cap
+                    if not d:
+                        del Pv[lvl]
+                oarr[j] = None
+                if bd > max_bd:
+                    max_bd = bd
+            d_total += max_bd
+            for v in verts[i]:
+                if pget(v) == eid:
+                    p[v] = None
+            smp[i] = None
+            crs[i] = None
+            if premask_l[k]:
+                oarr[i] = None
+            no = len(owned)
+            d_total += (no - 1).bit_length() if no > 1 else 1
+            if d_total > max_d:
+                max_d = d_total
+        out = [edges_arr[j] for j in own_flat_l]
+        led = self.ledger
+        led.work += w_elems + w_batch + w_rehash + w_rm
+        led._stack[-1].depth += max_d
+        bt = led.by_tag
+        if w_elems:
+            bt["dict_elements"] = bt.get("dict_elements", 0.0) + w_elems
+        if w_batch:
+            bt["dict_batch"] = bt.get("dict_batch", 0.0) + w_batch
+        if w_rehash:
+            bt["dict_rehash"] = bt.get("dict_rehash", 0.0) + w_rehash
+        bt["remove_match"] = bt.get("remove_match", 0.0) + w_rm
+        return out
+
     def remove_match_batch(self, eids: Sequence[EdgeId]) -> List[Edge]:
         """Batched ``remove_match``; returns the concatenated owned edges."""
         if not eids:
@@ -1438,10 +1966,15 @@ class ArrayLeveledStructure:
         if not (self._fast and led._observer is None):
             subs = parallel_for(led, eids, self.remove_match)
             return [e for sub in subs for e in sub]
+        if self._edits_on():
+            out = self._kernel_remove_match(eids)
+            if out is not None:
+                return out
         slot = self._slot
         verts = self._verts
         tarr = self._type
         oarr = self._owner
+        oslc = self._ownslot
         edges = self._edge
         cards = self._card
         crs = self._cross
@@ -1454,6 +1987,8 @@ class ArrayLeveledStructure:
         p = self._p
         Pget = P.get
         pget = p.get
+        pcol = self._pcol
+        vid = self.interner._index
         w_elems = 0.0
         w_batch = 0.0
         w_rehash = 0.0
@@ -1506,6 +2041,7 @@ class ArrayLeveledStructure:
                         del Pv[lvl]
                 tarr[j] = _T_UNSETTLED
                 oarr[j] = None
+                oslc[j] = -1
                 oapp(edges[j])
                 w_rm += cards[j]
                 if bd > max_bd:
@@ -1514,6 +2050,7 @@ class ArrayLeveledStructure:
             for v in verts[i]:
                 if pget(v) == eid:
                     p[v] = None
+                    pcol[vid[v]] = -1
             smp[i] = None
             crs[i] = None
             larr[i] = -1
@@ -1521,6 +2058,7 @@ class ArrayLeveledStructure:
             if tarr[i] == _T_MATCHED:
                 tarr[i] = _T_UNSETTLED
                 oarr[i] = None
+                oslc[i] = -1
             w_rm += cards[i]
             no = len(owned)
             d_total += (no - 1).bit_length() if no > 1 else 1
@@ -1552,7 +2090,10 @@ class ArrayLeveledStructure:
         slot = self._slot
         tarr = self._type
         oarr = self._owner
+        oslc = self._ownslot
         p = self._p
+        pcol = self._pcol
+        vid = self.interner._index
         alpha = self.alpha
         w_set = 0.0
         w_rehash = 0.0
@@ -1592,10 +2133,13 @@ class ArrayLeveledStructure:
                 j = slot[s.eid]
                 tarr[j] = _T_SAMPLED
                 oarr[j] = eid
+                oslc[j] = i
             tarr[i] = _T_MATCHED
             oarr[i] = eid
+            oslc[i] = i
             for v in edge.vertices:
                 p[v] = eid
+                pcol[vid[v]] = i
             w_set += k
             w_add += k + edge.cardinality
             bd += lg_k
@@ -1696,6 +2240,7 @@ class ArrayLeveledStructure:
         self.matched.add(eid)
         self._type[i] = _T_MATCHED
         self._owner[i] = eid
+        self._ownslot[i] = i
         self._samples[i], self._scap[i] = self._new_set(list(samples))
         self._cross[i], self._ccap[i] = self._new_set(list(cross))
         # Shrink hysteresis makes capacity a history artifact; reinstate the
@@ -1707,14 +2252,18 @@ class ArrayLeveledStructure:
         self._level[i] = level
         self._settle[i] = settle_size
         p = self._p
+        pcol = self._pcol
+        vid = self.interner._index
         for v in self._verts[i]:
             p[v] = eid
+            pcol[vid[v]] = i
 
     def restore_attached(self, eid: EdgeId, etype: EdgeType, owner: Optional[EdgeId]) -> None:
         i = self._slot[eid]
         if owner is None or owner not in self.matched:
             raise ValueError(f"edge {eid}: owner {owner!r} is not a match")
         self._owner[i] = owner
+        self._ownslot[i] = self._slot[owner]
         self._type[i] = _TYPE_CODE[etype]
         oi = self._slot[owner]
         if etype == EdgeType.CROSS:
@@ -1854,6 +2403,38 @@ class ArrayLeveledStructure:
                     f"C({mid}) holds edge {ceid} with type "
                     f"{_TYPE_OBJS[self._type[ci]]}, owner {self._owner[ci]}"
                 )
+
+        # Columnar edit-plane sync (skipped once a white-box poke has
+        # marked the mirrors stale).
+        if not self._pcol_dirty:
+            vid = self.interner._index
+            assert len(self._pcol) == len(vid), (
+                f"pcol has {len(self._pcol)} entries for {len(vid)} interned vertices"
+            )
+            for eid, i in slot.items():
+                owner = self._owner[i]
+                os_ = self._ownslot[i]
+                if owner is None:
+                    assert os_ == -1, f"edge {eid}: ownslot {os_} for owner None"
+                else:
+                    assert os_ == slot[owner], (
+                        f"edge {eid}: ownslot {os_} != slot({owner})={slot[owner]}"
+                    )
+                off = self._vd_off[i]
+                vs = self._verts[i]
+                pool = self._vd_flat[off : off + len(vs)]
+                assert list(pool) == [vid[v] for v in vs], (
+                    f"edge {eid}: vd pool segment out of sync"
+                )
+            for v, d in vid.items():
+                pm = self._p.get(v)
+                pc = self._pcol[d]
+                if pm is None:
+                    assert pc == -1, f"pcol[{v!r}]={pc} but p({v!r}) is None"
+                else:
+                    assert pc == slot[pm], (
+                        f"pcol[{v!r}]={pc} != slot(p({v!r}))={slot[pm]}"
+                    )
 
 
 class FlatAdjacency:

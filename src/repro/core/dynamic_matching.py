@@ -243,6 +243,21 @@ class DynamicMatching:
         else:
             self.vec_stats["object_batches"] += 1
 
+    def _attach_dense(self, frame: BatchFrame) -> None:
+        """Attach the structure's interned dense-id column to ``frame``.
+
+        Array backend only (and only while the columnar mirrors are
+        clean): the frame then carries stable dense vertex ids, so
+        ``free_flags`` gathers coverage from the cover column and the
+        matcher relabels via the interner's stamp scratch instead of a
+        per-batch ``np.unique``.
+        """
+        structure = self.structure
+        fd = getattr(structure, "frame_dense", None)
+        if fd is None or not structure._edits_on():
+            return
+        frame.attach_dense(fd(frame), structure.interner)
+
     def _greedy(
         self,
         edges: Sequence[Edge],
@@ -265,6 +280,7 @@ class DynamicMatching:
         if frame is None and self._vec and should_vectorize(self.ledger, len(edges)):
             frame = BatchFrame.from_edges(edges, arena=self.arena, tag="greedy")
             self.vec_stats["frames"] += 1
+            self._attach_dense(frame)
         return parallel_greedy_match(
             edges,
             self.ledger,
@@ -413,6 +429,7 @@ class DynamicMatching:
         if self._vec and should_vectorize(self.ledger, len(edges)):
             frame = BatchFrame.from_edges(edges, arena=self.arena, tag="frame")
             self.vec_stats["frames"] += 1
+            self._attach_dense(frame)
         free_flags = (
             self.structure.free_flags(edges, frame)
             if frame is not None
@@ -431,7 +448,7 @@ class DynamicMatching:
 
         new_matches = result.matched_edges
         self.structure.add_level0_batch(new_matches)
-        self.tracker.birth_batch((m.eid, 0, 1, m.vertices) for m in new_matches)
+        self.tracker.birth_level0_batch(new_matches)
         stats.new_epochs += len(matched_ids)
 
         rest = [e for e in edges if e.eid not in matched_ids]

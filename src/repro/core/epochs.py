@@ -153,6 +153,29 @@ class EpochTracker:
                 )
             )
 
+    def birth_level0_batch(self, edges: Iterable) -> None:
+        """Record level-0 singleton births for freshly matched edges.
+
+        Semantically ``birth_batch((e.eid, 0, 1, e.vertices) ...)``, but
+        the common all-new case skips per-item tuple construction: one
+        disjointness pre-check, then bulk list/dict extends.  Falls back
+        to the per-item loop (for its exact error and partial-state
+        semantics) when any edge already has a live epoch.
+        """
+        edges = list(edges)
+        live = self._live
+        ids = [e.eid for e in edges]
+        if len(set(ids)) != len(ids) or not live.keys().isdisjoint(ids):
+            self.birth_batch((e.eid, 0, 1, e.vertices) for e in edges)
+            return
+        epochs = self.epochs
+        bi = self.batch_index
+        n0 = len(epochs)
+        epochs.extend(
+            Epoch(e.eid, 0, 1, bi, None, None, e.vertices) for e in edges
+        )
+        live.update(zip(ids, range(n0, n0 + len(ids))))
+
     def death(self, eid: EdgeId, kind: str) -> Epoch:
         if kind not in (NATURAL, STOLEN, BLOATED):
             raise ValueError(f"unknown death kind {kind!r}")

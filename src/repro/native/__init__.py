@@ -29,7 +29,7 @@ stats table (:func:`stats`); an attached timing hook
 ``repro.obs.Observer.attach_native_kernels``) feeds the
 ``repro_native_*`` metrics.  The contract for every kernel is *output
 identity* with its numpy reference: the ledger is never touched here,
-and the four-way differential enforces bit-identical matchings and
+and the five-way differential enforces bit-identical matchings and
 charge totals across backends.
 """
 

@@ -3,7 +3,7 @@
 Importing this module raises ``ImportError`` when numba is not
 installed; :mod:`repro.native` guards the import and falls back to the
 numpy backend.  Every kernel here is output-identical to its
-counterpart in :mod:`repro.native.kernels` — the four-way differential
+counterpart in :mod:`repro.native.kernels` — the five-way differential
 (tests/core/test_vectorized_differential.py) and the kernel parity
 suite (tests/parallel/test_native_kernels.py) enforce this under
 ``REPRO_NATIVE=numba`` in the CI ``native`` job.
@@ -124,10 +124,204 @@ def first_alive(done, csr_edge, boff, bt, bL):
     return _first_alive_impl(done, csr_edge, boff, bt, bL)
 
 
+# --------------------------------------------------------------------- #
+# Columnar structure-edit kernels (PR 10)
+#
+# Sequential loop twins of the vectorized bodies in ``kernels.py``.
+# ``edit_cross_sim`` in particular is simply the scalar capacity
+# simulation verbatim — the numpy body's jump arithmetic is the clever
+# one, and the hypothesis parity suite pins both to a pure-Python
+# sequential reference.  All work terms are integral dyadic floats, so
+# accumulation order cannot perturb the totals.
+# --------------------------------------------------------------------- #
+
+
+@njit(cache=True)
+def _bl(x):
+    # int.bit_length for non-negative ints
+    b = 0
+    while x:
+        x >>= 1
+        b += 1
+    return b
+
+
+@njit(cache=True)
+def _edit_add_level0_impl(
+    slots, cards, dflat, tarr, larr, sarr, osl, scap, ccap, pcol
+):
+    n = slots.size
+    total = np.int64(n)
+    pos = 0
+    for k in range(n):
+        i = slots[k]
+        tarr[i] = 1
+        larr[i] = 0
+        sarr[i] = 1
+        osl[i] = i
+        scap[i] = 8
+        ccap[i] = 8
+        c = cards[k]
+        total += c
+        for _ in range(c):
+            pcol[dflat[pos]] = i
+            pos += 1
+    return total
+
+
+def edit_add_level0(slots, cards, dflat, tarr, larr, sarr, osl, scap, ccap, pcol):
+    return int(
+        _edit_add_level0_impl(
+            slots, cards, dflat, tarr, larr, sarr, osl, scap, ccap, pcol
+        )
+    )
+
+
+@njit(cache=True)
+def _edit_cross_scan_impl(slots, cards, dflat, pcol, larr, tarr, osl):
+    n = slots.size
+    best = np.full(n, -1, dtype=np.int32)
+    pos = 0
+    for k in range(n):
+        bs = np.int32(-1)
+        bl_ = np.int32(-1)
+        for _ in range(cards[k]):
+            pm = pcol[dflat[pos]]
+            pos += 1
+            if pm >= 0:
+                lvl = larr[pm]
+                if bs < 0 or lvl > bl_:
+                    bs = pm
+                    bl_ = lvl
+        if bs < 0:
+            return np.full(n, -1, dtype=np.int32), 0
+        best[k] = bs
+    for k in range(n):
+        i = slots[k]
+        tarr[i] = 3
+        osl[i] = best[k]
+    return best, 1
+
+
+def edit_cross_scan(slots, cards, dflat, pcol, larr, tarr, osl):
+    best, ok = _edit_cross_scan_impl(
+        slots, cards.astype(np.int64, copy=False), dflat, pcol, larr, tarr, osl
+    )
+    return best, int(ok)
+
+
+@njit(cache=True)
+def _edit_cross_sim_impl(inv, lens, caps):
+    n = inv.size
+    bd0 = np.empty(n, dtype=np.int64)
+    w_rehash = 0.0
+    for j in range(n):
+        o = inv[j]
+        length = lens[o]
+        bd = _bl(length) if length >= 2 else 1
+        length += 1
+        lens[o] = length
+        cap = caps[o]
+        if length > cap * 0.75:
+            dg = _bl(length - 1) if length > 1 else 1
+            while length > cap * 0.75:
+                cap *= 2
+                w_rehash += cap * 0.75
+                bd += dg
+            caps[o] = cap
+        bd0[j] = bd
+    return bd0, w_rehash
+
+
+def edit_cross_sim(inv, lens, caps):
+    if inv.size == 0:
+        return np.empty(0, dtype=np.int64), 0.0
+    bd0, w_rehash = _edit_cross_sim_impl(inv, lens, caps)
+    return bd0, float(w_rehash)
+
+
+@njit(cache=True)
+def _edit_remove_match_impl(
+    mslots, mcards, mdflat, premask, own_slots, tarr, osl, larr, sarr, card, pcol
+):
+    w_rm = 0.0
+    for t in range(own_slots.size):
+        j = own_slots[t]
+        tarr[j] = 0
+        osl[j] = -1
+        w_rm += card[j]
+    pos = 0
+    for k in range(mslots.size):
+        i = mslots[k]
+        w_rm += card[i]
+        for _ in range(mcards[k]):
+            d = mdflat[pos]
+            pos += 1
+            if pcol[d] == i:
+                pcol[d] = -1
+        if premask[k]:
+            tarr[i] = 0
+            osl[i] = -1
+        larr[i] = -1
+        sarr[i] = 0
+    return w_rm
+
+
+def edit_remove_match(
+    mslots, mcards, mdflat, premask, own_slots, tarr, osl, larr, sarr, card, pcol
+):
+    return float(
+        _edit_remove_match_impl(
+            mslots,
+            mcards.astype(np.int64, copy=False),
+            mdflat,
+            premask,
+            own_slots,
+            tarr,
+            osl,
+            larr,
+            sarr,
+            card,
+            pcol,
+        )
+    )
+
+
+@njit(cache=True)
+def _intern_localize_impl(dense, stamp, label, epoch):
+    n = dense.size
+    tmp = np.empty(n, dtype=np.int64)
+    nv = 0
+    for j in range(n):
+        x = dense[j]
+        if stamp[x] != epoch:
+            stamp[x] = epoch
+            tmp[nv] = x
+            nv += 1
+    uniq = np.sort(tmp[:nv])
+    for k in range(nv):
+        label[uniq[k]] = k
+    vinv = np.empty(n, dtype=np.int32)
+    for j in range(n):
+        vinv[j] = label[dense[j]]
+    return vinv, uniq
+
+
+def intern_localize(dense, stamp, label, epoch):
+    if dense.size == 0:
+        return np.empty(0, dtype=np.int32), np.empty(0, dtype=np.int64)
+    return _intern_localize_impl(dense, stamp, label, np.int64(epoch))
+
+
 NUMBA_KERNELS = {
     "group_index": group_index,
     "seg_gather_index": seg_gather_index,
     "dedup_first_index": dedup_first_index,
     "pack_index": pack_index,
     "first_alive": first_alive,
+    "edit_add_level0": edit_add_level0,
+    "edit_cross_scan": edit_cross_scan,
+    "edit_cross_sim": edit_cross_sim,
+    "edit_remove_match": edit_remove_match,
+    "intern_localize": intern_localize,
 }

@@ -127,6 +127,198 @@ def first_alive(
     return j
 
 
+# --------------------------------------------------------------------- #
+# Columnar structure-edit kernels (PR 10)
+#
+# These operate on the int32/int64 edit plane of
+# ``repro.core.arraystore.ArrayLeveledStructure`` — numpy views over its
+# ``array.array`` columns plus the interned per-vertex cover column
+# ``pcol`` (covering match *slot* per dense vertex id, -1 = uncovered).
+# Raw vertex/edge ids never reach these kernels: the caller resolves
+# them to slots / dense ids first, so int32-straddling ids are handled
+# by the interner and the slot table, not here.  Like the skeleton
+# kernels above, none of these touch the ledger: the callers reproduce
+# the scalar loops' exact charge arithmetic from the values returned.
+# --------------------------------------------------------------------- #
+
+
+def _bit_length_i64(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``int.bit_length`` for non-negative int64 < 2**53."""
+    return np.frexp(x.astype(np.float64))[1].astype(np.int64)
+
+
+def edit_add_level0(
+    slots: np.ndarray,
+    cards: np.ndarray,
+    dflat: np.ndarray,
+    tarr: np.ndarray,
+    larr: np.ndarray,
+    sarr: np.ndarray,
+    osl: np.ndarray,
+    scap: np.ndarray,
+    ccap: np.ndarray,
+    pcol: np.ndarray,
+) -> int:
+    """Columnar ``add_level0_batch`` body: install level-0 matches.
+
+    ``slots``/``cards`` describe the batch (one fresh match per entry),
+    ``dflat`` is the concatenated dense vertex ids in slot order.
+    Mutates the type/level/settle/owner-slot/capacity columns and the
+    cover column; returns the scalar loop's ``total`` charge term
+    (``n + sum(cards)``).  Vertices are pairwise disjoint (a matching),
+    so the scattered writes are conflict-free.
+    """
+    tarr[slots] = 1  # _T_MATCHED
+    larr[slots] = 0
+    sarr[slots] = 1
+    osl[slots] = slots  # a level-0 match owns itself
+    scap[slots] = 8  # _MIN_CAP
+    ccap[slots] = 8
+    pcol[dflat] = np.repeat(slots, cards)
+    return int(slots.size + cards.sum())
+
+
+def edit_cross_scan(
+    slots: np.ndarray,
+    cards: np.ndarray,
+    dflat: np.ndarray,
+    pcol: np.ndarray,
+    larr: np.ndarray,
+    tarr: np.ndarray,
+    osl: np.ndarray,
+) -> Tuple[np.ndarray, int]:
+    """Columnar owner scan of ``add_cross_edge_batch``.
+
+    For each edge (CSR segment of ``dflat`` sized by ``cards``), find
+    the covering match slot of maximum level, first occurrence winning
+    ties — exactly the scalar scan's "first strictly greater" rule.
+    When every edge has an owner, marks the batch ``_T_CROSS``, records
+    owner slots, and returns ``(best, 1)``.  When any edge has no
+    covered vertex, returns ``(all -1, 0)`` WITHOUT mutating anything,
+    so the caller can replay the scalar loop for exact error semantics.
+    """
+    n = slots.size
+    pm = pcol[dflat]
+    lv = np.where(pm >= 0, larr[np.maximum(pm, 0)], np.int32(-1))
+    cards = cards.astype(np.int64, copy=False)
+    cum = np.cumsum(cards)
+    voff = cum - cards
+    segmax = np.maximum.reduceat(lv, voff)
+    if not bool((segmax >= 0).all()):
+        return np.full(n, -1, dtype=np.int32), 0
+    cand = np.flatnonzero(lv == np.repeat(segmax, cards))
+    seg = np.repeat(np.arange(n, dtype=np.int64), cards)
+    _, first = np.unique(seg[cand], return_index=True)
+    best = pm[cand[first]]
+    tarr[slots] = 3  # _T_CROSS
+    osl[slots] = best
+    return best, 1
+
+
+def edit_cross_sim(
+    inv: np.ndarray, lens: np.ndarray, caps: np.ndarray
+) -> Tuple[np.ndarray, float]:
+    """Sequential capacity simulation of ``add_cross_edge_batch``.
+
+    ``inv[j]`` is the owner-group index of the batch's j-th cross
+    insert (batch order); ``lens``/``caps`` hold each owner group's
+    C(m) length and simulated capacity before the batch and are updated
+    in place to the post-batch values.  Returns ``(bd0, w_rehash)``:
+    per-insert branch depth of the C(m) insert (probe depth at the
+    pre-insert length plus the doubling charges the scalar loop adds),
+    and the summed ``dict_rehash`` work.  All work terms are integral
+    dyadics, so float accumulation order cannot change the total.
+    """
+    n = inv.size
+    u = lens.size
+    cnt = np.bincount(inv, minlength=u)
+    order = np.argsort(inv, kind="stable")
+    gstart = np.cumsum(cnt) - cnt
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64) - np.repeat(gstart, cnt)
+    pre = lens[inv] + rank
+    bd0 = np.where(pre >= 2, _bit_length_i64(pre), np.int64(1))
+    w_rehash = 0.0
+    newl = lens + cnt
+    grow = np.flatnonzero(newl > caps * 0.75)
+    for o in grow.tolist():
+        length = int(lens[o])
+        cap = int(caps[o])
+        k = int(cnt[o])
+        base = int(gstart[o])
+        while True:
+            # smallest post-insert length strictly above the threshold
+            nxt = int(cap * 0.75) + 1  # cap*0.75 is integral for cap>=8
+            if nxt > length + k:
+                break
+            t = nxt - length - 1  # 0-based rank of the triggering insert
+            dg = (nxt - 1).bit_length() if nxt > 1 else 1
+            add = 0
+            while nxt > cap * 0.75:
+                cap *= 2
+                w_rehash += cap * 0.75
+                add += dg
+            bd0[order[base + t]] += add
+        caps[o] = cap
+    lens[:] = newl
+    return bd0, w_rehash
+
+
+def edit_remove_match(
+    mslots: np.ndarray,
+    mcards: np.ndarray,
+    mdflat: np.ndarray,
+    premask: np.ndarray,
+    own_slots: np.ndarray,
+    tarr: np.ndarray,
+    osl: np.ndarray,
+    larr: np.ndarray,
+    sarr: np.ndarray,
+    card: np.ndarray,
+    pcol: np.ndarray,
+) -> float:
+    """Columnar column-resets of ``remove_match_batch``.
+
+    Detaches every owned cross edge (``own_slots``) and every dying
+    match (``mslots``), clearing covers in ``pcol`` only where the
+    vertex is still covered by its dying match (``pcol == slot``, the
+    columnar mirror of the scalar ``p.get(v) == eid`` guard).
+    ``premask`` flags matches still typed ``_T_MATCHED`` at batch start
+    — the ones whose type/owner the scalar loop resets.  Returns the
+    ``remove_match`` work term (sum of detached cardinalities).
+    """
+    tarr[own_slots] = 0  # _T_UNSETTLED
+    osl[own_slots] = -1
+    w_rm = float(card[own_slots].sum() + card[mslots].sum())
+    rep = np.repeat(mslots, mcards)
+    sel = pcol[mdflat] == rep
+    pcol[mdflat[sel]] = -1
+    ms = mslots[premask]
+    tarr[ms] = 0
+    osl[ms] = -1
+    larr[mslots] = -1
+    sarr[mslots] = 0
+    return w_rm
+
+
+def intern_localize(
+    dense: np.ndarray, stamp: np.ndarray, label: np.ndarray, epoch: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch-local relabeling of a dense vertex-id column.
+
+    ``stamp``/``label`` are the interner's persistent scratch (sized to
+    the table); ``epoch`` is a fresh stamp value.  Returns ``(vinv,
+    uniq)``: local ids in ascending dense-id order and the sorted dense
+    ids present.  Replaces ``np.unique(..., return_inverse=True)``
+    without sorting the full column.
+    """
+    stamp[dense] = epoch
+    uniq = np.flatnonzero(stamp == epoch)
+    label[uniq] = np.arange(uniq.size, dtype=np.int32)
+    vinv = label[dense]
+    return vinv, uniq
+
+
 #: The kernel registry this backend exports (name -> callable).
 NUMPY_KERNELS = {
     "group_index": group_index,
@@ -134,4 +326,9 @@ NUMPY_KERNELS = {
     "dedup_first_index": dedup_first_index,
     "pack_index": pack_index,
     "first_alive": first_alive,
+    "edit_add_level0": edit_add_level0,
+    "edit_cross_scan": edit_cross_scan,
+    "edit_cross_sim": edit_cross_sim,
+    "edit_remove_match": edit_remove_match,
+    "intern_localize": intern_localize,
 }

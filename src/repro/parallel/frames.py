@@ -84,7 +84,10 @@ class BatchFrame:
         order.  ``vflat`` compacts to int32 when the vertex ids fit.
     """
 
-    __slots__ = ("edges", "eids", "cards", "voff", "vflat", "_uverts", "_vinv")
+    __slots__ = (
+        "edges", "eids", "cards", "voff", "vflat", "_uverts", "_vinv",
+        "dense", "interner",
+    )
 
     def __init__(
         self,
@@ -101,6 +104,8 @@ class BatchFrame:
         self.vflat = vflat
         self._uverts: Optional[np.ndarray] = None
         self._vinv: Optional[np.ndarray] = None
+        self.dense: Optional[np.ndarray] = None
+        self.interner = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -160,6 +165,30 @@ class BatchFrame:
             self._uverts, self._vinv = np.unique(self.vflat, return_inverse=True)
         return self._uverts, self._vinv
 
+    def attach_dense(self, dense: np.ndarray, interner) -> None:
+        """Attach the structure's interned dense-id column for ``vflat``
+        (same CSR layout) plus the :class:`VertexInterner` that owns the
+        ids.  Downstream consumers (``free_flags``'s cover gather, the
+        matcher's ``intern_local``) then skip per-batch vertex hashing
+        and sorting entirely."""
+        self.dense = dense
+        self.interner = interner
+
+    def intern_local(self) -> Tuple[np.ndarray, int]:
+        """Batch-local vertex labels: ``(vinv, nv)``.
+
+        With an attached dense column this is the interner's stamped
+        O(total) relabel (labels in ascending dense-id order); otherwise
+        it falls back to :meth:`intern` (labels in ascending raw-vertex
+        order).  The two labelings differ only by a permutation of the
+        local ids, which every consumer is insensitive to — see
+        repro/parallel/interning.py.
+        """
+        if self.dense is not None and self.interner is not None:
+            return self.interner.localize(self.dense)
+        uverts, vinv = self.intern()
+        return vinv, int(uverts.size)
+
     def select(self, index: np.ndarray) -> "BatchFrame":
         """Sub-frame of the rows in ``index`` (an int index array or a
         boolean mask), preserving relative order."""
@@ -178,4 +207,8 @@ class BatchFrame:
             if k is not None
             else _np_kernels.seg_gather_index(starts, cards, total)
         )
-        return BatchFrame(edges, self.eids[index], cards, voff, self.vflat[idx])
+        sub = BatchFrame(edges, self.eids[index], cards, voff, self.vflat[idx])
+        if self.dense is not None:
+            sub.dense = self.dense[idx]
+            sub.interner = self.interner
+        return sub

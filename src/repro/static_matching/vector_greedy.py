@@ -129,8 +129,12 @@ def vector_greedy_match(
     # appending to per-vertex lists while scanning edges in sorted order.
     # Compact columns: row/edge indices fit int32 whenever m does (the
     # sort key itself stays int64 — vinv * m + pri can exceed 2^31).
-    uverts, vinv = frame.intern()
-    nv = uverts.size
+    # intern_local: the structure-attached interner relabels via a
+    # stamped scratch (no sort, no hashing); the labeling differs from
+    # np.unique only by a permutation of local ids, which everything
+    # below is insensitive to (per-vertex CSR segments are re-sorted by
+    # priority, and all outputs are edge-indexed).
+    vinv, nv = frame.intern_local()
     idt = np.int32 if m <= _I32_MAX else np.int64
     erow = np.repeat(np.arange(m, dtype=idt), cards)
     ksort = np.argsort(
@@ -178,6 +182,11 @@ def vector_greedy_match(
 
     matches: List[Matched] = []
     rounds = 0
+    # Mark-scratch uniques: cleared back to False after each use, so the
+    # per-round cost is O(|set|) after the one-time allocation — replaces
+    # the per-round ``np.unique`` sorts over edge/vertex index sets.
+    seen_e = np.zeros(m, dtype=np.bool_)
+    seen_v = np.zeros(nv, dtype=np.bool_)
     try:
         while roots.size:
             rounds += 1
@@ -245,7 +254,13 @@ def vector_greedy_match(
 
             # finished = W ∪ N(W); roots never appear in neighbor lists
             # (pairwise non-adjacent), so the union is a disjoint concat.
-            fin = np.concatenate([roots, np.unique(flat)]) if flat.size else roots
+            if flat.size:
+                seen_e[flat] = True
+                uniq_flat = np.flatnonzero(seen_e)
+                seen_e[uniq_flat] = False
+                fin = np.concatenate([roots, uniq_flat])
+            else:
+                fin = roots
             w_delete = int(cards[fin].sum())
             ledger.charge_parallel(
                 fin.size, work=w_delete, depth=1, tag="par_delete"
@@ -253,7 +268,10 @@ def vector_greedy_match(
             done[fin] = 1
 
             fv = ev[fin]
-            touched = np.unique(fv[fv >= 0])
+            sel = fv[fv >= 0]
+            seen_v[sel] = True
+            touched = np.flatnonzero(seen_v)
+            seen_v[touched] = False
 
             roots = _update_top_region(
                 ledger, touched, csr_off, csr_edge, done, top, counter, cards
@@ -322,7 +340,9 @@ def _update_top_region(
             region_depth = max(region_depth, float(fn_d.max() + 1))
 
             ie = csr_edge[boff[hit] + j[hit]]
-            ue, inc = np.unique(ie, return_counts=True)
+            inc_full = np.bincount(ie, minlength=counter.size)
+            ue = np.flatnonzero(inc_full)
+            inc = inc_full[ue]
             pre = counter[ue]
             counter[ue] = pre + inc
             new_roots = ue[

@@ -1,0 +1,347 @@
+"""Columnar structure-edit kernels vs the dict-backed reference.
+
+The batched edit kernels (``edit_add_level0`` / ``edit_cross_scan`` /
+``edit_cross_sim`` / ``edit_remove_match`` / ``intern_localize``) are
+the compiled twins of ``ArrayLeveledStructure``'s scalar edit loops.
+Their contract is the same bit-identity bar as the rest of the fast
+path: with the kernels on (``REPRO_EDIT_KERNELS=auto``) and off
+(``off``), a fixed-seed run must agree after every batch on the
+matching, every sample space, the live epochs, and the ledger's
+work/depth/per-tag totals — including streams whose edge and vertex
+ids straddle the int32 boundary (the frame columns widen; the dense
+interned ids the kernels consume stay narrow).
+
+Three layers:
+
+* **trace parity** (hypothesis) — random update scripts through two
+  ``DynamicMatching`` instances, kernels on vs off, full-state
+  fingerprints per batch plus ``check_invariants`` (which asserts the
+  columnar mirrors against the dicts);
+* **kernel-level parity** (hypothesis) — ``edit_cross_sim``'s
+  jump-based capacity simulation vs a naive sequential re-derivation
+  of the scalar loop, and ``intern_localize`` vs ``np.unique``;
+* **numba twins** (skipped without numba) — the compiled kernels in
+  ``repro.native._numba`` vs the numpy bodies on identical inputs,
+  outputs AND mutated argument arrays compared.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import native
+from repro.core.dynamic_matching import DynamicMatching
+from repro.hypergraph.edge import Edge
+from repro.native import kernels as npk
+
+try:
+    from repro.native._numba import NUMBA_KERNELS
+
+    HAVE_NUMBA = True
+except ImportError:
+    NUMBA_KERNELS = {}
+    HAVE_NUMBA = False
+
+#: Edge/vertex id offset that puts ids astride the int32 boundary.
+BIG = 2**31 - 2
+
+
+@pytest.fixture(autouse=True)
+def _vectorize_and_restore(monkeypatch):
+    monkeypatch.setenv("REPRO_VEC_MIN", "1")
+    prev = native.MODE
+    yield
+    native.configure(prev)
+
+
+def _run_script(rank, script, seed, edits: str):
+    """One DynamicMatching pass with the edit kernels pinned on/off,
+    fingerprinting after every batch."""
+    prev = os.environ.get("REPRO_EDIT_KERNELS")
+    os.environ["REPRO_EDIT_KERNELS"] = edits
+    try:
+        native.configure("auto")
+        dm = DynamicMatching(
+            rank=rank, seed=seed, backend="array", vectorized=True
+        )
+        fps = []
+        for kind, payload in script:
+            if kind == "insert":
+                dm.insert_edges(list(payload))
+            else:
+                dm.delete_edges(list(payload))
+            led = (dm.ledger.work, dm.ledger.depth, dict(dm.ledger.by_tag))
+            matched = dm.matched_ids()
+            samples = {
+                mid: [e.eid for e in dm.structure.samples_of(mid)]
+                for mid in matched
+            }
+            epochs = sorted(
+                (ep.eid, ep.level, ep.sample_size)
+                for ep in dm.tracker.live_epochs()
+            )
+            fps.append((led, matched, samples, epochs))
+            dm.check_invariants()
+        return fps, dm
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_EDIT_KERNELS", None)
+        else:
+            os.environ["REPRO_EDIT_KERNELS"] = prev
+
+
+@st.composite
+def _scripts(draw):
+    """A random batch script plus its rank, over a small vertex pool
+    (small pools force settles, steals and cross-edge churn)."""
+    rank = draw(st.integers(2, 3))
+    nv = draw(st.integers(5, 12))
+    big = draw(st.booleans())
+    voff = BIG if big else 0
+    eoff = BIG if big else 0
+    steps = draw(st.integers(2, 6))
+    script = []
+    live = []
+    next_eid = 0
+    for _ in range(steps):
+        if not live or draw(st.booleans()) or draw(st.booleans()):
+            k = draw(st.integers(1, 5))
+            batch = []
+            for _ in range(k):
+                card = draw(st.integers(1, rank))
+                vs = draw(
+                    st.lists(
+                        st.integers(0, nv - 1),
+                        min_size=card, max_size=card, unique=True,
+                    )
+                )
+                batch.append(Edge(eoff + next_eid, [voff + v for v in vs]))
+                live.append(eoff + next_eid)
+                next_eid += 1
+            script.append(("insert", batch))
+        else:
+            k = draw(st.integers(1, min(len(live), 4)))
+            idx = draw(
+                st.lists(
+                    st.integers(0, len(live) - 1),
+                    min_size=k, max_size=k, unique=True,
+                )
+            )
+            eids = [live[i] for i in sorted(idx)]
+            for i in sorted(idx, reverse=True):
+                live.pop(i)
+            script.append(("delete", eids))
+    return rank, script
+
+
+class TestTraceParity:
+    @settings(max_examples=40, deadline=None)
+    @given(data=_scripts(), seed=st.integers(0, 9))
+    def test_edits_on_off_bit_identical(self, data, seed):
+        rank, script = data
+        fps_off, dm_off = _run_script(rank, script, seed + 1, "off")
+        fps_on, dm_on = _run_script(rank, script, seed + 1, "auto")
+        for step, (a, b) in enumerate(zip(fps_off, fps_on)):
+            assert a == b, f"step {step}: edit kernels diverged"
+        assert dm_on.vec_stats["vector_batches"] == len(script)
+
+    def test_kernels_actually_fire(self):
+        """A dense insert/delete/insert stream must route through the
+        columnar edit kernels (no silent fallback-to-legacy)."""
+        edges = [Edge(i, (2 * i, 2 * i + 1)) for i in range(12)]
+        script = [
+            ("insert", edges[:8]),
+            ("delete", [e.eid for e in edges[:4]]),
+            ("insert", edges[8:]),
+        ]
+        before = {
+            k: native.stats().get(k, {}).get("calls", 0)
+            for k in ("edit_add_level0", "edit_remove_match",
+                      "intern_localize")
+        }
+        _run_script(2, script, 5, "auto")
+        after = native.stats()
+        for k, n0 in before.items():
+            assert after[k]["calls"] > n0, f"{k} never fired"
+
+
+# --------------------------------------------------------------------- #
+# Kernel-level parity
+# --------------------------------------------------------------------- #
+def _cross_sim_ref(inv, lens, caps):
+    """Naive sequential re-derivation of the scalar C(m)-insert loop
+    (pre-insert probe depth, post-insert doubling with w_rehash in
+    insertion order) — the semantics edit_cross_sim's jump simulation
+    must reproduce exactly."""
+    lens = lens.tolist()
+    caps = caps.tolist()
+    bd0 = np.zeros(inv.size, dtype=np.int64)
+    w_rehash = 0.0
+    for j, o in enumerate(inv.tolist()):
+        n = lens[o]
+        bd = n.bit_length() if n >= 2 else 1
+        n += 1
+        lens[o] = n
+        cap = caps[o]
+        if n > cap * 0.75:
+            dg = (n - 1).bit_length() if n > 1 else 1
+            while n > cap * 0.75:
+                cap *= 2
+                w_rehash += cap * 0.75
+                bd += dg
+            caps[o] = cap
+        bd0[j] = bd
+    return bd0, w_rehash, lens, caps
+
+
+@st.composite
+def _sim_inputs(draw):
+    u = draw(st.integers(1, 8))
+    capk = draw(st.lists(st.integers(0, 3), min_size=u, max_size=u))
+    caps = np.array([8 * 2**k for k in capk], dtype=np.int64)
+    lens = np.array(
+        [draw(st.integers(0, int(c * 0.75))) for c in caps], dtype=np.int64
+    )
+    n = draw(st.integers(1, 40))
+    inv = np.array(
+        draw(st.lists(st.integers(0, u - 1), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    return inv, lens, caps
+
+
+class TestCrossSimParity:
+    @settings(max_examples=120, deadline=None)
+    @given(data=_sim_inputs())
+    def test_jump_sim_matches_sequential(self, data):
+        inv, lens, caps = data
+        ref_bd, ref_wr, ref_lens, ref_caps = _cross_sim_ref(inv, lens, caps)
+        lens2, caps2 = lens.copy(), caps.copy()
+        bd0, wr = npk.edit_cross_sim(inv, lens2, caps2)
+        assert np.array_equal(bd0, ref_bd)
+        assert wr == ref_wr  # integral dyadics: order-independent, exact
+        assert lens2.tolist() == ref_lens
+        assert caps2.tolist() == ref_caps
+
+
+class TestInternLocalize:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        dense=st.lists(st.integers(0, 30), min_size=1, max_size=60),
+        epoch=st.integers(1, 5),
+    )
+    def test_matches_np_unique(self, dense, epoch):
+        dense = np.array(dense, dtype=np.int32)
+        table = int(dense.max()) + 1
+        stamp = np.zeros(table, dtype=np.int64)
+        label = np.zeros(table, dtype=np.int32)
+        vinv, uniq = npk.intern_localize(dense, stamp, label, epoch)
+        exp_uniq, exp_inv = np.unique(dense, return_inverse=True)
+        assert np.array_equal(uniq, exp_uniq)
+        assert np.array_equal(vinv.astype(np.int64), exp_inv.astype(np.int64))
+
+
+# --------------------------------------------------------------------- #
+# Numba twins (CI native job; skipped when numba is absent)
+# --------------------------------------------------------------------- #
+def _edit_args(name, n, rng):
+    """Deterministic argument tuples for the stateful edit kernels —
+    same shapes the structure hands them."""
+    if name == "edit_add_level0":
+        nm = max(1, n // 4)
+        slots = rng.permutation(n)[:nm].astype(np.int32)
+        cards = rng.integers(1, 4, size=nm)
+        total = int(cards.sum())
+        dflat = rng.permutation(4 * n)[:total].astype(np.int32)
+        return (
+            slots, cards, dflat,
+            np.zeros(n, np.int32), np.full(n, -1, np.int32),
+            np.zeros(n, np.int32), np.full(n, -1, np.int32),
+            np.zeros(n, np.int64), np.zeros(n, np.int64),
+            np.full(4 * n, -1, np.int32),
+        )
+    if name == "edit_cross_scan":
+        nm = max(1, n // 4)
+        ne = max(1, n // 4)
+        nvtx = 2 * n
+        cards = rng.integers(1, 4, size=ne)
+        total = int(cards.sum())
+        pcol = rng.integers(-1, nm, size=nvtx).astype(np.int32)
+        larr = np.full(n, -1, np.int32)
+        larr[:nm] = rng.integers(0, 6, size=nm)
+        tarr = np.zeros(n, np.int32)
+        tarr[:nm] = 1
+        osl = np.full(n, -1, np.int32)
+        osl[:nm] = np.arange(nm, dtype=np.int32)
+        return (
+            np.arange(nm, nm + ne, dtype=np.int32), cards,
+            rng.integers(0, nvtx, size=total).astype(np.int32),
+            pcol, larr, tarr, osl,
+        )
+    if name == "edit_cross_sim":
+        u = max(1, n // 4)
+        return (
+            rng.integers(0, u, size=n),
+            rng.integers(0, 7, size=u),
+            np.full(u, 8, dtype=np.int64),
+        )
+    if name == "edit_remove_match":
+        nm = max(1, n // 4)
+        nc = max(1, n // 4)
+        nvtx = 4 * n
+        mslots = np.arange(nm, dtype=np.int32)
+        mcards = rng.integers(1, 4, size=nm)
+        total = int(mcards.sum())
+        mdflat = rng.permutation(nvtx)[:total].astype(np.int32)
+        pcol = np.full(nvtx, -1, np.int32)
+        rep = np.repeat(mslots, mcards)
+        steal = rng.random(total) < 0.2
+        pcol[mdflat] = np.where(steal, (rep + 1) % np.int32(nm), rep)
+        tarr = np.zeros(n, np.int32)
+        tarr[:nm] = 1
+        tarr[nm:nm + nc] = 3
+        return (
+            mslots, mcards, mdflat, rng.random(nm) < 0.9,
+            np.arange(nm, nm + nc, dtype=np.int32),
+            tarr, np.full(n, -1, np.int32), np.zeros(n, np.int32),
+            np.ones(n, np.int32), rng.integers(1, 4, size=n), pcol,
+        )
+    assert name == "intern_localize"
+    table = max(1, n // 2)
+    return (
+        rng.integers(0, table, size=n).astype(np.int32),
+        np.zeros(table, np.int64), np.zeros(table, np.int32), 1,
+    )
+
+
+EDIT_KERNELS = (
+    "edit_add_level0", "edit_cross_scan", "edit_cross_sim",
+    "edit_remove_match", "intern_localize",
+)
+
+
+def _tuple_equal(a, b):
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(map(np.array_equal, a, b))
+    return np.array_equal(a, b)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not importable")
+class TestNumbaTwins:
+    @pytest.mark.parametrize("name", EDIT_KERNELS)
+    @pytest.mark.parametrize("n", [1, 7, 64, 500])
+    def test_twin_parity(self, name, n):
+        """Compiled twin vs numpy body: outputs and post-call argument
+        state bit-identical on identically-seeded inputs."""
+        for seed in range(3):
+            a_np = _edit_args(name, n, np.random.default_rng(seed))
+            a_nb = _edit_args(name, n, np.random.default_rng(seed))
+            out_np = npk.NUMPY_KERNELS[name](*a_np)
+            out_nb = NUMBA_KERNELS[name](*a_nb)
+            assert _tuple_equal(out_np, out_nb), f"{name} output n={n}"
+            assert _tuple_equal(a_np, a_nb), f"{name} arg state n={n}"

@@ -11,10 +11,12 @@ after every batch on
 * the live epoch state (level, sample size), and
 * the ledger — global work, composed depth, and per-tag totals.
 
-The native leg runs whatever ``REPRO_NATIVE`` selects (CI runs the
+The native legs run whatever ``REPRO_NATIVE`` selects (CI runs the
 differential once under ``numba`` and once under ``numpy``; without the
-env var it exercises the counted numpy tier) against the ``off`` leg's
-inline fallbacks — the four-way seam of docs/hotpath.md.
+env var they exercise the counted numpy tier) against the ``off`` leg's
+inline fallbacks, once with the columnar structure-edit kernels forced
+off (``REPRO_EDIT_KERNELS=off``) and once with them on — the five-way
+seam of docs/hotpath.md.
 
 On top of the trace differential this file checks the fallback seam (an
 attached charge observer routes batches to the object pipeline without
@@ -57,11 +59,22 @@ def _vectorize_every_batch(monkeypatch):
     native.configure(prev)
 
 
-def _apply_with_native(dm: DynamicMatching, op, mode: str) -> None:
-    """Apply one batch with the native backend pinned to ``mode`` (the
-    interleaved legs of the differential each run under their own)."""
+def _apply_with_native(
+    dm: DynamicMatching, op, mode: str, edits: str = "off"
+) -> None:
+    """Apply one batch with the native backend pinned to ``mode`` and
+    the batched edit kernels pinned to ``edits`` (the interleaved legs
+    of the differential each run under their own)."""
     native.configure(mode)
-    _apply(dm, op)
+    prev = os.environ.get("REPRO_EDIT_KERNELS")
+    os.environ["REPRO_EDIT_KERNELS"] = edits
+    try:
+        _apply(dm, op)
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_EDIT_KERNELS", None)
+        else:
+            os.environ["REPRO_EDIT_KERNELS"] = prev
 
 
 def _script(seed: int):
@@ -120,12 +133,13 @@ def _fingerprint(dm: DynamicMatching):
     return led, matched, samples, epochs
 
 
-class TestFourWayDifferential:
+class TestFiveWayDifferential:
     @pytest.mark.parametrize("chunk", range(5))
     def test_traces(self, chunk):
         """N_TRACES seeded traces: vectorized array (native off), the
-        native-backend leg (NATIVE_MODE), object array, and the dict
-        oracle, bit-identical at every batch boundary."""
+        native-backend leg with edit kernels off, the native-backend
+        leg with edit kernels on (both NATIVE_MODE), object array, and
+        the dict oracle, bit-identical at every batch boundary."""
         per = N_TRACES // 5
         for seed in range(chunk * per, (chunk + 1) * per):
             rank, script = _script(seed)
@@ -135,18 +149,26 @@ class TestFourWayDifferential:
             dm_nat = DynamicMatching(
                 rank=rank, seed=seed + 1, backend="array", vectorized=True
             )
+            dm_edt = DynamicMatching(
+                rank=rank, seed=seed + 1, backend="array", vectorized=True
+            )
             dm_obj = DynamicMatching(
                 rank=rank, seed=seed + 1, backend="array", vectorized=False
             )
             dm_dict = DynamicMatching(rank=rank, seed=seed + 1, backend="dict")
             for step, op in enumerate(script):
                 _apply_with_native(dm_vec, op, "off")
-                _apply_with_native(dm_nat, op, NATIVE_MODE)
+                _apply_with_native(dm_nat, op, NATIVE_MODE, edits="off")
+                _apply_with_native(dm_edt, op, NATIVE_MODE, edits="auto")
                 _apply(dm_obj, op)
                 _apply(dm_dict, op)
                 fp_vec = _fingerprint(dm_vec)
                 assert fp_vec == _fingerprint(dm_nat), (
                     f"seed {seed} step {step}: native backend "
+                    f"({NATIVE_MODE}) != inline vectorized"
+                )
+                assert fp_vec == _fingerprint(dm_edt), (
+                    f"seed {seed} step {step}: edit kernels "
                     f"({NATIVE_MODE}) != inline vectorized"
                 )
                 assert fp_vec == _fingerprint(dm_obj), (
@@ -156,16 +178,30 @@ class TestFourWayDifferential:
                     f"seed {seed} step {step}: vectorized != dict oracle"
                 )
                 dm_vec.check_invariants()
+                dm_edt.check_invariants()
             assert dm_vec.vec_stats["vector_batches"] == len(script)
             assert dm_vec.vec_stats["kernel_fallbacks"] == 0
             assert dm_nat.vec_stats["vector_batches"] == len(script)
+            assert dm_edt.vec_stats["vector_batches"] == len(script)
+            cert_v, cert_n, cert_e, cert_o = (
+                certify(dm_vec), certify(dm_nat), certify(dm_edt),
+                certify(dm_obj),
+            )
+            assert (
+                cert_v.matched == cert_n.matched == cert_e.matched
+                == cert_o.matched
+            )
+            assert (
+                cert_v.witness == cert_n.witness == cert_e.witness
+                == cert_o.witness
+            )
             assert dm_obj.vec_stats["vector_batches"] == 0
             assert dm_obj.vec_stats["object_batches"] == len(script)
-            cert_v, cert_n, cert_o = (
-                certify(dm_vec), certify(dm_nat), certify(dm_obj)
-            )
-            assert cert_v.matched == cert_n.matched == cert_o.matched
-            assert cert_v.witness == cert_n.witness == cert_o.witness
+        # the edit-kernel leg must actually have exercised the columnar
+        # twins (global dispatch stats are cumulative across the chunk)
+        st = native.stats()
+        assert st.get("edit_add_level0", {}).get("calls", 0) > 0
+        assert st.get("intern_localize", {}).get("calls", 0) > 0
 
 
 class TestObserverFallback:

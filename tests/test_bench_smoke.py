@@ -104,7 +104,8 @@ def test_bench_dynamic_smoke(tmp_path):
         assert r["matching_identical"] is True
         assert r["ledger_identical"] is True
         assert set(r["updates_per_sec"]) == {
-            "object", "vector", "vector+native", "vector+engine"
+            "object", "vector", "vector+native", "vector+native+edits",
+            "vector+engine",
         }
     assert "overhead_fraction" in record["engine_overhead_w1"]
 
@@ -182,6 +183,8 @@ def test_bench_kernels_smoke(tmp_path):
     assert kernels == {
         "group_index", "seg_gather_index", "dedup_first_index",
         "pack_index", "first_alive",
+        "edit_add_level0", "edit_cross_scan", "edit_cross_sim",
+        "edit_remove_match", "intern_localize",
     }
     for r in rows:
         assert r["numpy_sec"] > 0 and r["native_sec"] > 0
